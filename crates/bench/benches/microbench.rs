@@ -1,0 +1,128 @@
+//! Criterion micro-benchmarks: throughput of the simulator substrate and
+//! runtime of the layout optimizations themselves (the cost of "running
+//! Spike").
+
+use codelayout_core::{chain_all, pettis_hansen_order, LayoutPipeline, OptimizationSet};
+use codelayout_ir::link::link;
+use codelayout_ir::testgen::{random_program, GenConfig};
+use codelayout_ir::Layout;
+use codelayout_memsim::{AccessClass, CacheConfig, ICacheSim, StreamFilter, SweepSink};
+use codelayout_oltp::{build_study, Scenario};
+use codelayout_vm::{FetchRecord, Machine, MachineConfig, NullSink, TraceSink, APP_TEXT_BASE};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_vm(c: &mut Criterion) {
+    let program = random_program(42, &GenConfig {
+        procs: 6,
+        max_blocks: 8,
+        max_instrs: 6,
+        loop_iters: 100_000,
+        call_prob: 0.5,
+    });
+    let image = Arc::new(link(&program, &Layout::natural(&program), APP_TEXT_BASE).unwrap());
+    let mut g = c.benchmark_group("vm");
+    g.measurement_time(Duration::from_secs(3));
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(1_000_000));
+    g.bench_function("interpret_1M_instrs", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(Arc::clone(&image), MachineConfig::default());
+            let report = m.run(&mut NullSink, 1_000_000);
+            assert!(report.faults.is_empty());
+            report.instructions
+        })
+    });
+    g.finish();
+}
+
+fn synthetic_trace(n: usize) -> Vec<FetchRecord> {
+    let mut out = Vec::with_capacity(n);
+    let mut pc: u64 = 0x40_0000;
+    let mut x: u64 = 0x2545F4914F6CDD1D;
+    for _ in 0..n {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        if x.is_multiple_of(8) {
+            pc = 0x40_0000 + ((x % (512 * 1024)) & !3);
+        } else {
+            pc += 4;
+        }
+        out.push(FetchRecord {
+            addr: pc,
+            cpu: 0,
+            pid: 0,
+            kernel: false,
+        });
+    }
+    out
+}
+
+fn bench_caches(c: &mut Criterion) {
+    let trace = synthetic_trace(1_000_000);
+    let mut g = c.benchmark_group("memsim");
+    g.measurement_time(Duration::from_secs(3));
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.bench_function("icache_1M_accesses", |b| {
+        b.iter(|| {
+            let mut sim = ICacheSim::new(CacheConfig::new(64 * 1024, 64, 2));
+            for r in &trace {
+                sim.access(r.addr, AccessClass::User);
+            }
+            sim.stats().misses
+        })
+    });
+    g.bench_function("sweep25_1M_accesses", |b| {
+        b.iter(|| {
+            let mut sweep = SweepSink::new(SweepSink::fig4_grid(1), 1, StreamFilter::All);
+            for r in &trace {
+                sweep.fetch(*r);
+            }
+            sweep.results().len()
+        })
+    });
+    g.finish();
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    // The cost of "running Spike" on the full-scale OLTP binary.
+    let study = build_study(&Scenario::quick());
+    let big = codelayout_oltp::gen_app(
+        &codelayout_oltp::SgaLayout::new(40, 10, 2500, 32, 5000),
+        &Scenario::paper_sim(),
+    );
+    let mut g = c.benchmark_group("optimizer");
+    g.measurement_time(Duration::from_secs(3));
+    g.sample_size(10);
+    g.bench_function("chain_all_quick", |b| {
+        b.iter(|| chain_all(&study.app.program, &study.profile).len())
+    });
+    g.bench_function("pipeline_all_quick", |b| {
+        b.iter(|| {
+            LayoutPipeline::new(&study.app.program, &study.profile)
+                .build(OptimizationSet::ALL)
+                .len()
+        })
+    });
+    g.bench_function("link_papersim_binary", |b| {
+        let layout = Layout::natural(&big.program);
+        b.iter(|| link(&big.program, &layout, APP_TEXT_BASE).unwrap().len())
+    });
+    g.bench_function("pettis_hansen_5k_nodes", |b| {
+        let mut x: u64 = 7;
+        let edges: Vec<(u32, u32, u64)> = (0..20_000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((x >> 11) as u32 % 5000, (x >> 31) as u32 % 5000, (x >> 51) & 0xFF)
+            })
+            .collect();
+        b.iter(|| pettis_hansen_order(5000, edges.iter().copied()).len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_vm, bench_caches, bench_optimizer);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Ablation: fine-grain splitting (the paper's contribution) vs the
+//! hot/cold splitting shipped in the Spike distribution (§2). Fine-grain
+//! segments give the ordering pass more freedom; hot/cold only separates
+//! the never-executed half of each procedure.
+
+use codelayout_core::{hot_cold_layout, OptimizationSet};
+use codelayout_ir::link::link;
+use codelayout_memsim::{CacheConfig, StreamFilter, SweepSink};
+use codelayout_oltp::build_study;
+use codelayout_vm::APP_TEXT_BASE;
+use std::sync::Arc;
+
+fn main() {
+    let sc = codelayout_bench::scenario_from_env();
+    let study = build_study(&sc);
+    let configs: Vec<CacheConfig> = [32u64, 64, 128]
+        .iter()
+        .map(|&k| CacheConfig::new(k * 1024, 128, 4))
+        .collect();
+
+    let run = |image: &Arc<codelayout_ir::Image>| -> Vec<u64> {
+        let mut sweep = SweepSink::new(configs.clone(), sc.num_cpus, StreamFilter::UserOnly);
+        let out = study.run_measured(image, &study.base_kernel_image, &mut sweep);
+        out.assert_correct();
+        sweep.results().iter().map(|c| c.stats.misses).collect()
+    };
+
+    println!("{:>28} {:>9} {:>9} {:>9}", "layout", "32KB", "64KB", "128KB");
+    for (name, set) in [
+        ("base", OptimizationSet::BASE),
+        ("chain", OptimizationSet::CHAIN),
+        ("chain+porder (no split)", OptimizationSet::CHAIN_PORDER),
+        ("fine-grain split+PH (all)", OptimizationSet::ALL),
+    ] {
+        let m = run(&study.image(set));
+        println!("{:>28} {:>9} {:>9} {:>9}", name, m[0], m[1], m[2]);
+    }
+    let hc = hot_cold_layout(&study.app.program, &study.profile);
+    let image = Arc::new(link(&study.app.program, &hc, APP_TEXT_BASE).unwrap());
+    let m = run(&image);
+    println!("{:>28} {:>9} {:>9} {:>9}", "hot/cold split+PH (Spike)", m[0], m[1], m[2]);
+}

@@ -1,0 +1,64 @@
+//! Ablation: exact (Pixie) vs sampled (DCPI) profiles as the optimizer's
+//! input (§3.2 offers both). Sampling loses edge information — Spike
+//! estimates edges from block counts — so the question is how much layout
+//! quality that costs at various sampling periods.
+
+use codelayout_core::{LayoutPipeline, OptimizationSet};
+use codelayout_ir::link::link;
+use codelayout_memsim::{CacheConfig, StreamFilter, SweepSink};
+use codelayout_oltp::build_study;
+use codelayout_profile::{estimate_edges_from_blocks, SampledCollector};
+use codelayout_vm::{NullSink, APP_TEXT_BASE};
+use std::sync::Arc;
+
+fn main() {
+    let sc = codelayout_bench::scenario_from_env();
+    let study = build_study(&sc);
+    let cache = CacheConfig::new(64 * 1024, 128, 2);
+
+    let run = |image: &Arc<codelayout_ir::Image>| -> u64 {
+        let mut sweep = SweepSink::new(vec![cache], sc.num_cpus, StreamFilter::UserOnly);
+        let out = study.run_measured(image, &study.base_kernel_image, &mut sweep);
+        out.assert_correct();
+        sweep.results()[0].stats.misses
+    };
+
+    println!("cache: {cache}");
+    let base = run(&study.image(OptimizationSet::BASE));
+    println!("{:>22} misses={base}", "base");
+    let exact = run(&study.image(OptimizationSet::ALL));
+    println!("{:>22} misses={exact} ({:.0}% reduction)", "all (exact pixie)",
+        100.0 * (1.0 - exact as f64 / base as f64));
+
+    let sizes: Vec<usize> = study
+        .app
+        .program
+        .blocks
+        .iter()
+        .map(|b| b.instrs.len() + 1)
+        .collect();
+
+    for period in [64u64, 256, 1024, 4096] {
+        // Re-run the profiling phase with a sampling collector.
+        let (mut m, _) = study.new_machine(
+            &study.base_image,
+            &study.base_kernel_image,
+            sc.profile_txns,
+        );
+        let mut sampler = SampledCollector::user(study.app.program.blocks.len(), period);
+        while m.live_processes() > 0 {
+            m.run_hooked(&mut NullSink, &mut sampler, 1_000_000);
+        }
+        let counts = sampler.estimated_block_counts(&sizes);
+        let profile = estimate_edges_from_blocks(&study.app.program, &counts);
+        let layout = LayoutPipeline::new(&study.app.program, &profile)
+            .build(OptimizationSet::ALL);
+        let image = Arc::new(link(&study.app.program, &layout, APP_TEXT_BASE).unwrap());
+        let misses = run(&image);
+        println!(
+            "{:>22} misses={misses} ({:.0}% reduction)",
+            format!("all (sampled 1/{period})"),
+            100.0 * (1.0 - misses as f64 / base as f64)
+        );
+    }
+}

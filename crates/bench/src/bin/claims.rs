@@ -1,0 +1,9 @@
+//! Checks the paper's in-text numeric claims (footprint packing, unused
+//! fetched words, sequence lengths, miss-reduction bands, kernel-layout
+//! gain).
+
+fn main() {
+    let mut h = codelayout_bench::Harness::from_env();
+    let v = codelayout_bench::figures::claims(&mut h);
+    h.save_json("claims", &v);
+}

@@ -1,0 +1,9 @@
+//! Reproduces the paper's fig03 (see `codelayout-bench` docs).
+//!
+//! Scenario via `CODELAYOUT_SCENARIO` (quick|sim|hw; default sim).
+
+fn main() {
+    let mut h = codelayout_bench::Harness::from_env();
+    let v = codelayout_bench::figures::fig03(&mut h);
+    h.save_json("fig03", &v);
+}

@@ -1,0 +1,14 @@
+//! Reproduces the paper's Figure 15 (execution time on two machine
+//! models). Uses the single-processor scenario, matching the paper's
+//! 1-processor hardware runs (override with `CODELAYOUT_SCENARIO`).
+
+fn main() {
+    let sc = match std::env::var("CODELAYOUT_SCENARIO").as_deref() {
+        Ok("quick") => codelayout_oltp::Scenario::quick(),
+        Ok("sim") => codelayout_oltp::Scenario::paper_sim(),
+        _ => codelayout_oltp::Scenario::paper_hw(),
+    };
+    let mut h = codelayout_bench::Harness::new(&sc);
+    let v = codelayout_bench::figures::fig15(&mut h);
+    h.save_json("fig15", &v);
+}

@@ -1,0 +1,74 @@
+//! Diagnostic probe: headline numbers for a scenario, used while tuning
+//! the workload shape. Not one of the paper figures.
+//!
+//! Usage: `probe [quick|sim|hw]`
+
+use codelayout_core::OptimizationSet;
+use codelayout_memsim::{
+    CacheConfig, FootprintCounter, SequenceProfiler, StreamFilter, SweepSink,
+};
+use codelayout_oltp::{build_study, Scenario};
+use codelayout_vm::TeeSink;
+use std::time::Instant;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "quick".into());
+    let sc = match which.as_str() {
+        "sim" => Scenario::paper_sim(),
+        "hw" => Scenario::paper_hw(),
+        _ => Scenario::quick(),
+    };
+    let t0 = Instant::now();
+    let study = build_study(&sc);
+    eprintln!("study built in {:?}", t0.elapsed());
+    let st = study.app.program.stats();
+    eprintln!(
+        "app: {} procs, {} blocks, {} body instrs (~{} KB static)",
+        st.procs,
+        st.blocks,
+        st.body_instrs,
+        st.body_instrs * 4 / 1024
+    );
+    eprintln!(
+        "profile: {} block entries",
+        study.profile.total_block_entries()
+    );
+    // Top procedures by executed blocks.
+    let owner = study.app.program.owner_of_blocks();
+    let mut per_proc = vec![0u64; study.app.program.procs.len()];
+    for (bi, &c) in study.profile.block_counts.iter().enumerate() {
+        per_proc[owner[bi].index()] += c;
+    }
+    let mut idx: Vec<usize> = (0..per_proc.len()).collect();
+    idx.sort_by(|&a, &b| per_proc[b].cmp(&per_proc[a]));
+    for &i in idx.iter().take(12) {
+        eprintln!("  {:>12} {}", per_proc[i], study.app.program.procs[i].name);
+    }
+
+    let sizes_kb = [32u64, 64, 128, 256, 512];
+    for (name, set) in OptimizationSet::paper_series() {
+        let t = Instant::now();
+        let img = study.image(set);
+        let configs: Vec<CacheConfig> = sizes_kb
+            .iter()
+            .map(|&k| CacheConfig::new(k * 1024, 128, 4))
+            .collect();
+        let mut sweep = SweepSink::new(configs, sc.num_cpus, StreamFilter::UserOnly);
+        let mut seq = SequenceProfiler::new(StreamFilter::UserOnly);
+        let mut fp = FootprintCounter::new(128, StreamFilter::UserOnly);
+        let mut sink = TeeSink(&mut sweep, TeeSink(&mut seq, &mut fp));
+        let out = study.run_measured(&img, &study.base_kernel_image, &mut sink);
+        out.assert_correct();
+        let misses: Vec<u64> = sweep.results().iter().map(|c| c.stats.misses).collect();
+        let accesses = sweep.results()[0].stats.accesses;
+        let seq_stats = seq.finish();
+        eprintln!(
+            "{name:>12}: text={}KB fetches={}M misses(32..512K)={misses:?} seq_avg={:.2} fp={}KB [{:?}]",
+            img.text_bytes() / 1024,
+            accesses / 1_000_000,
+            seq_stats.average_length(),
+            fp.line_footprint_bytes() / 1024,
+            t.elapsed(),
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! Runs the entire evaluation: every figure plus the in-text claims,
+//! sharing workload runs between figures, then the Figure 15 timing study
+//! on the single-processor scenario. Writes `results/*.json`.
+//!
+//! Scenario for Figures 3–14 via `CODELAYOUT_SCENARIO` (default `sim`,
+//! the paper's 4-CPU simulated system).
+
+use codelayout_bench::{figures, Harness};
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    let mut h = Harness::from_env();
+    eprintln!("[run_all] study ready in {:?}", t0.elapsed());
+
+    type FigFn = fn(&mut Harness) -> serde_json::Value;
+    let figs: [(&str, FigFn); 13] = [
+        ("fig03", figures::fig03),
+        ("fig04", figures::fig04),
+        ("fig05", figures::fig05),
+        ("fig06", figures::fig06),
+        ("fig07", figures::fig07),
+        ("fig08", figures::fig08),
+        ("fig09", figures::fig09),
+        ("fig10", figures::fig10),
+        ("fig11", figures::fig11),
+        ("fig12", figures::fig12),
+        ("fig13", figures::fig13),
+        ("fig14", figures::fig14),
+        ("claims", figures::claims),
+    ];
+    for (name, f) in figs {
+        let t = Instant::now();
+        let v = f(&mut h);
+        h.save_json(name, &v);
+        eprintln!("[run_all] {name} in {:?}", t.elapsed());
+    }
+
+    // Figure 15 on the single-processor scenario (the paper's hardware
+    // execution-time runs are 1-processor).
+    let t = Instant::now();
+    let hw = match std::env::var("CODELAYOUT_SCENARIO").as_deref() {
+        Ok("quick") => codelayout_oltp::Scenario::quick(),
+        _ => codelayout_oltp::Scenario::paper_hw(),
+    };
+    let mut h15 = Harness::new(&hw);
+    let v = figures::fig15(&mut h15);
+    h15.save_json("fig15", &v);
+    eprintln!("[run_all] fig15 in {:?}", t.elapsed());
+    eprintln!("[run_all] total {:?}", t0.elapsed());
+}

@@ -1,0 +1,331 @@
+//! Experiment harness reproducing the paper's evaluation.
+//!
+//! Every figure of the paper has a binary in `src/bin/` (`fig03` …
+//! `fig15`, plus `claims` for the in-text numeric claims and several
+//! `ablation_*` binaries for design-choice studies). `run_all` executes
+//! the whole evaluation in one process, sharing workload runs between
+//! figures, and writes `results/figNN.json` files plus human-readable
+//! tables.
+//!
+//! The harness runs each code layout once with a composite trace sink that
+//! feeds every simulator a figure needs: the direct-mapped line-size grid
+//! (Fig. 4/5), the 128-byte 4-way size sweeps for user/kernel/combined
+//! streams (Figs. 6, 7, 12, 13), the sequence profiler (Fig. 8), the
+//! locality cache (Figs. 9–11), footprint counters (packing claims), and
+//! three full memory hierarchies (Fig. 14 and the Fig. 15 timing models).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+
+use codelayout_core::OptimizationSet;
+use codelayout_ir::Image;
+use codelayout_memsim::{
+    CacheConfig, FootprintCounter, HierarchyStats, LocalityCache, LocalityStats,
+    MemoryHierarchy, SequenceProfiler, SequenceStats, StreamFilter, SweepCell, SweepSink,
+};
+use codelayout_oltp::{build_study, RunOutcome, Scenario, Study};
+use codelayout_timing::TimingModel;
+use codelayout_vm::{DataRecord, FetchRecord, TraceSink};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Cache sizes (KB) used across the paper's sweeps.
+pub const SIZES_KB: [u64; 5] = [32, 64, 128, 256, 512];
+/// Line sizes (bytes) of the Figure 4 grid.
+pub const LINES_B: [u32; 5] = [16, 32, 64, 128, 256];
+
+/// The locality-metrics configuration used by Figures 9–11 (and 13):
+/// 128 KB, 128-byte lines, 4-way.
+pub fn locality_config() -> CacheConfig {
+    CacheConfig::new(128 * 1024, 128, 4)
+}
+
+/// Everything measured for one code layout.
+#[derive(Debug, Clone)]
+pub struct LayoutData {
+    /// Layout label (paper's x-axis names).
+    pub label: String,
+    /// Text size of the linked image in bytes.
+    pub text_bytes: u64,
+    /// Direct-mapped size × line grid, application stream only (full runs
+    /// only).
+    pub dm_grid_user: Vec<SweepCell>,
+    /// 128 B / 4-way across sizes, application stream.
+    pub sizes_4w_user: Vec<SweepCell>,
+    /// 128 B / 4-way across sizes, combined stream (full runs only).
+    pub sizes_4w_all: Vec<SweepCell>,
+    /// 128 B / 4-way across sizes, kernel stream (full runs only).
+    pub sizes_4w_kernel: Vec<SweepCell>,
+    /// Sequential run lengths, application stream (full runs only).
+    pub seq_user: Option<SequenceStats>,
+    /// Word-use / reuse / lifetime metrics at [`locality_config`]
+    /// (full runs only).
+    pub locality: Option<LocalityStats>,
+    /// Unique 128 B lines touched by the application stream, in bytes.
+    pub footprint_line_bytes: Option<u64>,
+    /// Unique application instructions executed, in bytes.
+    pub footprint_instr_bytes: Option<u64>,
+    /// Paper base SimOS hierarchy counters (full runs only).
+    pub hier_simos: Option<HierarchyStats>,
+    /// 21264-like hierarchy counters.
+    pub hier_21264: HierarchyStats,
+    /// 21164-like hierarchy counters.
+    pub hier_21164: HierarchyStats,
+    /// Application instructions fetched during measurement.
+    pub user_fetches: u64,
+    /// Kernel instructions fetched during measurement.
+    pub kernel_fetches: u64,
+    /// The run outcome (instruction counts, invariants).
+    pub outcome: RunOutcome,
+}
+
+/// Composite sink feeding every simulator in one pass.
+struct CompositeSink {
+    full: bool,
+    dm_grid_user: SweepSink,
+    sizes_4w_user: SweepSink,
+    sizes_4w_all: SweepSink,
+    sizes_4w_kernel: SweepSink,
+    seq_user: SequenceProfiler,
+    locality: LocalityCache,
+    fp: FootprintCounter,
+    hier_simos: MemoryHierarchy,
+    hier_21264: MemoryHierarchy,
+    hier_21164: MemoryHierarchy,
+    user_fetches: u64,
+    kernel_fetches: u64,
+}
+
+impl CompositeSink {
+    fn new(num_cpus: usize, full: bool) -> Self {
+        let sizes_128_4w: Vec<CacheConfig> = SIZES_KB
+            .iter()
+            .map(|&k| CacheConfig::new(k * 1024, 128, 4))
+            .collect();
+        CompositeSink {
+            full,
+            dm_grid_user: SweepSink::new(
+                if full { SweepSink::fig4_grid(1) } else { Vec::new() },
+                num_cpus,
+                StreamFilter::UserOnly,
+            ),
+            sizes_4w_user: SweepSink::new(sizes_128_4w.clone(), num_cpus, StreamFilter::UserOnly),
+            sizes_4w_all: SweepSink::new(
+                if full { sizes_128_4w.clone() } else { Vec::new() },
+                num_cpus,
+                StreamFilter::All,
+            ),
+            sizes_4w_kernel: SweepSink::new(
+                if full { sizes_128_4w } else { Vec::new() },
+                num_cpus,
+                StreamFilter::KernelOnly,
+            ),
+            seq_user: SequenceProfiler::new(StreamFilter::UserOnly),
+            locality: LocalityCache::new(locality_config(), StreamFilter::UserOnly),
+            fp: FootprintCounter::new(128, StreamFilter::UserOnly),
+            hier_simos: MemoryHierarchy::new(
+                codelayout_memsim::HierarchyConfig::simos_base(num_cpus),
+            ),
+            hier_21264: MemoryHierarchy::new(TimingModel::hierarchy_21264(num_cpus)),
+            hier_21164: MemoryHierarchy::new(TimingModel::hierarchy_21164(num_cpus)),
+            user_fetches: 0,
+            kernel_fetches: 0,
+        }
+    }
+}
+
+impl TraceSink for CompositeSink {
+    #[inline]
+    fn fetch(&mut self, rec: FetchRecord) {
+        if rec.kernel {
+            self.kernel_fetches += 1;
+        } else {
+            self.user_fetches += 1;
+        }
+        self.sizes_4w_user.fetch(rec);
+        self.hier_21264.fetch(rec);
+        self.hier_21164.fetch(rec);
+        if self.full {
+            self.dm_grid_user.fetch(rec);
+            self.sizes_4w_all.fetch(rec);
+            self.sizes_4w_kernel.fetch(rec);
+            self.seq_user.fetch(rec);
+            self.locality.fetch(rec);
+            self.fp.fetch(rec);
+            self.hier_simos.fetch(rec);
+        }
+    }
+
+    #[inline]
+    fn data(&mut self, rec: DataRecord) {
+        self.hier_21264.data(rec);
+        self.hier_21164.data(rec);
+        if self.full {
+            self.hier_simos.data(rec);
+        }
+    }
+}
+
+/// Builds and caches per-layout measurements for one scenario.
+pub struct Harness {
+    /// The prepared study (workload + profile).
+    pub study: Study,
+    runs: HashMap<String, LayoutData>,
+    out_dir: PathBuf,
+}
+
+impl Harness {
+    /// Builds the study for a scenario. The results directory defaults to
+    /// `results/` under the current directory (created on demand).
+    pub fn new(scenario: &Scenario) -> Self {
+        Harness {
+            study: build_study(scenario),
+            runs: HashMap::new(),
+            out_dir: PathBuf::from("results"),
+        }
+    }
+
+    /// Builds the scenario selected by `CODELAYOUT_SCENARIO`
+    /// (`quick`/`sim`/`hw`; default `sim`).
+    pub fn from_env() -> Self {
+        let sc = scenario_from_env();
+        Self::new(&sc)
+    }
+
+    /// The scenario's paper layouts plus their images; `name` must be one
+    /// of the paper series labels or `hotcold`/`cfa`.
+    fn image_for(&self, name: &str) -> Arc<Image> {
+        match name {
+            "hotcold" => {
+                let layout = codelayout_core::hot_cold_layout(
+                    &self.study.app.program,
+                    &self.study.profile,
+                );
+                Arc::new(
+                    codelayout_ir::link::link(
+                        &self.study.app.program,
+                        &layout,
+                        codelayout_vm::APP_TEXT_BASE,
+                    )
+                    .expect("hot/cold layout links"),
+                )
+            }
+            "cfa" => {
+                let (layout, _) = codelayout_core::cfa_layout(
+                    &self.study.app.program,
+                    &self.study.profile,
+                    32 * 1024,
+                );
+                Arc::new(
+                    codelayout_ir::link::link(
+                        &self.study.app.program,
+                        &layout,
+                        codelayout_vm::APP_TEXT_BASE,
+                    )
+                    .expect("cfa layout links"),
+                )
+            }
+            _ => {
+                let set = OptimizationSet::paper_series()
+                    .into_iter()
+                    .find(|(n, _)| *n == name)
+                    .map(|(_, s)| s)
+                    .unwrap_or_else(|| panic!("unknown layout {name}"));
+                self.study.image(set)
+            }
+        }
+    }
+
+    /// Runs (or returns the cached) measurement for a layout. `base` and
+    /// `all` get the full instrumentation; other layouts the light set.
+    pub fn run(&mut self, name: &str) -> &LayoutData {
+        if !self.runs.contains_key(name) {
+            let full = matches!(name, "base" | "all");
+            let data = self.measure(name, full);
+            self.runs.insert(name.to_string(), data);
+        }
+        &self.runs[name]
+    }
+
+    fn measure(&self, name: &str, full: bool) -> LayoutData {
+        let image = self.image_for(name);
+        let mut sink = CompositeSink::new(self.study.scenario.num_cpus, full);
+        let outcome =
+            self.study
+                .run_measured(&image, &self.study.base_kernel_image, &mut sink);
+        outcome.assert_correct();
+        LayoutData {
+            label: name.to_string(),
+            text_bytes: image.text_bytes(),
+            dm_grid_user: sink.dm_grid_user.results(),
+            sizes_4w_user: sink.sizes_4w_user.results(),
+            sizes_4w_all: sink.sizes_4w_all.results(),
+            sizes_4w_kernel: sink.sizes_4w_kernel.results(),
+            seq_user: full.then(|| sink.seq_user.finish()),
+            locality: full.then(|| sink.locality.finish()),
+            footprint_line_bytes: full.then(|| sink.fp.line_footprint_bytes()),
+            footprint_instr_bytes: full.then(|| sink.fp.instr_footprint_bytes()),
+            hier_simos: full.then(|| *sink.hier_simos.stats()),
+            hier_21264: *sink.hier_21264.stats(),
+            hier_21164: *sink.hier_21164.stats(),
+            user_fetches: sink.user_fetches,
+            kernel_fetches: sink.kernel_fetches,
+            outcome,
+        }
+    }
+
+    /// Writes a figure's JSON result under the results directory.
+    pub fn save_json(&self, name: &str, value: &serde_json::Value) {
+        let _ = std::fs::create_dir_all(&self.out_dir);
+        let path = self.out_dir.join(format!("{name}.json"));
+        match std::fs::write(&path, serde_json::to_string_pretty(value).expect("json")) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+    }
+}
+
+/// Parses `CODELAYOUT_SCENARIO` (`quick` / `sim` / `hw`, default `sim`).
+pub fn scenario_from_env() -> Scenario {
+    match std::env::var("CODELAYOUT_SCENARIO").as_deref() {
+        Ok("quick") => Scenario::quick(),
+        Ok("hw") => Scenario::paper_hw(),
+        _ => Scenario::paper_sim(),
+    }
+}
+
+/// Prints a fixed-width table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:>w$}  ", c, w = widths.get(i).copied().unwrap_or(8)));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(headers.iter().map(|s| s.to_string()).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Formats a ratio as a percentage string.
+pub fn pct(n: u64, d: u64) -> String {
+    if d == 0 {
+        "-".into()
+    } else {
+        format!("{:.1}%", 100.0 * n as f64 / d as f64)
+    }
+}

@@ -1,0 +1,230 @@
+//! Pettis–Hansen node-merging placement (paper §2, Fig. 2).
+//!
+//! Nodes (procedures or split segments) are merged greedily along the
+//! heaviest remaining edge; each merge concatenates two ordered node lists,
+//! choosing among the four orientations by the *original* edge weight at
+//! the junction, exactly as the paper describes. The result is a flat
+//! placement order.
+
+use std::collections::{BinaryHeap, HashMap};
+
+/// Computes a Pettis–Hansen placement order for `num_nodes` nodes given
+/// directed weighted edges (parallel edges are summed; direction is ignored
+/// for merging, as in the paper).
+///
+/// Disconnected groups are emitted hottest-first (by the total weight merged
+/// into the group) with never-connected nodes last in id order — cold code
+/// naturally sinks to the end of the image.
+pub fn pettis_hansen_order<I>(num_nodes: usize, edges: I) -> Vec<u32>
+where
+    I: IntoIterator<Item = (u32, u32, u64)>,
+{
+    // 1. Combine into undirected weights.
+    let mut undirected: HashMap<(u32, u32), u64> = HashMap::new();
+    for (a, b, w) in edges {
+        if a == b || w == 0 {
+            continue;
+        }
+        debug_assert!((a as usize) < num_nodes && (b as usize) < num_nodes);
+        let key = (a.min(b), a.max(b));
+        *undirected.entry(key).or_insert(0) += w;
+    }
+    let orig = undirected.clone();
+
+    // 2. Group state.
+    let mut list: Vec<Option<Vec<u32>>> = (0..num_nodes as u32).map(|i| Some(vec![i])).collect();
+    let mut heat: Vec<u64> = vec![0; num_nodes];
+    let mut adj: Vec<HashMap<u32, u64>> = vec![HashMap::new(); num_nodes];
+    let mut heap: BinaryHeap<(u64, std::cmp::Reverse<u32>, std::cmp::Reverse<u32>)> =
+        BinaryHeap::new();
+    for (&(a, b), &w) in &undirected {
+        adj[a as usize].insert(b, w);
+        adj[b as usize].insert(a, w);
+        heap.push((w, std::cmp::Reverse(a), std::cmp::Reverse(b)));
+    }
+
+    let score = |orig: &HashMap<(u32, u32), u64>, x: u32, y: u32| -> u64 {
+        orig.get(&(x.min(y), x.max(y))).copied().unwrap_or(0)
+    };
+
+    // 3. Greedy merging with a lazy heap.
+    while let Some((w, std::cmp::Reverse(a), std::cmp::Reverse(b))) = heap.pop() {
+        // Stale check: both must still be roots and the weight current.
+        if list[a as usize].is_none() || list[b as usize].is_none() {
+            continue;
+        }
+        if adj[a as usize].get(&b).copied() != Some(w) {
+            continue;
+        }
+
+        let la = list[a as usize].take().expect("checked");
+        let lb = list[b as usize].take().expect("checked");
+        let (ha, ta) = (la[0], *la.last().expect("nonempty"));
+        let (hb, tb) = (lb[0], *lb.last().expect("nonempty"));
+        // Four junction candidates, preferring earlier on ties.
+        let candidates = [
+            score(&orig, ta, hb), // A ++ B
+            score(&orig, ta, tb), // A ++ rev(B)
+            score(&orig, ha, hb), // rev(A) ++ B
+            score(&orig, ha, tb), // rev(A) ++ rev(B)
+        ];
+        let best = candidates
+            .iter()
+            .enumerate()
+            .max_by(|(i, x), (j, y)| x.cmp(y).then(j.cmp(i)))
+            .map(|(i, _)| i)
+            .expect("four candidates");
+        let mut merged = Vec::with_capacity(la.len() + lb.len());
+        match best {
+            0 => {
+                merged.extend(la);
+                merged.extend(lb);
+            }
+            1 => {
+                merged.extend(la);
+                merged.extend(lb.into_iter().rev());
+            }
+            2 => {
+                merged.extend(la.into_iter().rev());
+                merged.extend(lb);
+            }
+            _ => {
+                merged.extend(la.into_iter().rev());
+                merged.extend(lb.into_iter().rev());
+            }
+        }
+        list[a as usize] = Some(merged);
+        heat[a as usize] = heat[a as usize] + heat[b as usize] + w;
+
+        // Rewire adjacency of b into a.
+        let b_adj: Vec<(u32, u64)> = adj[b as usize].drain().collect();
+        adj[a as usize].remove(&b);
+        for (nbr, wb) in b_adj {
+            if nbr == a {
+                continue;
+            }
+            adj[nbr as usize].remove(&b);
+            let entry = adj[a as usize].entry(nbr).or_insert(0);
+            *entry += wb;
+            let w_new = *entry;
+            *adj[nbr as usize].entry(a).or_insert(0) = w_new;
+            let (x, y) = (a.min(nbr), a.max(nbr));
+            heap.push((w_new, std::cmp::Reverse(x), std::cmp::Reverse(y)));
+        }
+    }
+
+    // 4. Emit groups hottest-first; isolated nodes (heat 0, size 1) go last
+    //    in id order.
+    let mut groups: Vec<(u64, u32, Vec<u32>)> = list
+        .into_iter()
+        .enumerate()
+        .filter_map(|(i, l)| l.map(|l| (heat[i], i as u32, l)))
+        .collect();
+    groups.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    let mut out = Vec::with_capacity(num_nodes);
+    for (_, _, l) in groups {
+        out.extend(l);
+    }
+    debug_assert_eq!(out.len(), num_nodes);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_permutation(order: &[u32], n: usize) -> bool {
+        let mut seen = vec![false; n];
+        for &x in order {
+            if seen[x as usize] {
+                return false;
+            }
+            seen[x as usize] = true;
+        }
+        order.len() == n
+    }
+
+    #[test]
+    fn heaviest_edge_becomes_adjacent() {
+        // A(0)-C(2) weight 10 is by far the heaviest.
+        let order = pettis_hansen_order(
+            5,
+            vec![
+                (0, 2, 10),
+                (0, 1, 3),
+                (1, 3, 8),
+                (1, 4, 1),
+                (3, 4, 7),
+                (2, 4, 1),
+            ],
+        );
+        assert!(is_permutation(&order, 5));
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 5];
+            for (i, &x) in order.iter().enumerate() {
+                p[x as usize] = i;
+            }
+            p
+        };
+        assert_eq!(pos[0].abs_diff(pos[2]), 1, "0 and 2 adjacent: {order:?}");
+        assert_eq!(pos[1].abs_diff(pos[3]), 1, "1 and 3 adjacent: {order:?}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let edges = vec![(0, 1, 5), (1, 2, 5), (2, 3, 5), (3, 0, 5), (1, 3, 2)];
+        let a = pettis_hansen_order(4, edges.clone());
+        let b = pettis_hansen_order(4, edges);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn isolated_nodes_sink_to_the_end_in_id_order() {
+        let order = pettis_hansen_order(6, vec![(4, 5, 9)]);
+        assert!(is_permutation(&order, 6));
+        assert!(order[0] == 4 || order[0] == 5);
+        assert_eq!(&order[2..], &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn parallel_and_directed_edges_are_summed() {
+        // 0->1 (3) and 1->0 (4) combine to 7, beating 0-2 (5).
+        let order = pettis_hansen_order(3, vec![(0, 1, 3), (1, 0, 4), (0, 2, 5)]);
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 3];
+            for (i, &x) in order.iter().enumerate() {
+                p[x as usize] = i;
+            }
+            p
+        };
+        assert_eq!(pos[0].abs_diff(pos[1]), 1);
+    }
+
+    #[test]
+    fn self_edges_and_zero_weights_ignored() {
+        let order = pettis_hansen_order(3, vec![(0, 0, 100), (1, 2, 0)]);
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_graph_is_identity() {
+        let order = pettis_hansen_order(4, Vec::new());
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn orientation_prefers_strong_junction() {
+        // Chain weights: 0-1 heavy (10). Then edge (1,2) w=6 and (0,2) w=5.
+        // Merging {0,1} with {2}: junction options are tail(1)-head(2)=6 vs
+        // head(0)-head(2)=5, so 2 must attach next to 1.
+        let order = pettis_hansen_order(3, vec![(0, 1, 10), (1, 2, 6), (0, 2, 5)]);
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 3];
+            for (i, &x) in order.iter().enumerate() {
+                p[x as usize] = i;
+            }
+            p
+        };
+        assert_eq!(pos[1].abs_diff(pos[2]), 1, "{order:?}");
+    }
+}

@@ -1,0 +1,87 @@
+//! Hot/cold procedure splitting — the splitting algorithm shipped in the
+//! Spike distribution, which the paper contrasts with its fine-grain
+//! splitting (§2: "The latter algorithm only splits a procedure into a hot
+//! and a cold part based on the relative execution frequency of the basic
+//! blocks within the procedure").
+//!
+//! Provided as an ablation baseline: chaining, then each procedure is cut
+//! into at most two parts (hot = executed blocks, cold = never-executed
+//! blocks), hot parts are Pettis–Hansen ordered, cold parts sink to the end
+//! of the image.
+
+use crate::chain::chain_all;
+use crate::graph::pettis_hansen_order;
+use codelayout_profile::Profile;
+use codelayout_ir::{BlockId, Layout, Program};
+
+/// Builds a layout using chaining + hot/cold splitting + procedure ordering.
+pub fn hot_cold_layout(program: &Program, profile: &Profile) -> Layout {
+    let orders = chain_all(program, profile);
+    let nprocs = program.procs.len();
+
+    let mut hot: Vec<Vec<BlockId>> = Vec::with_capacity(nprocs);
+    let mut cold: Vec<Vec<BlockId>> = Vec::with_capacity(nprocs);
+    for order in &orders {
+        let (h, c): (Vec<BlockId>, Vec<BlockId>) = order
+            .iter()
+            .partition(|&&b| profile.block_count(b) > 0);
+        hot.push(h);
+        cold.push(c);
+    }
+
+    let w = profile.proc_call_weights(program);
+    let proc_order = pettis_hansen_order(nprocs, w.into_iter().map(|((a, b), c)| (a, b, c)));
+
+    let mut out: Vec<BlockId> = Vec::with_capacity(program.blocks.len());
+    for &p in &proc_order {
+        out.extend(hot[p as usize].iter().copied());
+    }
+    for &p in &proc_order {
+        out.extend(cold[p as usize].iter().copied());
+    }
+    Layout { order: out }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codelayout_ir::{verify_layout, Cond, Operand, ProcBuilder, ProgramBuilder, Reg};
+
+    fn program_with_cold_tail() -> Program {
+        let mut pb = ProgramBuilder::new("hc");
+        let main = pb.declare_proc("main");
+        let mut f = ProcBuilder::new();
+        let e = f.entry();
+        let hot = f.new_block();
+        let cold = f.new_block();
+        f.select(e);
+        f.branch(Cond::Eq, Reg(1), Operand::Imm(0), hot, cold);
+        f.select(hot);
+        f.halt();
+        f.select(cold);
+        f.nop();
+        f.halt();
+        pb.define_proc(main, f).unwrap();
+        pb.finish(main).unwrap()
+    }
+
+    #[test]
+    fn cold_blocks_move_to_image_end() {
+        let p = program_with_cold_tail();
+        let mut prof = Profile::new(3);
+        prof.block_counts = vec![10, 10, 0];
+        prof.edge_counts.insert((0, 1), 10);
+        let l = hot_cold_layout(&p, &prof);
+        verify_layout(&p, &l).unwrap();
+        assert_eq!(*l.order.last().unwrap(), BlockId(2));
+        assert_eq!(l.order[0], BlockId(0));
+    }
+
+    #[test]
+    fn fully_cold_program_is_still_complete() {
+        let p = program_with_cold_tail();
+        let prof = Profile::new(3);
+        let l = hot_cold_layout(&p, &prof);
+        verify_layout(&p, &l).unwrap();
+    }
+}

@@ -1,0 +1,44 @@
+//! Profile-driven code layout optimizations — the primary contribution of
+//! *"Code Layout Optimizations for Transaction Processing Workloads"*
+//! (Ramirez et al., ISCA 2001), as implemented in Compaq's Spike executable
+//! optimizer.
+//!
+//! Three algorithms compose (paper §2):
+//!
+//! 1. **Basic block chaining** ([`chain_proc`]) — greedy sequentialization
+//!    of the hottest intra-procedure control-flow paths;
+//! 2. **Fine-grain procedure splitting** ([`split_order`]) — cutting a
+//!    chained procedure into independently placeable segments at
+//!    unconditional transfers;
+//! 3. **Procedure ordering** ([`pettis_hansen_order`]) — Pettis–Hansen
+//!    call-graph node merging over procedures or segments.
+//!
+//! [`LayoutPipeline`] composes them into the six configurations evaluated in
+//! the paper's Figures 7 and 15 (`base`, `porder`, `chain`, `chain+split`,
+//! `chain+porder`, `all`). Two additional layouts reproduce algorithms the
+//! paper compares against or rejects: [`hot_cold_layout`] (the Spike
+//! distribution's hot/cold splitting) and [`cfa_layout`] (the conflict-free
+//! area / software trace cache variant, which the paper found ineffective
+//! for OLTP).
+//!
+//! All optimizations are *pure layout permutations*: they consume an
+//! immutable [`codelayout_ir::Program`] plus a
+//! [`codelayout_profile::Profile`] and produce a [`codelayout_ir::Layout`],
+//! never touching the code itself, so semantics preservation is structural.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cfa;
+mod chain;
+mod graph;
+mod hotcold;
+mod pipeline;
+mod split;
+
+pub use cfa::{cfa_layout, CfaReport};
+pub use chain::{chain_all, chain_proc};
+pub use graph::pettis_hansen_order;
+pub use hotcold::hot_cold_layout;
+pub use pipeline::{LayoutPipeline, OptimizationSet};
+pub use split::{split_all, split_order, Segment};

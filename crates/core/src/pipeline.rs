@@ -1,0 +1,356 @@
+//! Composition of the layout optimizations into the paper's pipelines.
+
+use crate::chain::chain_all;
+use crate::graph::pettis_hansen_order;
+use crate::split::{split_all, Segment};
+use codelayout_profile::Profile;
+use codelayout_ir::{BlockId, Layout, ProcId, Program};
+use std::fmt;
+
+/// Which optimizations to apply, mirroring the x-axis of the paper's
+/// Figures 7 and 15.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OptimizationSet {
+    /// Basic block chaining within procedures.
+    pub chain: bool,
+    /// Fine-grain procedure splitting into segments.
+    pub split: bool,
+    /// Pettis–Hansen procedure (or segment) ordering.
+    pub porder: bool,
+}
+
+impl OptimizationSet {
+    /// No optimization: the compiler's natural layout.
+    pub const BASE: Self = Self {
+        chain: false,
+        split: false,
+        porder: false,
+    };
+    /// Procedure ordering alone.
+    pub const PORDER: Self = Self {
+        chain: false,
+        split: false,
+        porder: true,
+    };
+    /// Basic block chaining alone.
+    pub const CHAIN: Self = Self {
+        chain: true,
+        split: false,
+        porder: false,
+    };
+    /// Chaining plus fine-grain splitting (cold segments sink to the end).
+    pub const CHAIN_SPLIT: Self = Self {
+        chain: true,
+        split: true,
+        porder: false,
+    };
+    /// Chaining plus whole-procedure ordering.
+    pub const CHAIN_PORDER: Self = Self {
+        chain: true,
+        split: false,
+        porder: true,
+    };
+    /// All three: chaining, splitting, segment ordering.
+    pub const ALL: Self = Self {
+        chain: true,
+        split: true,
+        porder: true,
+    };
+
+    /// The six configurations evaluated in the paper's Figures 7 and 15, in
+    /// presentation order, with the paper's labels.
+    pub fn paper_series() -> [(&'static str, Self); 6] {
+        [
+            ("base", Self::BASE),
+            ("porder", Self::PORDER),
+            ("chain", Self::CHAIN),
+            ("chain+split", Self::CHAIN_SPLIT),
+            ("chain+porder", Self::CHAIN_PORDER),
+            ("all", Self::ALL),
+        ]
+    }
+}
+
+impl fmt::Display for OptimizationSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.chain, self.split, self.porder) {
+            (false, false, false) => write!(f, "base"),
+            (false, false, true) => write!(f, "porder"),
+            (true, false, false) => write!(f, "chain"),
+            (true, true, false) => write!(f, "chain+split"),
+            (true, false, true) => write!(f, "chain+porder"),
+            (true, true, true) => write!(f, "all"),
+            (false, true, false) => write!(f, "split"),
+            (false, true, true) => write!(f, "split+porder"),
+        }
+    }
+}
+
+/// Profile-driven layout generator: the Rust equivalent of running Spike on
+/// an executable with a profile.
+///
+/// ```
+/// # use codelayout_ir::{ProcBuilder, ProgramBuilder, Reg};
+/// # use codelayout_profile::Profile;
+/// use codelayout_core::{LayoutPipeline, OptimizationSet};
+///
+/// # let mut pb = ProgramBuilder::new("p");
+/// # let main = pb.declare_proc("main");
+/// # let mut f = ProcBuilder::new();
+/// # f.halt();
+/// # pb.define_proc(main, f).unwrap();
+/// # let program = pb.finish(main).unwrap();
+/// # let profile = Profile::new(program.blocks.len());
+/// let pipeline = LayoutPipeline::new(&program, &profile);
+/// let layout = pipeline.build(OptimizationSet::ALL);
+/// assert_eq!(layout.len(), program.blocks.len());
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct LayoutPipeline<'a> {
+    program: &'a Program,
+    profile: &'a Profile,
+}
+
+impl<'a> LayoutPipeline<'a> {
+    /// Creates a pipeline over a program and its profile.
+    pub fn new(program: &'a Program, profile: &'a Profile) -> Self {
+        LayoutPipeline { program, profile }
+    }
+
+    /// Per-procedure block orders after the (optional) chaining stage.
+    pub fn block_orders(&self, chain: bool) -> Vec<Vec<BlockId>> {
+        if chain {
+            chain_all(self.program, self.profile)
+        } else {
+            self.program.procs.iter().map(|p| p.blocks.clone()).collect()
+        }
+    }
+
+    /// The segments produced by chaining (optional) followed by fine-grain
+    /// splitting.
+    pub fn segments(&self, chain: bool) -> Vec<Segment> {
+        let orders = self.block_orders(chain);
+        split_all(self.program, self.profile, &orders)
+    }
+
+    /// Builds the final layout for an optimization set.
+    pub fn build(&self, set: OptimizationSet) -> Layout {
+        let order: Vec<BlockId> = if set.split {
+            let segs = self.segments(set.chain);
+            let seg_order: Vec<usize> = if set.porder {
+                let edges = segment_edges(self.program, self.profile, &segs);
+                pettis_hansen_order(segs.len(), edges)
+                    .into_iter()
+                    .map(|i| i as usize)
+                    .collect()
+            } else {
+                // Splitting without ordering keeps placement unchanged:
+                // segments only gain *flexibility* for a follow-on
+                // ordering pass (paper §4.1: "Adding splitting … alone
+                // does not improve performance significantly").
+                (0..segs.len()).collect()
+            };
+            seg_order
+                .into_iter()
+                .flat_map(|i| segs[i].blocks.iter().copied())
+                .collect()
+        } else {
+            let orders = self.block_orders(set.chain);
+            let proc_order: Vec<u32> = if set.porder {
+                let w = self.profile.proc_call_weights(self.program);
+                pettis_hansen_order(
+                    self.program.procs.len(),
+                    w.into_iter().map(|((a, b), c)| (a, b, c)),
+                )
+            } else {
+                (0..self.program.procs.len() as u32).collect()
+            };
+            proc_order
+                .into_iter()
+                .flat_map(|p| orders[p as usize].iter().copied())
+                .collect()
+        };
+        Layout { order }
+    }
+}
+
+/// Weighted edges between segments: inter-segment flow edges plus call
+/// edges mapped to the callee's entry segment.
+pub(crate) fn segment_edges(
+    program: &Program,
+    profile: &Profile,
+    segs: &[Segment],
+) -> Vec<(u32, u32, u64)> {
+    let mut seg_of = vec![u32::MAX; program.blocks.len()];
+    for (si, s) in segs.iter().enumerate() {
+        for &b in &s.blocks {
+            seg_of[b.index()] = si as u32;
+        }
+    }
+    let mut edges = Vec::new();
+    for (&(from, to), &c) in &profile.edge_counts {
+        let (sf, st) = (seg_of[from as usize], seg_of[to as usize]);
+        if sf != st && sf != u32::MAX && st != u32::MAX && c > 0 {
+            edges.push((sf, st, c));
+        }
+    }
+    for (&(from_block, callee), &c) in &profile.call_counts {
+        let sf = seg_of[from_block as usize];
+        let entry = program.proc(ProcId(callee)).entry;
+        let st = seg_of[entry.index()];
+        if sf != st && sf != u32::MAX && st != u32::MAX && c > 0 {
+            edges.push((sf, st, c));
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codelayout_ir::{verify_layout, Cond, Operand, ProcBuilder, ProgramBuilder, Reg};
+
+    /// Three procedures: main calls a (hot) and b (cold); a has a hot/cold
+    /// diamond.
+    fn program() -> Program {
+        let mut pb = ProgramBuilder::new("p");
+        let main = pb.declare_proc("main");
+        let pa = pb.declare_proc("a");
+        let z = pb.declare_proc("z_cold");
+
+        let mut f = ProcBuilder::new();
+        f.call(pa).call(z);
+        f.halt();
+        pb.define_proc(main, f).unwrap();
+
+        let mut g = ProcBuilder::new();
+        let e = g.entry();
+        let hot = g.new_block();
+        let cold = g.new_block();
+        let out = g.new_block();
+        g.select(e);
+        g.branch(Cond::Eq, Reg(1), Operand::Imm(0), hot, cold);
+        g.select(hot);
+        g.nop();
+        g.jump(out);
+        g.select(cold);
+        g.nop();
+        g.jump(out);
+        g.select(out);
+        g.ret();
+        pb.define_proc(pa, g).unwrap();
+
+        let mut h = ProcBuilder::new();
+        h.nop();
+        h.ret();
+        pb.define_proc(z, h).unwrap();
+
+        pb.finish(main).unwrap()
+    }
+
+    fn profile(p: &Program) -> Profile {
+        // Blocks: 0 = main, 1..=4 = a (entry,hot,cold,out), 5 = z.
+        let mut prof = Profile::new(p.blocks.len());
+        prof.block_counts = vec![1000, 1000, 990, 10, 1000, 0];
+        prof.edge_counts.insert((1, 2), 990);
+        prof.edge_counts.insert((1, 3), 10);
+        prof.edge_counts.insert((2, 4), 990);
+        prof.edge_counts.insert((3, 4), 10);
+        prof.call_counts.insert((0, 1), 1000);
+        prof
+    }
+
+    #[test]
+    fn every_preset_yields_a_valid_layout() {
+        let p = program();
+        let prof = profile(&p);
+        let pipe = LayoutPipeline::new(&p, &prof);
+        for (name, set) in OptimizationSet::paper_series() {
+            let layout = pipe.build(set);
+            verify_layout(&p, &layout).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(set.to_string(), name);
+        }
+    }
+
+    #[test]
+    fn base_is_natural() {
+        let p = program();
+        let prof = profile(&p);
+        let pipe = LayoutPipeline::new(&p, &prof);
+        assert_eq!(pipe.build(OptimizationSet::BASE), Layout::natural(&p));
+    }
+
+    #[test]
+    fn chain_puts_hot_arm_on_fallthrough() {
+        let p = program();
+        let prof = profile(&p);
+        let pipe = LayoutPipeline::new(&p, &prof);
+        let l = pipe.build(OptimizationSet::CHAIN);
+        let pos: Vec<usize> = {
+            let mut v = vec![0; p.blocks.len()];
+            for (i, b) in l.order.iter().enumerate() {
+                v[b.index()] = i;
+            }
+            v
+        };
+        // a's entry (1) falls into hot (2) falls into out (4).
+        assert_eq!(pos[2], pos[1] + 1);
+        assert_eq!(pos[4], pos[2] + 1);
+    }
+
+    #[test]
+    fn split_without_porder_leaves_placement_unchanged() {
+        let p = program();
+        let prof = profile(&p);
+        let pipe = LayoutPipeline::new(&p, &prof);
+        // Splitting alone only creates flexibility for the ordering pass;
+        // the layout equals the chained layout (paper §4.1).
+        assert_eq!(
+            pipe.build(OptimizationSet::CHAIN_SPLIT),
+            pipe.build(OptimizationSet::CHAIN)
+        );
+    }
+
+    #[test]
+    fn all_places_caller_next_to_callee_entry() {
+        let p = program();
+        let prof = profile(&p);
+        let pipe = LayoutPipeline::new(&p, &prof);
+        let l = pipe.build(OptimizationSet::ALL);
+        let pos: Vec<usize> = {
+            let mut v = vec![0; p.blocks.len()];
+            for (i, b) in l.order.iter().enumerate() {
+                v[b.index()] = i;
+            }
+            v
+        };
+        // main (block 0) and a's entry segment head (block 1) should end up
+        // adjacent segments under PH with the 1000-weight call edge.
+        assert!(pos[0].abs_diff(pos[1]) <= 2, "order: {:?}", l.order);
+        // Cold z still last.
+        assert_eq!(*l.order.last().unwrap(), BlockId(5));
+    }
+
+    #[test]
+    fn segment_edges_cross_segments_only() {
+        let p = program();
+        let prof = profile(&p);
+        let pipe = LayoutPipeline::new(&p, &prof);
+        let segs = pipe.segments(true);
+        let edges = segment_edges(&p, &prof, &segs);
+        for (a, b, w) in &edges {
+            assert_ne!(a, b);
+            assert!(*w > 0);
+        }
+        // The call edge main->a must be present.
+        let mut seg_of = vec![u32::MAX; p.blocks.len()];
+        for (si, s) in segs.iter().enumerate() {
+            for bl in &s.blocks {
+                seg_of[bl.index()] = si as u32;
+            }
+        }
+        assert!(edges
+            .iter()
+            .any(|&(a, b, _)| a == seg_of[0] && b == seg_of[1]));
+    }
+}

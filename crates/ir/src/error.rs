@@ -1,0 +1,65 @@
+//! Error type for IR construction, validation and linking.
+
+use crate::ids::{BlockId, ProcId};
+use std::fmt;
+
+/// Errors produced when building, validating or linking programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IrError {
+    /// A terminator or call referenced a block that does not exist.
+    UnknownBlock(BlockId),
+    /// A call referenced a procedure that does not exist.
+    UnknownProc(ProcId),
+    /// A procedure was defined twice or never defined.
+    ProcDefinition(ProcId, &'static str),
+    /// A procedure has no blocks.
+    EmptyProc(ProcId),
+    /// A block was left without a terminator in the builder.
+    MissingTerminator(usize),
+    /// A block appears in zero or in more than one procedure.
+    BlockOwnership(BlockId),
+    /// A layout does not contain every program block exactly once.
+    BadLayout(String),
+    /// A procedure's entry block is not in its block list.
+    EntryNotOwned(ProcId),
+    /// The image would exceed the addressable text segment.
+    TextOverflow(usize),
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::UnknownBlock(b) => write!(f, "reference to unknown block {b}"),
+            IrError::UnknownProc(p) => write!(f, "reference to unknown procedure {p}"),
+            IrError::ProcDefinition(p, what) => write!(f, "procedure {p} {what}"),
+            IrError::EmptyProc(p) => write!(f, "procedure {p} has no blocks"),
+            IrError::MissingTerminator(b) => {
+                write!(f, "builder block {b} was never given a terminator")
+            }
+            IrError::BlockOwnership(b) => {
+                write!(f, "block {b} is not owned by exactly one procedure")
+            }
+            IrError::BadLayout(msg) => write!(f, "invalid layout: {msg}"),
+            IrError::EntryNotOwned(p) => {
+                write!(f, "entry block of procedure {p} is not in its block list")
+            }
+            IrError::TextOverflow(n) => write!(f, "text segment of {n} instructions is too large"),
+        }
+    }
+}
+
+impl std::error::Error for IrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(IrError::UnknownBlock(BlockId(1)).to_string().contains("b1"));
+        assert!(IrError::BadLayout("dup".into()).to_string().contains("dup"));
+        let e: Box<dyn std::error::Error> = Box::new(IrError::EmptyProc(ProcId(0)));
+        assert!(!e.to_string().is_empty());
+    }
+}

@@ -1,0 +1,91 @@
+//! Identifier newtypes used throughout the IR.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies a procedure within a [`crate::Program`].
+///
+/// Procedure ids are dense indices into `Program::procs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProcId(pub u32);
+
+/// Identifies a basic block in the program-wide block arena.
+///
+/// Block ids are dense indices into `Program::blocks` and are stable across
+/// all layout transformations: chaining, splitting and procedure ordering
+/// only rearrange *lists of* `BlockId`, never the blocks themselves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BlockId(pub u32);
+
+/// A block handle local to a [`crate::ProcBuilder`], resolved to a global
+/// [`BlockId`] when the procedure is installed into a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LocalBlock(pub u32);
+
+/// A virtual general-purpose register (`r0`–`r31`), each holding an `i64`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Reg(pub u8);
+
+/// Number of architectural registers in the virtual ISA.
+pub const NUM_REGS: usize = 32;
+
+impl ProcId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl BlockId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl Reg {
+    /// Returns the register number as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ProcId(3).to_string(), "p3");
+        assert_eq!(BlockId(7).to_string(), "b7");
+        assert_eq!(Reg(31).to_string(), "r31");
+    }
+
+    #[test]
+    fn index_round_trips() {
+        assert_eq!(ProcId(9).index(), 9);
+        assert_eq!(BlockId(1234).index(), 1234);
+        assert_eq!(Reg(4).index(), 4);
+    }
+}

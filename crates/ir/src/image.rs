@@ -1,0 +1,252 @@
+//! Lowered executable images.
+
+use crate::ids::{BlockId, ProcId, Reg};
+use crate::instr::{BinOp, Cond, MemSpace, Operand};
+use serde::{Deserialize, Serialize};
+
+/// Size of every lowered instruction in bytes (fixed-width RISC encoding).
+pub const INSTR_BYTES: u64 = 4;
+
+/// A lowered instruction. Control transfers carry resolved instruction
+/// indices into the owning [`Image`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LInstr {
+    /// `dst = value`
+    Imm {
+        /// Destination register.
+        dst: Reg,
+        /// Immediate value.
+        value: i64,
+    },
+    /// `dst = src`
+    Mov {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// `dst = op(lhs, rhs)`
+    Bin {
+        /// Operation.
+        op: BinOp,
+        /// Destination register.
+        dst: Reg,
+        /// Left operand.
+        lhs: Reg,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// Word load.
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Base register.
+        base: Reg,
+        /// Word offset.
+        offset: i32,
+        /// Address space.
+        space: MemSpace,
+    },
+    /// Word store.
+    Store {
+        /// Source register.
+        src: Reg,
+        /// Base register.
+        base: Reg,
+        /// Word offset.
+        offset: i32,
+        /// Address space.
+        space: MemSpace,
+    },
+    /// Atomic read-modify-write: `dst = old; mem = op(old, src)`.
+    AtomicRmw {
+        /// Combine operation.
+        op: BinOp,
+        /// Receives the old memory value.
+        dst: Reg,
+        /// Base register.
+        base: Reg,
+        /// Word offset.
+        offset: i32,
+        /// Right operand register.
+        src: Reg,
+        /// Address space.
+        space: MemSpace,
+    },
+    /// Procedure call: pushes the return index and jumps to `target`.
+    Call {
+        /// Callee procedure id (for profiling attribution).
+        callee: ProcId,
+        /// Entry instruction index of the callee.
+        target: u32,
+    },
+    /// Trap into the kernel.
+    Syscall {
+        /// Service code.
+        code: u16,
+    },
+    /// Observable output of a register value.
+    Emit {
+        /// Source register.
+        src: Reg,
+    },
+    /// No operation.
+    Nop,
+    /// Unconditional branch to an instruction index.
+    Br {
+        /// Target instruction index.
+        target: u32,
+    },
+    /// Conditional branch: taken to `target`, otherwise falls through.
+    BrCond {
+        /// Predicate.
+        cond: Cond,
+        /// Left comparison register.
+        reg: Reg,
+        /// Right comparison operand.
+        rhs: Operand,
+        /// Target instruction index when taken.
+        target: u32,
+    },
+    /// Indirect jump through a resolved table.
+    JmpTbl {
+        /// Index register.
+        reg: Reg,
+        /// Resolved in-range targets.
+        table: Box<[u32]>,
+        /// Resolved out-of-range target.
+        default: u32,
+    },
+    /// Return to caller.
+    Ret,
+    /// Stop the executing process.
+    Halt,
+}
+
+impl LInstr {
+    /// True for instructions that may redirect control flow.
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            LInstr::Call { .. }
+                | LInstr::Br { .. }
+                | LInstr::BrCond { .. }
+                | LInstr::JmpTbl { .. }
+                | LInstr::Ret
+                | LInstr::Halt
+                | LInstr::Syscall { .. }
+        )
+    }
+}
+
+/// A lowered executable: flat code plus the maps needed for execution,
+/// profiling attribution and layout analysis.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Image {
+    /// Program name this image was linked from.
+    pub name: String,
+    /// Base byte address of the text segment.
+    pub base: u64,
+    /// The code, one entry per [`INSTR_BYTES`] bytes.
+    pub code: Vec<LInstr>,
+    /// Entry instruction index of each procedure (indexed by `ProcId`).
+    pub proc_entry: Vec<u32>,
+    /// First instruction index of each block (indexed by `BlockId`).
+    pub block_start: Vec<u32>,
+    /// Owning block of each instruction (indexed by instruction index).
+    pub block_of: Vec<BlockId>,
+    /// Owning procedure of each block (indexed by `BlockId`).
+    pub owner: Vec<ProcId>,
+    /// Entry instruction index of the program entry procedure.
+    pub entry: u32,
+}
+
+impl Image {
+    /// Byte address of an instruction index.
+    #[inline]
+    pub fn addr(&self, idx: u32) -> u64 {
+        self.base + idx as u64 * INSTR_BYTES
+    }
+
+    /// Instruction index of a byte address, if it falls in this image.
+    #[inline]
+    pub fn index_of(&self, addr: u64) -> Option<u32> {
+        if addr < self.base {
+            return None;
+        }
+        let idx = (addr - self.base) / INSTR_BYTES;
+        if idx < self.code.len() as u64 {
+            Some(idx as u32)
+        } else {
+            None
+        }
+    }
+
+    /// Total text size in bytes.
+    #[inline]
+    pub fn text_bytes(&self) -> u64 {
+        self.code.len() as u64 * INSTR_BYTES
+    }
+
+    /// Number of instructions.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// True when the image has no code.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// Owning procedure of an instruction index.
+    #[inline]
+    pub fn proc_of_instr(&self, idx: u32) -> ProcId {
+        self.owner[self.block_of[idx as usize].index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_image() -> Image {
+        Image {
+            name: "d".into(),
+            base: 0x1000,
+            code: vec![LInstr::Nop, LInstr::Halt],
+            proc_entry: vec![0],
+            block_start: vec![0],
+            block_of: vec![BlockId(0), BlockId(0)],
+            owner: vec![ProcId(0)],
+            entry: 0,
+        }
+    }
+
+    #[test]
+    fn addressing_round_trip() {
+        let img = dummy_image();
+        assert_eq!(img.addr(1), 0x1004);
+        assert_eq!(img.index_of(0x1004), Some(1));
+        assert_eq!(img.index_of(0x0FFF), None);
+        assert_eq!(img.index_of(0x1008), None);
+        assert_eq!(img.text_bytes(), 8);
+        assert_eq!(img.len(), 2);
+        assert!(!img.is_empty());
+        assert_eq!(img.proc_of_instr(1), ProcId(0));
+    }
+
+    #[test]
+    fn control_classification() {
+        assert!(LInstr::Ret.is_control());
+        assert!(LInstr::Br { target: 0 }.is_control());
+        assert!(LInstr::Syscall { code: 1 }.is_control());
+        assert!(!LInstr::Nop.is_control());
+        assert!(!LInstr::Imm {
+            dst: Reg(0),
+            value: 3
+        }
+        .is_control());
+    }
+}

@@ -1,0 +1,310 @@
+//! Straight-line instructions of the virtual ISA.
+//!
+//! Control transfers (branches, returns) are *not* instructions; they are
+//! [`crate::Terminator`]s on basic blocks, and are materialized into concrete
+//! branch instructions only at link time, where their encoding depends on the
+//! chosen layout.
+
+use crate::ids::{ProcId, Reg};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Arithmetic/logical operations. All arithmetic is two's-complement
+/// wrapping; division and remainder by zero yield zero so every instruction
+/// is total and layouts can be compared for bit-exact architectural state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Division (`/`), with `x / 0 == 0`.
+    Div,
+    /// Remainder (`%`), with `x % 0 == 0`.
+    Rem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Left shift by `rhs & 63`.
+    Shl,
+    /// Logical right shift by `rhs & 63`.
+    Shr,
+    /// Minimum of the two operands.
+    Min,
+    /// Maximum of the two operands.
+    Max,
+}
+
+impl BinOp {
+    /// Applies the operation to two `i64` operands.
+    #[inline]
+    pub fn apply(self, lhs: i64, rhs: i64) -> i64 {
+        match self {
+            BinOp::Add => lhs.wrapping_add(rhs),
+            BinOp::Sub => lhs.wrapping_sub(rhs),
+            BinOp::Mul => lhs.wrapping_mul(rhs),
+            BinOp::Div => {
+                if rhs == 0 {
+                    0
+                } else {
+                    lhs.wrapping_div(rhs)
+                }
+            }
+            BinOp::Rem => {
+                if rhs == 0 {
+                    0
+                } else {
+                    lhs.wrapping_rem(rhs)
+                }
+            }
+            BinOp::And => lhs & rhs,
+            BinOp::Or => lhs | rhs,
+            BinOp::Xor => lhs ^ rhs,
+            BinOp::Shl => lhs.wrapping_shl((rhs & 63) as u32),
+            BinOp::Shr => ((lhs as u64).wrapping_shr((rhs & 63) as u32)) as i64,
+            BinOp::Min => lhs.min(rhs),
+            BinOp::Max => lhs.max(rhs),
+        }
+    }
+}
+
+/// Branch comparison predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Cond {
+    /// `lhs == rhs`
+    Eq,
+    /// `lhs != rhs`
+    Ne,
+    /// `lhs < rhs` (signed)
+    Lt,
+    /// `lhs <= rhs` (signed)
+    Le,
+    /// `lhs > rhs` (signed)
+    Gt,
+    /// `lhs >= rhs` (signed)
+    Ge,
+}
+
+impl Cond {
+    /// Evaluates the predicate.
+    #[inline]
+    pub fn eval(self, lhs: i64, rhs: i64) -> bool {
+        match self {
+            Cond::Eq => lhs == rhs,
+            Cond::Ne => lhs != rhs,
+            Cond::Lt => lhs < rhs,
+            Cond::Le => lhs <= rhs,
+            Cond::Gt => lhs > rhs,
+            Cond::Ge => lhs >= rhs,
+        }
+    }
+
+    /// Returns the logically negated predicate, used when the linker inverts
+    /// a conditional branch so the hot arm falls through.
+    #[inline]
+    pub fn invert(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::Lt => Cond::Ge,
+            Cond::Le => Cond::Gt,
+            Cond::Gt => Cond::Le,
+            Cond::Ge => Cond::Lt,
+        }
+    }
+}
+
+/// The second operand of ALU and branch instructions: a register or an
+/// immediate value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Operand {
+    /// A register operand.
+    Reg(Reg),
+    /// An immediate operand.
+    Imm(i64),
+}
+
+/// Address space selector for memory instructions.
+///
+/// Each simulated process has a `Private` data region; the `Shared` region
+/// models the database SGA (buffer pool, lock tables, log buffer) that all
+/// server processes attach to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemSpace {
+    /// Per-process data region.
+    Private,
+    /// System-wide shared region.
+    Shared,
+}
+
+/// A straight-line (non-control-transfer) instruction.
+///
+/// Every instruction occupies [`crate::INSTR_BYTES`] bytes in the lowered
+/// image, like a fixed-width RISC encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Instr {
+    /// `dst = value`
+    Imm {
+        /// Destination register.
+        dst: Reg,
+        /// Immediate value.
+        value: i64,
+    },
+    /// `dst = src`
+    Mov {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// `dst = op(lhs, rhs)`
+    Bin {
+        /// Operation.
+        op: BinOp,
+        /// Destination register.
+        dst: Reg,
+        /// Left operand register.
+        lhs: Reg,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// `dst = mem[space][(base + offset) mod size]` (word addressed).
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Word offset added to the base.
+        offset: i32,
+        /// Address space.
+        space: MemSpace,
+    },
+    /// `mem[space][(base + offset) mod size] = src` (word addressed).
+    Store {
+        /// Source register.
+        src: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Word offset added to the base.
+        offset: i32,
+        /// Address space.
+        space: MemSpace,
+    },
+    /// Calls a procedure; execution resumes at the following instruction.
+    Call {
+        /// Callee procedure.
+        callee: ProcId,
+    },
+    /// Traps into the kernel with a service code. The VM maps codes to
+    /// kernel procedures; in user-only runs a syscall is a no-op with a
+    /// fixed return convention.
+    Syscall {
+        /// Service code.
+        code: u16,
+    },
+    /// Atomic read-modify-write on memory: `dst = old; mem = op(old, src)`
+    /// in a single indivisible step. This is the primitive the OLTP engine
+    /// builds shared counters and spinlocks from, so multi-CPU interleaving
+    /// cannot lose updates.
+    AtomicRmw {
+        /// Operation combining the old memory value with `src`.
+        op: BinOp,
+        /// Receives the *old* memory value.
+        dst: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Word offset added to the base.
+        offset: i32,
+        /// Right operand of the combine.
+        src: Reg,
+        /// Address space.
+        space: MemSpace,
+    },
+    /// Appends the register value to the process's observable output
+    /// channel. Used to check that layouts preserve semantics.
+    Emit {
+        /// Source register.
+        src: Reg,
+    },
+    /// Does nothing (padding / alignment filler).
+    Nop,
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Imm { dst, value } => write!(f, "imm {dst}, {value}"),
+            Instr::Mov { dst, src } => write!(f, "mov {dst}, {src}"),
+            Instr::Bin { op, dst, lhs, rhs } => write!(f, "{op:?} {dst}, {lhs}, {rhs:?}"),
+            Instr::Load {
+                dst,
+                base,
+                offset,
+                space,
+            } => write!(f, "ld.{space:?} {dst}, {offset}({base})"),
+            Instr::Store {
+                src,
+                base,
+                offset,
+                space,
+            } => write!(f, "st.{space:?} {src}, {offset}({base})"),
+            Instr::AtomicRmw {
+                op,
+                dst,
+                base,
+                offset,
+                src,
+                space,
+            } => write!(f, "amo.{op:?}.{space:?} {dst}, {offset}({base}), {src}"),
+            Instr::Call { callee } => write!(f, "call {callee}"),
+            Instr::Syscall { code } => write!(f, "syscall {code}"),
+            Instr::Emit { src } => write!(f, "emit {src}"),
+            Instr::Nop => write!(f, "nop"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_wrapping_and_total() {
+        assert_eq!(BinOp::Add.apply(i64::MAX, 1), i64::MIN);
+        assert_eq!(BinOp::Div.apply(10, 0), 0);
+        assert_eq!(BinOp::Rem.apply(10, 0), 0);
+        assert_eq!(BinOp::Div.apply(i64::MIN, -1), i64::MIN.wrapping_div(-1));
+        assert_eq!(BinOp::Shl.apply(1, 65), 2); // shift modulo 64
+        assert_eq!(BinOp::Shr.apply(-1, 1), i64::MAX); // logical shift
+        assert_eq!(BinOp::Min.apply(-3, 4), -3);
+        assert_eq!(BinOp::Max.apply(-3, 4), 4);
+    }
+
+    #[test]
+    fn cond_eval_and_invert() {
+        let cases = [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Le, Cond::Gt, Cond::Ge];
+        for c in cases {
+            for (a, b) in [(0, 0), (1, 2), (2, 1), (-5, 5)] {
+                assert_eq!(c.eval(a, b), !c.invert().eval(a, b), "{c:?} {a} {b}");
+            }
+        }
+        assert!(Cond::Le.eval(3, 3));
+        assert!(!Cond::Lt.eval(3, 3));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let i = Instr::Bin {
+            op: BinOp::Add,
+            dst: Reg(1),
+            lhs: Reg(2),
+            rhs: Operand::Imm(3),
+        };
+        assert!(!i.to_string().is_empty());
+    }
+}

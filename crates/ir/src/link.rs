@@ -1,0 +1,440 @@
+//! The linker: lowers a [`Program`] under a [`Layout`] into an [`Image`].
+//!
+//! Lowering follows the fall-through materialization rules documented at the
+//! crate root. These rules are what make layout quality *measurable*: a good
+//! layout spends fewer instructions on unconditional branches (smaller, more
+//! sequential code) and biases conditional branches not-taken.
+
+use crate::error::IrError;
+use crate::ids::BlockId;
+use crate::image::{Image, LInstr};
+use crate::instr::Instr;
+use crate::program::{Layout, Program, Terminator};
+use crate::verify::verify_layout;
+
+/// Hard cap on image size (instructions) so indices fit comfortably in `u32`.
+const MAX_TEXT_INSTRS: usize = 1 << 28;
+
+/// Statistics about a lowering, useful for layout-quality analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LinkStats {
+    /// Unconditional branch instructions materialized.
+    pub uncond_branches: usize,
+    /// Unconditional transfers resolved as free fall-throughs.
+    pub fallthroughs: usize,
+    /// Conditional branches whose condition was inverted so the hot arm
+    /// falls through.
+    pub inverted_branches: usize,
+    /// Conditional branches that needed an extra unconditional branch
+    /// because neither arm was adjacent.
+    pub split_cond_branches: usize,
+    /// Total lowered instructions.
+    pub instrs: usize,
+}
+
+/// Lowers `program` under `layout`, placing the text at byte address `base`.
+///
+/// # Errors
+/// Returns an error if the layout is not a permutation of the program's
+/// blocks or if the image would exceed the addressable text segment.
+pub fn link(program: &Program, layout: &Layout, base: u64) -> Result<Image, IrError> {
+    Ok(link_with_stats(program, layout, base)?.0)
+}
+
+/// Like [`link`], additionally returning lowering statistics.
+///
+/// # Errors
+/// Same conditions as [`link`].
+pub fn link_with_stats(
+    program: &Program,
+    layout: &Layout,
+    base: u64,
+) -> Result<(Image, LinkStats), IrError> {
+    verify_layout(program, layout)?;
+
+    let nblocks = program.blocks.len();
+    let order = &layout.order;
+
+    // Pass 1: sizes and start indices.
+    let mut block_start = vec![0u32; nblocks];
+    let mut total: usize = 0;
+    for (pos, &b) in order.iter().enumerate() {
+        let next = order.get(pos + 1).copied();
+        let blk = program.block(b);
+        let term_size = term_size(&blk.term, next, blk.instrs.len());
+        if total > MAX_TEXT_INSTRS {
+            return Err(IrError::TextOverflow(total));
+        }
+        block_start[b.index()] = total as u32;
+        total += blk.instrs.len() + term_size;
+    }
+    if total > MAX_TEXT_INSTRS {
+        return Err(IrError::TextOverflow(total));
+    }
+
+    let proc_entry: Vec<u32> = program
+        .procs
+        .iter()
+        .map(|p| block_start[p.entry.index()])
+        .collect();
+
+    // Pass 2: emit.
+    let mut code: Vec<LInstr> = Vec::with_capacity(total);
+    let mut block_of: Vec<BlockId> = Vec::with_capacity(total);
+    let mut stats = LinkStats::default();
+
+    for (pos, &b) in order.iter().enumerate() {
+        let next = order.get(pos + 1).copied();
+        let blk = program.block(b);
+        for ins in &blk.instrs {
+            code.push(lower_instr(ins, &proc_entry));
+            block_of.push(b);
+        }
+        let tgt = |t: BlockId| block_start[t.index()];
+        match &blk.term {
+            Terminator::Jump(t) => {
+                if next == Some(*t) && !blk.instrs.is_empty() {
+                    stats.fallthroughs += 1;
+                } else {
+                    // Either the target is not adjacent, or the block body
+                    // is empty: an empty block must still occupy one
+                    // instruction so that it remains observable (zero-size
+                    // blocks would make execution attribution ambiguous).
+                    stats.uncond_branches += 1;
+                    code.push(LInstr::Br { target: tgt(*t) });
+                    block_of.push(b);
+                }
+            }
+            Terminator::Branch {
+                cond,
+                reg,
+                rhs,
+                then_,
+                else_,
+            } => {
+                if next == Some(*else_) {
+                    code.push(LInstr::BrCond {
+                        cond: *cond,
+                        reg: *reg,
+                        rhs: *rhs,
+                        target: tgt(*then_),
+                    });
+                    block_of.push(b);
+                } else if next == Some(*then_) {
+                    stats.inverted_branches += 1;
+                    code.push(LInstr::BrCond {
+                        cond: cond.invert(),
+                        reg: *reg,
+                        rhs: *rhs,
+                        target: tgt(*else_),
+                    });
+                    block_of.push(b);
+                } else {
+                    stats.split_cond_branches += 1;
+                    stats.uncond_branches += 1;
+                    code.push(LInstr::BrCond {
+                        cond: *cond,
+                        reg: *reg,
+                        rhs: *rhs,
+                        target: tgt(*then_),
+                    });
+                    block_of.push(b);
+                    code.push(LInstr::Br { target: tgt(*else_) });
+                    block_of.push(b);
+                }
+            }
+            Terminator::JumpTable {
+                reg,
+                targets,
+                default,
+            } => {
+                code.push(LInstr::JmpTbl {
+                    reg: *reg,
+                    table: targets.iter().map(|t| tgt(*t)).collect(),
+                    default: tgt(*default),
+                });
+                block_of.push(b);
+            }
+            Terminator::Return => {
+                code.push(LInstr::Ret);
+                block_of.push(b);
+            }
+            Terminator::Halt => {
+                code.push(LInstr::Halt);
+                block_of.push(b);
+            }
+        }
+    }
+    debug_assert_eq!(code.len(), total);
+    stats.instrs = total;
+
+    let owner = program.owner_of_blocks();
+    let entry = proc_entry[program.entry.index()];
+    Ok((
+        Image {
+            name: program.name.clone(),
+            base,
+            code,
+            proc_entry,
+            block_start,
+            block_of,
+            owner,
+            entry,
+        },
+        stats,
+    ))
+}
+
+fn term_size(term: &Terminator, next: Option<BlockId>, body_len: usize) -> usize {
+    match term {
+        Terminator::Jump(t) => usize::from(next != Some(*t) || body_len == 0),
+        Terminator::Branch { then_, else_, .. } => {
+            if next == Some(*else_) || next == Some(*then_) {
+                1
+            } else {
+                2
+            }
+        }
+        Terminator::JumpTable { .. } | Terminator::Return | Terminator::Halt => 1,
+    }
+}
+
+fn lower_instr(ins: &Instr, proc_entry: &[u32]) -> LInstr {
+    match *ins {
+        Instr::Imm { dst, value } => LInstr::Imm { dst, value },
+        Instr::Mov { dst, src } => LInstr::Mov { dst, src },
+        Instr::Bin { op, dst, lhs, rhs } => LInstr::Bin { op, dst, lhs, rhs },
+        Instr::Load {
+            dst,
+            base,
+            offset,
+            space,
+        } => LInstr::Load {
+            dst,
+            base,
+            offset,
+            space,
+        },
+        Instr::Store {
+            src,
+            base,
+            offset,
+            space,
+        } => LInstr::Store {
+            src,
+            base,
+            offset,
+            space,
+        },
+        Instr::AtomicRmw {
+            op,
+            dst,
+            base,
+            offset,
+            src,
+            space,
+        } => LInstr::AtomicRmw {
+            op,
+            dst,
+            base,
+            offset,
+            src,
+            space,
+        },
+        Instr::Call { callee } => LInstr::Call {
+            callee,
+            target: proc_entry[callee.index()],
+        },
+        Instr::Syscall { code } => LInstr::Syscall { code },
+        Instr::Emit { src } => LInstr::Emit { src },
+        Instr::Nop => LInstr::Nop,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ProcId, Reg};
+    use crate::instr::{Cond, Operand};
+    use crate::program::{BasicBlock, Procedure};
+
+    /// proc0 = [b0: branch -> b1/b2, b1: jump b3, b2: jump b3, b3: halt]
+    fn diamond() -> Program {
+        let blocks = vec![
+            BasicBlock::new(
+                vec![Instr::Imm {
+                    dst: Reg(1),
+                    value: 0,
+                }],
+                Terminator::Branch {
+                    cond: Cond::Eq,
+                    reg: Reg(1),
+                    rhs: Operand::Imm(0),
+                    then_: BlockId(1),
+                    else_: BlockId(2),
+                },
+            ),
+            BasicBlock::new(vec![Instr::Nop], Terminator::Jump(BlockId(3))),
+            BasicBlock::new(vec![Instr::Nop, Instr::Nop], Terminator::Jump(BlockId(3))),
+            BasicBlock::new(vec![], Terminator::Halt),
+        ];
+        Program {
+            name: "diamond".into(),
+            blocks,
+            procs: vec![Procedure {
+                name: "main".into(),
+                blocks: vec![BlockId(0), BlockId(1), BlockId(2), BlockId(3)],
+                entry: BlockId(0),
+            }],
+            entry: ProcId(0),
+        }
+    }
+
+    #[test]
+    fn natural_layout_lowering() {
+        let p = diamond();
+        let (img, st) = link_with_stats(&p, &Layout::natural(&p), 0).unwrap();
+        // b0: imm + brcond(then=b1? no: else adjacency). next of b0 is b1 =>
+        // then_ adjacent => inverted branch to b2. 2 instrs.
+        // b1: nop + br b3 (b2 is next) = 2
+        // b2: nop nop + fallthrough = 2
+        // b3: halt = 1
+        assert_eq!(img.len(), 7);
+        assert_eq!(st.inverted_branches, 1);
+        assert_eq!(st.uncond_branches, 1);
+        assert_eq!(st.fallthroughs, 1);
+        assert_eq!(st.split_cond_branches, 0);
+        assert_eq!(img.block_start[0], 0);
+        assert_eq!(img.block_start[1], 2);
+        assert_eq!(img.block_start[2], 4);
+        assert_eq!(img.block_start[3], 6);
+        // Inverted: cond Eq becomes Ne targeting b2's start (4).
+        match &img.code[1] {
+            LInstr::BrCond { cond, target, .. } => {
+                assert_eq!(*cond, Cond::Ne);
+                assert_eq!(*target, 4);
+            }
+            other => panic!("expected BrCond, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn else_adjacent_keeps_condition() {
+        let p = diamond();
+        let layout = Layout {
+            order: vec![BlockId(0), BlockId(2), BlockId(1), BlockId(3)],
+        };
+        let (img, st) = link_with_stats(&p, &layout, 0).unwrap();
+        match &img.code[1] {
+            LInstr::BrCond { cond, target, .. } => {
+                assert_eq!(*cond, Cond::Eq);
+                assert_eq!(*target, img.block_start[1]);
+            }
+            other => panic!("expected BrCond, got {other:?}"),
+        }
+        // b2 then b1: b2 jumps to b3 which is not adjacent (b1 is) -> br.
+        // b1 jumps to b3, adjacent -> fallthrough.
+        assert_eq!(st.uncond_branches, 1);
+        assert_eq!(st.fallthroughs, 1);
+    }
+
+    #[test]
+    fn neither_arm_adjacent_costs_two() {
+        let p = diamond();
+        let layout = Layout {
+            order: vec![BlockId(0), BlockId(3), BlockId(1), BlockId(2)],
+        };
+        let (img, st) = link_with_stats(&p, &layout, 0).unwrap();
+        assert_eq!(st.split_cond_branches, 1);
+        // b0 = imm, brcond, br  => b3 starts at 3.
+        assert_eq!(img.block_start[3], 3);
+        match (&img.code[1], &img.code[2]) {
+            (LInstr::BrCond { target: t1, .. }, LInstr::Br { target: t2 }) => {
+                assert_eq!(*t1, img.block_start[1]);
+                assert_eq!(*t2, img.block_start[2]);
+            }
+            other => panic!("unexpected encoding {other:?}"),
+        }
+    }
+
+    #[test]
+    fn call_targets_resolve_to_proc_entries() {
+        let mut p = diamond();
+        // Add a second proc and a call to it from b0.
+        p.blocks.push(BasicBlock::new(vec![], Terminator::Return));
+        p.procs.push(Procedure {
+            name: "leaf".into(),
+            blocks: vec![BlockId(4)],
+            entry: BlockId(4),
+        });
+        p.blocks[0].instrs.push(Instr::Call { callee: ProcId(1) });
+        let img = link(&p, &Layout::natural(&p), 0x40).unwrap();
+        let call = img
+            .code
+            .iter()
+            .find_map(|i| match i {
+                LInstr::Call { target, .. } => Some(*target),
+                _ => None,
+            })
+            .expect("call present");
+        assert_eq!(call, img.proc_entry[1]);
+        assert_eq!(img.addr(0), 0x40);
+    }
+
+    #[test]
+    fn bad_layout_rejected() {
+        let p = diamond();
+        let err = link(
+            &p,
+            &Layout {
+                order: vec![BlockId(0)],
+            },
+            0,
+        );
+        assert!(matches!(err, Err(IrError::BadLayout(_))));
+    }
+
+    #[test]
+    fn block_of_attribution_covers_every_instr() {
+        let p = diamond();
+        let img = link(&p, &Layout::natural(&p), 0).unwrap();
+        assert_eq!(img.block_of.len(), img.len());
+        assert_eq!(img.block_of[0], BlockId(0));
+        assert_eq!(img.block_of[6], BlockId(3));
+        assert_eq!(img.proc_of_instr(6), ProcId(0));
+    }
+
+    #[test]
+    fn jump_table_lowering_resolves_targets() {
+        let blocks = vec![
+            BasicBlock::new(
+                vec![],
+                Terminator::JumpTable {
+                    reg: Reg(1),
+                    targets: vec![BlockId(1), BlockId(2)],
+                    default: BlockId(2),
+                },
+            ),
+            BasicBlock::new(vec![Instr::Nop], Terminator::Halt),
+            BasicBlock::new(vec![], Terminator::Halt),
+        ];
+        let p = Program {
+            name: "jt".into(),
+            blocks,
+            procs: vec![Procedure {
+                name: "main".into(),
+                blocks: vec![BlockId(0), BlockId(1), BlockId(2)],
+                entry: BlockId(0),
+            }],
+            entry: ProcId(0),
+        };
+        let img = link(&p, &Layout::natural(&p), 0).unwrap();
+        match &img.code[0] {
+            LInstr::JmpTbl { table, default, .. } => {
+                assert_eq!(&**table, &[1, 3]);
+                assert_eq!(*default, 3);
+            }
+            other => panic!("expected JmpTbl, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! Programs, procedures, basic blocks, terminators and layouts.
+
+use crate::ids::{BlockId, ProcId, Reg};
+use crate::instr::{Cond, Instr, Operand};
+use serde::{Deserialize, Serialize};
+
+/// How control leaves a basic block.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Terminator {
+    /// Unconditional transfer to a block. Free when the target is laid out
+    /// immediately after this block; one branch instruction otherwise.
+    Jump(BlockId),
+    /// Two-way conditional transfer.
+    Branch {
+        /// Comparison predicate.
+        cond: Cond,
+        /// Left comparison operand (register).
+        reg: Reg,
+        /// Right comparison operand.
+        rhs: Operand,
+        /// Target when the predicate holds.
+        then_: BlockId,
+        /// Target when the predicate does not hold.
+        else_: BlockId,
+    },
+    /// Multi-way transfer through a jump table indexed by a register; out of
+    /// range values go to `default`. Always one instruction.
+    JumpTable {
+        /// Index register.
+        reg: Reg,
+        /// In-range targets.
+        targets: Vec<BlockId>,
+        /// Out-of-range target.
+        default: BlockId,
+    },
+    /// Return to the caller (or to the user-mode continuation when it ends a
+    /// kernel service routine's outermost frame).
+    Return,
+    /// Stops the executing process.
+    Halt,
+}
+
+impl Terminator {
+    /// Iterates over all successor blocks named by this terminator.
+    pub fn successors(&self) -> impl Iterator<Item = BlockId> + '_ {
+        let (a, b, rest): (Option<BlockId>, Option<BlockId>, &[BlockId]) = match self {
+            Terminator::Jump(t) => (Some(*t), None, &[]),
+            Terminator::Branch { then_, else_, .. } => (Some(*then_), Some(*else_), &[]),
+            Terminator::JumpTable {
+                targets, default, ..
+            } => (Some(*default), None, targets.as_slice()),
+            Terminator::Return | Terminator::Halt => (None, None, &[]),
+        };
+        a.into_iter().chain(b).chain(rest.iter().copied())
+    }
+
+    /// True for terminators that never fall through and never branch to
+    /// another block (`Return`/`Halt`) or that transfer unconditionally
+    /// (`Jump`, `JumpTable`). These are the points at which fine-grain
+    /// procedure splitting may cut a chain.
+    pub fn is_unconditional(&self) -> bool {
+        !matches!(self, Terminator::Branch { .. })
+    }
+}
+
+/// A straight-line run of instructions ending in a terminator.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BasicBlock {
+    /// Straight-line body instructions.
+    pub instrs: Vec<Instr>,
+    /// Control transfer out of the block.
+    pub term: Terminator,
+}
+
+impl BasicBlock {
+    /// Creates a block from a body and terminator.
+    pub fn new(instrs: Vec<Instr>, term: Terminator) -> Self {
+        BasicBlock { instrs, term }
+    }
+}
+
+/// A procedure: an ordered list of blocks from the program arena plus a
+/// designated entry block. The list order is the *source layout order*; the
+/// entry block need not be first in memory after optimization, but calls
+/// always enter at `entry`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Procedure {
+    /// Human-readable name (unique within the program).
+    pub name: String,
+    /// Blocks owned by this procedure, in source layout order.
+    pub blocks: Vec<BlockId>,
+    /// The block where calls enter.
+    pub entry: BlockId,
+}
+
+/// A whole executable: a block arena partitioned into procedures.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Program {
+    /// Program name (used in reports).
+    pub name: String,
+    /// Block arena; `BlockId` indexes into this.
+    pub blocks: Vec<BasicBlock>,
+    /// Procedures, indexed by `ProcId`.
+    pub procs: Vec<Procedure>,
+    /// The procedure where each process starts executing.
+    pub entry: ProcId,
+}
+
+impl Program {
+    /// Returns the block for an id.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.index()]
+    }
+
+    /// Returns the procedure for an id.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn proc(&self, id: ProcId) -> &Procedure {
+        &self.procs[id.index()]
+    }
+
+    /// Looks up a procedure by name.
+    pub fn proc_by_name(&self, name: &str) -> Option<ProcId> {
+        self.procs
+            .iter()
+            .position(|p| p.name == name)
+            .map(|i| ProcId(i as u32))
+    }
+
+    /// Maps every block to its owning procedure. O(blocks).
+    pub fn owner_of_blocks(&self) -> Vec<ProcId> {
+        let mut owner = vec![ProcId(u32::MAX); self.blocks.len()];
+        for (pi, p) in self.procs.iter().enumerate() {
+            for &b in &p.blocks {
+                owner[b.index()] = ProcId(pi as u32);
+            }
+        }
+        owner
+    }
+
+    /// Computes static size statistics.
+    pub fn stats(&self) -> ProgramStats {
+        let body_instrs: usize = self.blocks.iter().map(|b| b.instrs.len()).sum();
+        ProgramStats {
+            procs: self.procs.len(),
+            blocks: self.blocks.len(),
+            body_instrs,
+        }
+    }
+}
+
+/// Static size statistics for a [`Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProgramStats {
+    /// Number of procedures.
+    pub procs: usize,
+    /// Number of basic blocks.
+    pub blocks: usize,
+    /// Total straight-line instructions (terminator encodings are
+    /// layout-dependent and therefore excluded).
+    pub body_instrs: usize,
+}
+
+/// A global code layout: every block of the program exactly once, in final
+/// memory order. Produced by the optimizers in `codelayout-core` and
+/// consumed by [`crate::link::link`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Layout {
+    /// Blocks in memory order.
+    pub order: Vec<BlockId>,
+}
+
+impl Layout {
+    /// The compiler/linker default: procedures in declaration order, blocks
+    /// in source order within each procedure. This is the paper's *baseline*
+    /// binary.
+    pub fn natural(program: &Program) -> Layout {
+        let order = program
+            .procs
+            .iter()
+            .flat_map(|p| p.blocks.iter().copied())
+            .collect();
+        Layout { order }
+    }
+
+    /// Number of blocks in the layout.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True when the layout contains no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::BinOp;
+
+    fn tiny_program() -> Program {
+        // proc0: b0 -> b1; proc1: b2
+        Program {
+            name: "t".into(),
+            blocks: vec![
+                BasicBlock::new(
+                    vec![Instr::Imm {
+                        dst: Reg(1),
+                        value: 1,
+                    }],
+                    Terminator::Jump(BlockId(1)),
+                ),
+                BasicBlock::new(vec![Instr::Call { callee: ProcId(1) }], Terminator::Halt),
+                BasicBlock::new(
+                    vec![Instr::Bin {
+                        op: BinOp::Add,
+                        dst: Reg(1),
+                        lhs: Reg(1),
+                        rhs: Operand::Imm(1),
+                    }],
+                    Terminator::Return,
+                ),
+            ],
+            procs: vec![
+                Procedure {
+                    name: "main".into(),
+                    blocks: vec![BlockId(0), BlockId(1)],
+                    entry: BlockId(0),
+                },
+                Procedure {
+                    name: "inc".into(),
+                    blocks: vec![BlockId(2)],
+                    entry: BlockId(2),
+                },
+            ],
+            entry: ProcId(0),
+        }
+    }
+
+    #[test]
+    fn successors_enumeration() {
+        let t = Terminator::Branch {
+            cond: Cond::Eq,
+            reg: Reg(0),
+            rhs: Operand::Imm(0),
+            then_: BlockId(5),
+            else_: BlockId(6),
+        };
+        let s: Vec<_> = t.successors().collect();
+        assert_eq!(s, vec![BlockId(5), BlockId(6)]);
+
+        let jt = Terminator::JumpTable {
+            reg: Reg(0),
+            targets: vec![BlockId(1), BlockId(2)],
+            default: BlockId(3),
+        };
+        let s: Vec<_> = jt.successors().collect();
+        assert_eq!(s, vec![BlockId(3), BlockId(1), BlockId(2)]);
+
+        assert_eq!(Terminator::Return.successors().count(), 0);
+    }
+
+    #[test]
+    fn unconditional_classification() {
+        assert!(Terminator::Jump(BlockId(0)).is_unconditional());
+        assert!(Terminator::Return.is_unconditional());
+        assert!(Terminator::Halt.is_unconditional());
+        assert!(!Terminator::Branch {
+            cond: Cond::Eq,
+            reg: Reg(0),
+            rhs: Operand::Imm(0),
+            then_: BlockId(0),
+            else_: BlockId(1),
+        }
+        .is_unconditional());
+    }
+
+    #[test]
+    fn natural_layout_covers_all_blocks_in_order() {
+        let p = tiny_program();
+        let l = Layout::natural(&p);
+        assert_eq!(l.order, vec![BlockId(0), BlockId(1), BlockId(2)]);
+        assert_eq!(l.len(), 3);
+        assert!(!l.is_empty());
+    }
+
+    #[test]
+    fn owner_map_and_lookup() {
+        let p = tiny_program();
+        let owner = p.owner_of_blocks();
+        assert_eq!(owner[0], ProcId(0));
+        assert_eq!(owner[2], ProcId(1));
+        assert_eq!(p.proc_by_name("inc"), Some(ProcId(1)));
+        assert_eq!(p.proc_by_name("nope"), None);
+        let st = p.stats();
+        assert_eq!(st.procs, 2);
+        assert_eq!(st.blocks, 3);
+        assert_eq!(st.body_instrs, 3);
+    }
+}

@@ -1,0 +1,185 @@
+//! Structural validation of programs and layouts.
+
+use crate::error::IrError;
+use crate::ids::{BlockId, ProcId};
+use crate::program::{Layout, Program};
+
+/// Validates a program's cross references:
+///
+/// * every block is owned by exactly one procedure;
+/// * every procedure is non-empty and owns its entry block;
+/// * every terminator target and call target exists;
+/// * the program entry procedure exists.
+///
+/// # Errors
+/// Returns the first violated invariant.
+pub fn verify_program(program: &Program) -> Result<(), IrError> {
+    let nblocks = program.blocks.len();
+    let nprocs = program.procs.len();
+
+    if program.entry.index() >= nprocs {
+        return Err(IrError::UnknownProc(program.entry));
+    }
+
+    let mut owned = vec![false; nblocks];
+    for (pi, p) in program.procs.iter().enumerate() {
+        let pid = ProcId(pi as u32);
+        if p.blocks.is_empty() {
+            return Err(IrError::EmptyProc(pid));
+        }
+        for &b in &p.blocks {
+            let i = b.index();
+            if i >= nblocks {
+                return Err(IrError::UnknownBlock(b));
+            }
+            if owned[i] {
+                return Err(IrError::BlockOwnership(b));
+            }
+            owned[i] = true;
+        }
+        if !p.blocks.contains(&p.entry) {
+            return Err(IrError::EntryNotOwned(pid));
+        }
+    }
+    if let Some(i) = owned.iter().position(|&o| !o) {
+        return Err(IrError::BlockOwnership(BlockId(i as u32)));
+    }
+
+    for (bi, b) in program.blocks.iter().enumerate() {
+        for t in b.term.successors() {
+            if t.index() >= nblocks {
+                return Err(IrError::UnknownBlock(t));
+            }
+        }
+        // Calls inside the body.
+        for ins in &b.instrs {
+            if let crate::instr::Instr::Call { callee } = ins {
+                if callee.index() >= nprocs {
+                    return Err(IrError::UnknownProc(*callee));
+                }
+            }
+        }
+        let _ = bi;
+    }
+    Ok(())
+}
+
+/// Validates that a layout is a permutation of all program blocks.
+///
+/// # Errors
+/// Returns [`IrError::BadLayout`] on missing, duplicated or unknown blocks.
+pub fn verify_layout(program: &Program, layout: &Layout) -> Result<(), IrError> {
+    let n = program.blocks.len();
+    if layout.order.len() != n {
+        return Err(IrError::BadLayout(format!(
+            "layout has {} blocks, program has {}",
+            layout.order.len(),
+            n
+        )));
+    }
+    let mut seen = vec![false; n];
+    for &b in &layout.order {
+        let i = b.index();
+        if i >= n {
+            return Err(IrError::BadLayout(format!("unknown block {b}")));
+        }
+        if seen[i] {
+            return Err(IrError::BadLayout(format!("duplicated block {b}")));
+        }
+        seen[i] = true;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::Instr;
+    use crate::program::{BasicBlock, Procedure, Terminator};
+    use crate::Reg;
+
+    fn prog_one_block(term: Terminator) -> Program {
+        Program {
+            name: "v".into(),
+            blocks: vec![BasicBlock::new(
+                vec![Instr::Imm {
+                    dst: Reg(0),
+                    value: 0,
+                }],
+                term,
+            )],
+            procs: vec![Procedure {
+                name: "main".into(),
+                blocks: vec![BlockId(0)],
+                entry: BlockId(0),
+            }],
+            entry: ProcId(0),
+        }
+    }
+
+    #[test]
+    fn good_program_passes() {
+        assert!(verify_program(&prog_one_block(Terminator::Halt)).is_ok());
+    }
+
+    #[test]
+    fn dangling_jump_fails() {
+        let p = prog_one_block(Terminator::Jump(BlockId(5)));
+        assert_eq!(verify_program(&p), Err(IrError::UnknownBlock(BlockId(5))));
+    }
+
+    #[test]
+    fn dangling_call_fails() {
+        let mut p = prog_one_block(Terminator::Halt);
+        p.blocks[0].instrs.push(Instr::Call { callee: ProcId(9) });
+        assert_eq!(verify_program(&p), Err(IrError::UnknownProc(ProcId(9))));
+    }
+
+    #[test]
+    fn orphan_block_fails() {
+        let mut p = prog_one_block(Terminator::Halt);
+        p.blocks.push(BasicBlock::new(vec![], Terminator::Halt));
+        assert_eq!(
+            verify_program(&p),
+            Err(IrError::BlockOwnership(BlockId(1)))
+        );
+    }
+
+    #[test]
+    fn doubly_owned_block_fails() {
+        let mut p = prog_one_block(Terminator::Halt);
+        p.procs.push(Procedure {
+            name: "dup".into(),
+            blocks: vec![BlockId(0)],
+            entry: BlockId(0),
+        });
+        assert_eq!(
+            verify_program(&p),
+            Err(IrError::BlockOwnership(BlockId(0)))
+        );
+    }
+
+    #[test]
+    fn layout_permutation_checks() {
+        let p = prog_one_block(Terminator::Halt);
+        assert!(verify_layout(&p, &Layout::natural(&p)).is_ok());
+        assert!(verify_layout(&p, &Layout { order: vec![] }).is_err());
+        assert!(verify_layout(
+            &p,
+            &Layout {
+                order: vec![BlockId(7)]
+            }
+        )
+        .is_err());
+        let mut p2 = p.clone();
+        p2.blocks.push(BasicBlock::new(vec![], Terminator::Halt));
+        p2.procs[0].blocks.push(BlockId(1));
+        assert!(verify_layout(
+            &p2,
+            &Layout {
+                order: vec![BlockId(0), BlockId(0)]
+            }
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,140 @@
+//! Property tests for lowering: structural invariants of linked images
+//! under random programs and random layouts.
+
+use codelayout_ir::link::{link, link_with_stats};
+use codelayout_ir::testgen::{random_program, GenConfig};
+use codelayout_ir::{BlockId, Layout, Terminator, INSTR_BYTES};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn shuffled(program: &codelayout_ir::Program, seed: u64) -> Layout {
+    let mut order = Layout::natural(program).order;
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in (1..order.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    Layout { order }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn image_structure_invariants(seed in 0u64..10_000, shuffle in 0u64..1_000) {
+        let program = random_program(seed, &GenConfig::default());
+        let layout = shuffled(&program, shuffle);
+        let (img, stats) = link_with_stats(&program, &layout, 0x40_0000).unwrap();
+
+        // Every instruction is attributed to a block, every block is owned.
+        prop_assert_eq!(img.block_of.len(), img.len());
+        prop_assert_eq!(img.owner.len(), program.blocks.len());
+        prop_assert_eq!(stats.instrs, img.len());
+        prop_assert_eq!(img.text_bytes(), img.len() as u64 * INSTR_BYTES);
+
+        // Block starts follow layout order and every block occupies at
+        // least one instruction (zero-size blocks are forbidden).
+        for w in layout.order.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            prop_assert!(
+                img.block_start[a.index()] < img.block_start[b.index()],
+                "{a} at {} !< {b} at {}",
+                img.block_start[a.index()],
+                img.block_start[b.index()]
+            );
+        }
+
+        // block_of is consistent with block_start: the instruction at each
+        // block's start belongs to that block.
+        for &b in &layout.order {
+            let s = img.block_start[b.index()];
+            prop_assert_eq!(img.block_of[s as usize], b);
+        }
+
+        // Proc entries point at the entry block's start.
+        for (pi, p) in program.procs.iter().enumerate() {
+            prop_assert_eq!(img.proc_entry[pi], img.block_start[p.entry.index()]);
+        }
+
+        // Address round trip.
+        let idx = (img.len() / 2) as u32;
+        prop_assert_eq!(img.index_of(img.addr(idx)), Some(idx));
+    }
+
+    #[test]
+    fn body_instruction_count_is_layout_invariant(seed in 0u64..10_000, shuffle in 0u64..1_000) {
+        // Lowered size = body instrs + terminator encodings; the body part
+        // never changes with layout, so any two layouts differ only by the
+        // number of materialized branches.
+        let program = random_program(seed, &GenConfig::default());
+        let body: usize = program.blocks.iter().map(|b| b.instrs.len()).sum();
+        let nat = link(&program, &Layout::natural(&program), 0).unwrap();
+        let shf = link(&program, &shuffled(&program, shuffle), 0).unwrap();
+        let nblocks = program.blocks.len();
+        for img in [&nat, &shf] {
+            // Lower bound: bodies are always emitted and every block
+            // occupies at least one instruction. Upper bound: a terminator
+            // lowers to at most two instructions.
+            prop_assert!(img.len() >= nblocks.max(body));
+            prop_assert!(img.len() <= body + 2 * nblocks);
+        }
+    }
+
+    #[test]
+    fn natural_layout_minimizes_split_cond_branches(seed in 0u64..10_000) {
+        // In the natural layout, a Branch block's else arm is frequently
+        // adjacent; the stats must classify each conditional exactly once.
+        let program = random_program(seed, &GenConfig::default());
+        let (_, stats) = link_with_stats(&program, &Layout::natural(&program), 0).unwrap();
+        let conds = program
+            .blocks
+            .iter()
+            .filter(|b| matches!(b.term, Terminator::Branch { .. }))
+            .count();
+        prop_assert!(stats.split_cond_branches <= conds);
+        prop_assert!(stats.inverted_branches <= conds);
+    }
+
+    #[test]
+    fn reversal_round_trips(seed in 0u64..10_000) {
+        // Linking the same layout twice is deterministic.
+        let program = random_program(seed, &GenConfig::default());
+        let mut rev = Layout::natural(&program);
+        rev.order.reverse();
+        let a = link(&program, &rev, 0x1000).unwrap();
+        let b = link(&program, &rev, 0x1000).unwrap();
+        prop_assert_eq!(a.code, b.code);
+        prop_assert_eq!(a.block_start, b.block_start);
+    }
+
+    #[test]
+    fn every_branch_target_is_a_block_start(seed in 0u64..10_000, shuffle in 0u64..1_000) {
+        use codelayout_ir::LInstr;
+        let program = random_program(seed, &GenConfig::default());
+        let img = link(&program, &shuffled(&program, shuffle), 0).unwrap();
+        let starts: std::collections::HashSet<u32> = program
+            .blocks
+            .iter()
+            .enumerate()
+            .map(|(i, _)| img.block_start[BlockId(i as u32).index()])
+            .collect();
+        for ins in &img.code {
+            match ins {
+                LInstr::Br { target } | LInstr::BrCond { target, .. } => {
+                    prop_assert!(starts.contains(target), "branch to non-start {target}");
+                }
+                LInstr::JmpTbl { table, default, .. } => {
+                    prop_assert!(starts.contains(default));
+                    for t in table.iter() {
+                        prop_assert!(starts.contains(t));
+                    }
+                }
+                LInstr::Call { target, .. } => {
+                    prop_assert!(starts.contains(target));
+                }
+                _ => {}
+            }
+        }
+    }
+}

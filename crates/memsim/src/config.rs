@@ -1,0 +1,132 @@
+//! Cache geometry and stream filtering.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Geometry of one cache: total size, line size and associativity.
+///
+/// The number of sets (`size / (line × ways)`) must be a power of two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u32,
+    /// Associativity (1 = direct mapped).
+    pub ways: u32,
+}
+
+impl CacheConfig {
+    /// Creates a config, validating the geometry.
+    ///
+    /// # Panics
+    /// Panics if the line size is not a power of two, the size is not a
+    /// multiple of `line × ways`, or the resulting set count is not a power
+    /// of two.
+    pub fn new(size_bytes: u64, line_bytes: u32, ways: u32) -> Self {
+        let c = CacheConfig {
+            size_bytes,
+            line_bytes,
+            ways,
+        };
+        assert!(line_bytes.is_power_of_two(), "line size must be 2^k");
+        assert!(ways >= 1, "associativity must be at least 1");
+        assert_eq!(
+            size_bytes % (line_bytes as u64 * ways as u64),
+            0,
+            "size must be a multiple of line*ways"
+        );
+        assert!(c.sets().is_power_of_two(), "set count must be 2^k");
+        c
+    }
+
+    /// Number of sets.
+    #[inline]
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / (self.line_bytes as u64 * self.ways as u64)
+    }
+
+    /// Total number of lines.
+    #[inline]
+    pub fn lines(&self) -> u64 {
+        self.sets() * self.ways as u64
+    }
+
+    /// Human-readable label such as `64KB/128B/2-way`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}KB/{}B/{}-way",
+            self.size_bytes / 1024,
+            self.line_bytes,
+            self.ways
+        )
+    }
+}
+
+impl fmt::Display for CacheConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Which part of the combined instruction stream a collector observes.
+/// The paper studies the application stream in isolation (§4) and the
+/// combined stream (§5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StreamFilter {
+    /// Application (user-mode) instructions only.
+    UserOnly,
+    /// Kernel instructions only.
+    KernelOnly,
+    /// The combined stream.
+    All,
+}
+
+impl StreamFilter {
+    /// True when a record with the given kernel flag passes the filter.
+    #[inline]
+    pub fn accepts(self, kernel: bool) -> bool {
+        match self {
+            StreamFilter::UserOnly => !kernel,
+            StreamFilter::KernelOnly => kernel,
+            StreamFilter::All => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry() {
+        let c = CacheConfig::new(64 * 1024, 128, 2);
+        assert_eq!(c.sets(), 256);
+        assert_eq!(c.lines(), 512);
+        assert_eq!(c.label(), "64KB/128B/2-way");
+        // 1.5MB 6-way with 64B lines has power-of-two sets (4096).
+        let l2 = CacheConfig::new(1536 * 1024, 64, 6);
+        assert_eq!(l2.sets(), 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "set count")]
+    fn non_pow2_sets_rejected() {
+        let _ = CacheConfig::new(96 * 1024, 128, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "line size")]
+    fn non_pow2_line_rejected() {
+        let _ = CacheConfig::new(64 * 1024, 96, 2);
+    }
+
+    #[test]
+    fn filter_semantics() {
+        assert!(StreamFilter::UserOnly.accepts(false));
+        assert!(!StreamFilter::UserOnly.accepts(true));
+        assert!(StreamFilter::KernelOnly.accepts(true));
+        assert!(!StreamFilter::KernelOnly.accepts(false));
+        assert!(StreamFilter::All.accepts(true) && StreamFilter::All.accepts(false));
+    }
+}

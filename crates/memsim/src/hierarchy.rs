@@ -1,0 +1,246 @@
+//! Full memory hierarchy: per-CPU L1I/L1D + iTLB in front of a shared
+//! unified L2 (the paper's base SimOS-Alpha configuration, §3.3 and
+//! Figure 14).
+
+use crate::config::CacheConfig;
+use crate::icache::{AccessClass, ICacheSim};
+use crate::itlb::Itlb;
+use codelayout_vm::{DataRecord, FetchRecord, TraceSink};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the simulated hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierarchyConfig {
+    /// Number of CPUs (each gets its own L1I, L1D and iTLB).
+    pub num_cpus: usize,
+    /// Per-CPU instruction cache.
+    pub l1i: CacheConfig,
+    /// Per-CPU data cache.
+    pub l1d: CacheConfig,
+    /// Shared unified second-level cache.
+    pub l2: CacheConfig,
+    /// iTLB entries (fully associative).
+    pub itlb_entries: usize,
+    /// Page size in bytes.
+    pub page_bytes: u64,
+}
+
+impl HierarchyConfig {
+    /// The paper's base SimOS-Alpha system: 64 KB 2-way L1s with 64-byte
+    /// lines, 1.5 MB 6-way unified L2, 64-entry iTLB, 8 KB pages.
+    pub fn simos_base(num_cpus: usize) -> Self {
+        HierarchyConfig {
+            num_cpus,
+            l1i: CacheConfig::new(64 * 1024, 64, 2),
+            l1d: CacheConfig::new(64 * 1024, 64, 2),
+            l2: CacheConfig::new(1536 * 1024, 64, 6),
+            itlb_entries: 64,
+            page_bytes: 8192,
+        }
+    }
+}
+
+/// Counters produced by a [`MemoryHierarchy`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HierarchyStats {
+    /// Instruction fetches observed.
+    pub fetches: u64,
+    /// Data accesses observed.
+    pub data_accesses: u64,
+    /// L1 instruction cache misses (summed over CPUs).
+    pub l1i_misses: u64,
+    /// L1 data cache misses (summed over CPUs).
+    pub l1d_misses: u64,
+    /// Instruction TLB misses (summed over CPUs).
+    pub itlb_misses: u64,
+    /// L2 misses on instruction refills (paper Fig. 14 "L2 instr. misses").
+    pub l2_instr_misses: u64,
+    /// L2 misses on data refills (paper Fig. 14 "L2 data misses").
+    pub l2_data_misses: u64,
+}
+
+impl HierarchyStats {
+    /// Total L2 misses.
+    pub fn l2_misses(&self) -> u64 {
+        self.l2_instr_misses + self.l2_data_misses
+    }
+}
+
+/// The hierarchy simulator. Implements [`TraceSink`] so it can be attached
+/// directly to a [`codelayout_vm::Machine`] run.
+///
+/// The L1 caches and iTLB are indexed with virtual addresses; the unified
+/// L2 is indexed with *simulated physical* addresses obtained by hashing
+/// the virtual page number (a deterministic stand-in for the OS's page
+/// allocation). Without this, large same-alignment virtual regions (text
+/// vs shared data) alias pathologically in a direct-mapped L2 — an
+/// artifact no physically-indexed machine exhibits.
+#[derive(Debug, Clone)]
+pub struct MemoryHierarchy {
+    cfg: HierarchyConfig,
+    l1i: Vec<ICacheSim>,
+    l1d: Vec<ICacheSim>,
+    itlb: Vec<Itlb>,
+    l2: ICacheSim,
+    page_shift: u32,
+    stats: HierarchyStats,
+}
+
+impl MemoryHierarchy {
+    /// Creates an empty hierarchy.
+    pub fn new(cfg: HierarchyConfig) -> Self {
+        MemoryHierarchy {
+            l1i: (0..cfg.num_cpus).map(|_| ICacheSim::new(cfg.l1i)).collect(),
+            l1d: (0..cfg.num_cpus).map(|_| ICacheSim::new(cfg.l1d)).collect(),
+            itlb: (0..cfg.num_cpus)
+                .map(|_| Itlb::new(cfg.itlb_entries, cfg.page_bytes))
+                .collect(),
+            l2: ICacheSim::new(cfg.l2),
+            page_shift: cfg.page_bytes.trailing_zeros(),
+            stats: HierarchyStats::default(),
+            cfg,
+        }
+    }
+
+    /// Virtual-to-simulated-physical translation for L2 indexing: the page
+    /// number is mixed with SplitMix64 (deterministic, collision-scattering
+    /// like real page allocation); the page offset is preserved.
+    #[inline]
+    fn phys(&self, addr: u64) -> u64 {
+        let page = addr >> self.page_shift;
+        let off = addr & ((1 << self.page_shift) - 1);
+        let mut z = page.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z << self.page_shift) | off
+    }
+
+    /// The configuration simulated.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.cfg
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> &HierarchyStats {
+        &self.stats
+    }
+}
+
+impl TraceSink for MemoryHierarchy {
+    #[inline]
+    fn fetch(&mut self, rec: FetchRecord) {
+        self.stats.fetches += 1;
+        let cpu = (rec.cpu as usize) % self.cfg.num_cpus;
+        if !self.itlb[cpu].access(rec.addr) {
+            self.stats.itlb_misses += 1;
+        }
+        let class = AccessClass::from_kernel_flag(rec.kernel);
+        if !self.l1i[cpu].access(rec.addr, class) {
+            self.stats.l1i_misses += 1;
+            // Unified L2: instruction refills use the `User` class so the
+            // displaced matrix reads as instruction-vs-data interference.
+            if !self.l2.access(self.phys(rec.addr), AccessClass::User) {
+                self.stats.l2_instr_misses += 1;
+            }
+        }
+    }
+
+    #[inline]
+    fn data(&mut self, rec: DataRecord) {
+        self.stats.data_accesses += 1;
+        let cpu = (rec.cpu as usize) % self.cfg.num_cpus;
+        let class = AccessClass::from_kernel_flag(rec.kernel);
+        if !self.l1d[cpu].access(rec.addr, class) {
+            self.stats.l1d_misses += 1;
+            if !self.l2.access(self.phys(rec.addr), AccessClass::Kernel) {
+                self.stats.l2_data_misses += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> HierarchyConfig {
+        HierarchyConfig {
+            num_cpus: 1,
+            l1i: CacheConfig::new(128, 64, 1),
+            l1d: CacheConfig::new(128, 64, 1),
+            l2: CacheConfig::new(512, 64, 2),
+            itlb_entries: 2,
+            page_bytes: 4096,
+        }
+    }
+
+    fn f(addr: u64) -> FetchRecord {
+        FetchRecord {
+            addr,
+            cpu: 0,
+            pid: 0,
+            kernel: false,
+        }
+    }
+
+    fn d(addr: u64) -> DataRecord {
+        DataRecord {
+            addr,
+            cpu: 0,
+            pid: 0,
+            kernel: false,
+            write: false,
+        }
+    }
+
+    #[test]
+    fn l2_sees_only_l1_misses() {
+        let mut h = MemoryHierarchy::new(small());
+        h.fetch(f(0)); // L1 miss, L2 miss
+        h.fetch(f(0)); // L1 hit: L2 untouched
+        let s = *h.stats();
+        assert_eq!(s.fetches, 2);
+        assert_eq!(s.l1i_misses, 1);
+        assert_eq!(s.l2_instr_misses, 1);
+        assert_eq!(s.l2_misses(), 1);
+    }
+
+    #[test]
+    fn l2_absorbs_l1_conflicts() {
+        let mut h = MemoryHierarchy::new(small());
+        // 0 and 128 conflict in the 2-set L1 but coexist in the 2-way L2.
+        h.fetch(f(0));
+        h.fetch(f(128));
+        h.fetch(f(0));
+        h.fetch(f(128));
+        let s = *h.stats();
+        assert_eq!(s.l1i_misses, 4);
+        assert_eq!(s.l2_instr_misses, 2, "L2 hits after first touch");
+    }
+
+    #[test]
+    fn data_path_counts_separately() {
+        let mut h = MemoryHierarchy::new(small());
+        h.data(d(0));
+        h.data(d(0));
+        h.fetch(f(4096));
+        let s = *h.stats();
+        assert_eq!(s.data_accesses, 2);
+        assert_eq!(s.l1d_misses, 1);
+        assert_eq!(s.l2_data_misses, 1);
+        assert_eq!(s.l2_instr_misses, 1);
+        assert_eq!(s.itlb_misses, 1);
+    }
+
+    #[test]
+    fn simos_base_config_is_the_papers() {
+        let c = HierarchyConfig::simos_base(4);
+        assert_eq!(c.l1i.size_bytes, 64 * 1024);
+        assert_eq!(c.l1i.ways, 2);
+        assert_eq!(c.l2.size_bytes, 1536 * 1024);
+        assert_eq!(c.l2.ways, 6);
+        assert_eq!(c.itlb_entries, 64);
+        assert_eq!(c.num_cpus, 4);
+    }
+}

@@ -1,0 +1,119 @@
+//! Fully-associative LRU instruction TLB (paper Figure 14; the base SimOS
+//! configuration is 64 entries with 8 KB pages).
+
+use serde::{Deserialize, Serialize};
+
+/// A fully-associative, LRU-replaced TLB over instruction pages.
+///
+/// A consecutive-same-page fast path keeps the cost negligible on
+/// straight-line code.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Itlb {
+    page_shift: u32,
+    capacity: usize,
+    /// MRU-first page numbers.
+    entries: Vec<u64>,
+    last_page: u64,
+    accesses: u64,
+    misses: u64,
+}
+
+impl Itlb {
+    /// Creates a TLB with `entries` slots and `page_bytes` pages.
+    ///
+    /// # Panics
+    /// Panics if `page_bytes` is not a power of two or `entries` is zero.
+    pub fn new(entries: usize, page_bytes: u64) -> Self {
+        assert!(page_bytes.is_power_of_two(), "page size must be 2^k");
+        assert!(entries > 0, "TLB needs at least one entry");
+        Itlb {
+            page_shift: page_bytes.trailing_zeros(),
+            capacity: entries,
+            entries: Vec::with_capacity(entries),
+            last_page: u64::MAX,
+            accesses: 0,
+            misses: 0,
+        }
+    }
+
+    /// Translates one instruction address; returns `true` on TLB hit.
+    #[inline]
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.accesses += 1;
+        let page = addr >> self.page_shift;
+        if page == self.last_page {
+            return true;
+        }
+        self.last_page = page;
+        if let Some(pos) = self.entries.iter().position(|&p| p == page) {
+            if pos != 0 {
+                self.entries[..=pos].rotate_right(1);
+            }
+            true
+        } else {
+            self.misses += 1;
+            if self.entries.len() == self.capacity {
+                self.entries.pop();
+            }
+            self.entries.insert(0, page);
+            false
+        }
+    }
+
+    /// Total translations requested.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// TLB misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_page_hits() {
+        let mut t = Itlb::new(4, 8192);
+        assert!(!t.access(0));
+        assert!(t.access(4));
+        assert!(t.access(8191));
+        assert!(!t.access(8192));
+        assert_eq!(t.misses(), 2);
+        assert_eq!(t.accesses(), 4);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut t = Itlb::new(2, 4096);
+        t.access(0); // page 0
+        t.access(4096); // page 1
+        t.access(0); // page 0 hit (MRU)
+        t.access(8192); // page 2 evicts page 1
+        assert!(t.access(0)); // page 0 retained
+        assert!(!t.access(4096)); // page 1 gone
+        assert_eq!(t.misses(), 4);
+    }
+
+    #[test]
+    fn fast_path_does_not_touch_lru_state() {
+        let mut t = Itlb::new(2, 4096);
+        t.access(0);
+        t.access(4096);
+        // Many same-page accesses must not disturb counts.
+        for _ in 0..100 {
+            t.access(4100);
+        }
+        assert_eq!(t.misses(), 2);
+        assert_eq!(t.accesses(), 102);
+    }
+
+    #[test]
+    #[should_panic(expected = "page size")]
+    fn bad_page_size_panics() {
+        let _ = Itlb::new(4, 1000);
+    }
+}

@@ -1,0 +1,311 @@
+//! Spatial/temporal locality metrics: word use, word reuse, line lifetimes
+//! (paper Figures 9, 10, 11 and the unused-fetch claim).
+
+use crate::config::{CacheConfig, StreamFilter};
+use codelayout_vm::{FetchRecord, TraceSink};
+use serde::{Deserialize, Serialize};
+
+/// Instruction word size in bytes (Alpha-like fixed width).
+const WORD_BYTES: u64 = 4;
+/// Maximum words per line we track (256-byte line).
+const MAX_WORDS: usize = 64;
+/// Word-reuse histogram buckets: 0..=15 uses (saturating), as in Fig. 10.
+pub const REUSE_BUCKETS: usize = 16;
+/// Lifetime histogram buckets: log2(cache accesses) 0..=40 (Fig. 11 shows
+/// 15..30).
+pub const LIFETIME_BUCKETS: usize = 41;
+
+/// Aggregated locality statistics.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LocalityStats {
+    /// `unique_words[u]` = line replacements that had used exactly `u`
+    /// distinct words (index 0 unused; lines are filled on demand so at
+    /// least one word is always used). Fig. 9.
+    pub unique_words: Vec<u64>,
+    /// `word_reuse[k]` = words fetched into the cache that were used `k`
+    /// times before replacement (k saturates at 15). Fig. 10.
+    pub word_reuse: [u64; REUSE_BUCKETS],
+    /// `lifetime_log2[b]` = line replacements whose residency lasted
+    /// `2^b..2^(b+1)` cache accesses. Fig. 11. Always `LIFETIME_BUCKETS`
+    /// long.
+    pub lifetime_log2: Vec<u64>,
+    /// Total line replacements recorded.
+    pub replacements: u64,
+    /// Total words fetched (replacements × words/line).
+    pub words_fetched: u64,
+    /// Words fetched but never used before replacement.
+    pub words_unused: u64,
+}
+
+impl LocalityStats {
+    fn new(words_per_line: usize) -> Self {
+        LocalityStats {
+            unique_words: vec![0; words_per_line + 1],
+            word_reuse: [0; REUSE_BUCKETS],
+            lifetime_log2: vec![0; LIFETIME_BUCKETS],
+            replacements: 0,
+            words_fetched: 0,
+            words_unused: 0,
+        }
+    }
+
+    /// Fraction of fetched words never used, in [0, 1] (the paper reports
+    /// 46% for the baseline and 21% for the optimized binary).
+    pub fn unused_fraction(&self) -> f64 {
+        if self.words_fetched == 0 {
+            0.0
+        } else {
+            self.words_unused as f64 / self.words_fetched as f64
+        }
+    }
+
+    /// Average number of unique words used per replaced line.
+    pub fn avg_unique_words(&self) -> f64 {
+        if self.replacements == 0 {
+            return 0.0;
+        }
+        let sum: u64 = self
+            .unique_words
+            .iter()
+            .enumerate()
+            .map(|(u, &c)| u as u64 * c)
+            .sum();
+        sum as f64 / self.replacements as f64
+    }
+
+    /// Mean line lifetime in cache accesses, using bucket midpoints.
+    pub fn mean_lifetime_accesses(&self) -> f64 {
+        if self.replacements == 0 {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .lifetime_log2
+            .iter()
+            .enumerate()
+            .map(|(b, &c)| c as f64 * 1.5 * (1u64 << b) as f64)
+            .sum();
+        sum / self.replacements as f64
+    }
+}
+
+/// An instruction cache that additionally tracks, per resident line, which
+/// words were used and how often, and how long the line stayed resident.
+///
+/// This is the instrument behind the paper's Figures 9–11; it is slower
+/// than [`crate::ICacheSim`] and meant for single-configuration runs.
+#[derive(Debug, Clone)]
+pub struct LocalityCache {
+    cfg: CacheConfig,
+    filter: StreamFilter,
+    line_shift: u32,
+    set_mask: u64,
+    ways: usize,
+    words_per_line: usize,
+    tags: Vec<u64>,
+    /// Per stored line: use count per word.
+    word_counts: Vec<[u16; MAX_WORDS]>,
+    /// Per stored line: fill time (in cache accesses).
+    fill_time: Vec<u64>,
+    clock: u64,
+    stats: LocalityStats,
+    misses: u64,
+}
+
+impl LocalityCache {
+    /// Creates the collector for one cache configuration and stream filter.
+    ///
+    /// # Panics
+    /// Panics if the line has more than 64 words (256 bytes).
+    pub fn new(cfg: CacheConfig, filter: StreamFilter) -> Self {
+        let words_per_line = (cfg.line_bytes as u64 / WORD_BYTES) as usize;
+        assert!(words_per_line <= MAX_WORDS, "line too large");
+        let lines = cfg.lines() as usize;
+        LocalityCache {
+            cfg,
+            filter,
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            set_mask: cfg.sets() - 1,
+            ways: cfg.ways as usize,
+            words_per_line,
+            tags: vec![u64::MAX; lines],
+            word_counts: vec![[0; MAX_WORDS]; lines],
+            fill_time: vec![0; lines],
+            clock: 0,
+            stats: LocalityStats::new(words_per_line),
+            misses: 0,
+        }
+    }
+
+    /// The configuration being measured.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Misses observed so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Processes one instruction fetch.
+    pub fn access(&mut self, addr: u64) {
+        self.clock += 1;
+        let line = addr >> self.line_shift;
+        let word = ((addr & ((self.cfg.line_bytes as u64) - 1)) / WORD_BYTES) as usize;
+        let set = (line & self.set_mask) as usize;
+        let base = set * self.ways;
+
+        for i in 0..self.ways {
+            if self.tags[base + i] == line {
+                self.word_counts[base + i][word] =
+                    self.word_counts[base + i][word].saturating_add(1);
+                // Move to front (LRU).
+                self.tags[base..base + i + 1].rotate_right(1);
+                self.word_counts[base..base + i + 1].rotate_right(1);
+                self.fill_time[base..base + i + 1].rotate_right(1);
+                return;
+            }
+        }
+
+        // Miss: retire the LRU way's statistics, install the new line.
+        self.misses += 1;
+        let lru = base + self.ways - 1;
+        if self.tags[lru] != u64::MAX {
+            self.retire(lru);
+        }
+        self.tags[lru] = line;
+        self.word_counts[lru] = [0; MAX_WORDS];
+        self.word_counts[lru][word] = 1;
+        self.fill_time[lru] = self.clock;
+        self.tags[base..base + self.ways].rotate_right(1);
+        self.word_counts[base..base + self.ways].rotate_right(1);
+        self.fill_time[base..base + self.ways].rotate_right(1);
+    }
+
+    fn retire(&mut self, slot: usize) {
+        let counts = &self.word_counts[slot];
+        let mut unique = 0usize;
+        for &c in counts.iter().take(self.words_per_line) {
+            if c > 0 {
+                unique += 1;
+            }
+            let bucket = (c as usize).min(REUSE_BUCKETS - 1);
+            self.stats.word_reuse[bucket] += 1;
+        }
+        self.stats.unique_words[unique] += 1;
+        self.stats.words_fetched += self.words_per_line as u64;
+        self.stats.words_unused += (self.words_per_line - unique) as u64;
+        let life = (self.clock - self.fill_time[slot]).max(1);
+        let bucket = (63 - life.leading_zeros()) as usize;
+        self.stats.lifetime_log2[bucket.min(LIFETIME_BUCKETS - 1)] += 1;
+        self.stats.replacements += 1;
+    }
+
+    /// Retires every resident line into the statistics and returns them.
+    /// Call once at the end of the simulation.
+    pub fn finish(mut self) -> LocalityStats {
+        for slot in 0..self.tags.len() {
+            if self.tags[slot] != u64::MAX {
+                self.retire(slot);
+                self.tags[slot] = u64::MAX;
+            }
+        }
+        self.stats
+    }
+}
+
+impl TraceSink for LocalityCache {
+    #[inline]
+    fn fetch(&mut self, rec: FetchRecord) {
+        if self.filter.accepts(rec.kernel) {
+            self.access(rec.addr);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> CacheConfig {
+        CacheConfig::new(256, 128, 2) // 1 set, 2 ways, 32 words per line
+    }
+
+    #[test]
+    fn full_line_use_recorded() {
+        let mut c = LocalityCache::new(cfg(), StreamFilter::All);
+        // Touch all 32 words of line 0.
+        for w in 0..32u64 {
+            c.access(w * 4);
+        }
+        let st = c.finish();
+        assert_eq!(st.replacements, 1);
+        assert_eq!(st.unique_words[32], 1);
+        assert_eq!(st.words_unused, 0);
+        assert!((st.unused_fraction() - 0.0).abs() < 1e-12);
+        assert!((st.avg_unique_words() - 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_word_use_has_31_unused() {
+        let mut c = LocalityCache::new(cfg(), StreamFilter::All);
+        c.access(0);
+        let st = c.finish();
+        assert_eq!(st.unique_words[1], 1);
+        assert_eq!(st.words_unused, 31);
+        assert_eq!(st.word_reuse[0], 31);
+        assert_eq!(st.word_reuse[1], 1);
+    }
+
+    #[test]
+    fn eviction_retires_stats() {
+        let mut c = LocalityCache::new(cfg(), StreamFilter::All);
+        c.access(0); // line 0
+        c.access(128); // line 1
+        c.access(256); // line 2, evicts line 0 (LRU)
+        assert_eq!(c.misses(), 3);
+        let st = c.finish();
+        assert_eq!(st.replacements, 3);
+    }
+
+    #[test]
+    fn reuse_saturates_at_bucket_15() {
+        let mut c = LocalityCache::new(cfg(), StreamFilter::All);
+        for _ in 0..100 {
+            c.access(0);
+        }
+        let st = c.finish();
+        assert_eq!(st.word_reuse[15], 1);
+    }
+
+    #[test]
+    fn kernel_filter_skips_kernel_records() {
+        let mut c = LocalityCache::new(cfg(), StreamFilter::UserOnly);
+        c.fetch(FetchRecord {
+            addr: 0,
+            cpu: 0,
+            pid: 0,
+            kernel: true,
+        });
+        assert_eq!(c.misses(), 0);
+        c.fetch(FetchRecord {
+            addr: 0,
+            cpu: 0,
+            pid: 0,
+            kernel: false,
+        });
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn lifetime_buckets_monotone_clock() {
+        let mut c = LocalityCache::new(cfg(), StreamFilter::All);
+        // Fill line 0, touch it across many accesses, then evict.
+        c.access(0);
+        for i in 0..200u64 {
+            c.access(128 * (1 + (i % 2))); // lines 1,2 thrash the other way
+        }
+        let st = c.finish();
+        assert!(st.replacements >= 3);
+        assert!(st.mean_lifetime_accesses() > 0.0);
+    }
+}

@@ -1,0 +1,1048 @@
+//! The miniature transaction-processing engine, generated in the IR.
+//!
+//! This stands in for the Oracle server binary the paper profiled. The
+//! engine is a real program: every transaction receives a serial from the
+//! kernel, picks a statement variant, runs a generated parser path, then an
+//! executor path that performs the TPC-B work — B-tree account lookup,
+//! buffer-pool fix, branch spin-lock, atomic balance updates, history
+//! append, private WAL append and a blocking log-flush syscall. The TPC-B
+//! consistency conditions are checkable on shared memory afterwards.
+//!
+//! The generator's *shape knobs* ([`crate::CodeScale`]) produce the code
+//! properties the paper's results depend on: a wide, flat hot footprint
+//! (many statement variants, each moderately warm), cold error paths inline
+//! with hot code, and a large never-executed code mass.
+//!
+//! # Register conventions
+//!
+//! | Regs | Role |
+//! |------|------|
+//! | `r0` | syscall return |
+//! | `r1..r4` | call arguments / returns (caller-saved, dead across calls) |
+//! | `r5` | RNG state (mutated only by `rand`) |
+//! | `r6..r9` | level 0 (server main loop) |
+//! | `r10..r13` | level 1 (transaction flow) |
+//! | `r14..r21` | level 2 (parser/executor paths) |
+//! | `r22..r25` | level 3 (storage subsystems, lexer helpers) |
+//! | `r26..r28` | level 4 (leaves: rand, checksum, backoff, evict, error) |
+//!
+//! A procedure at level L only calls procedures at deeper levels, so no
+//! save/restore is needed. Kernel code is exempt: the VM banks registers at
+//! kernel entry.
+
+use crate::kernel::{SYS_LOG_WRITE, SYS_RECEIVE, SYS_REPLY};
+use crate::scenario::Scenario;
+use crate::sga::{
+    priv_words, words, SgaLayout, ACCT_STRIDE, BRANCH_STRIDE, BTREE_FANOUT, BUF_STRIDE,
+    HIST_STRIDE, ROWS_PER_PAGE, TELLER_STRIDE,
+};
+use codelayout_ir::{
+    BinOp, Cond, LocalBlock, MemSpace, Operand, ProcBuilder, ProcId, Program, ProgramBuilder, Reg,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const R0: Reg = Reg(0);
+const A1: Reg = Reg(1);
+const A2: Reg = Reg(2);
+const A3: Reg = Reg(3);
+const A4: Reg = Reg(4);
+// Level 0 (main loop).
+const S_SERIAL: Reg = Reg(6);
+const S_VARIANT: Reg = Reg(7);
+const S_TMP: Reg = Reg(8);
+const S_COUNT: Reg = Reg(9);
+// Level 1 (transaction flow).
+const T0: Reg = Reg(10);
+const T1: Reg = Reg(11);
+const T2: Reg = Reg(12);
+// Level 2 (parser/executor paths).
+const X0: Reg = Reg(14);
+const X1: Reg = Reg(15);
+const X2: Reg = Reg(16);
+const X3: Reg = Reg(17);
+const X4: Reg = Reg(18);
+const X5: Reg = Reg(19);
+const X6: Reg = Reg(20);
+const X7: Reg = Reg(21);
+// Level 3 (subsystems).
+const U0: Reg = Reg(22);
+const U1: Reg = Reg(23);
+const U2: Reg = Reg(24);
+const U3: Reg = Reg(25);
+// Level 4 (leaves).
+const V0: Reg = Reg(26);
+const V1: Reg = Reg(27);
+const V2: Reg = Reg(28);
+
+/// A guard constant no bounded value ever exceeds; branches comparing
+/// against it are genuinely never taken (cold error paths).
+const NEVER: i64 = 1 << 42;
+
+/// The generated application program plus the ids the driver needs.
+#[derive(Debug, Clone)]
+pub struct AppSpec {
+    /// The application program (entry = server main loop).
+    pub program: Program,
+    /// The server main procedure.
+    pub main: ProcId,
+}
+
+/// Ids of every procedure, filled during declaration.
+struct Procs {
+    main: ProcId,
+    txn_begin: ProcId,
+    txn_commit: ProcId,
+    parse_dispatch: ProcId,
+    exec_dispatch: ProcId,
+    stats: ProcId,
+    checkpoint: ProcId,
+    parse: Vec<ProcId>,
+    exec: Vec<ProcId>,
+    lex: Vec<ProcId>,
+    btree_lookup: ProcId,
+    buf_fix: ProcId,
+    buf_evict: ProcId,
+    lock_acquire: ProcId,
+    lock_release: ProcId,
+    backoff: ProcId,
+    upd_account: ProcId,
+    upd_teller: ProcId,
+    upd_branch: ProcId,
+    insert_hist: ProcId,
+    log_append: ProcId,
+    rand: ProcId,
+    checksum: ProcId,
+    error: ProcId,
+    dead: Vec<ProcId>,
+}
+
+/// Generates the application program for a scenario and SGA layout.
+pub fn gen_app(sga: &SgaLayout, sc: &Scenario) -> AppSpec {
+    let mut pb = ProgramBuilder::new("oltp-server");
+    let mut rng = StdRng::seed_from_u64(sc.seed ^ 0x6170_7067);
+    let v = sc.scale.stmt_variants;
+
+    // Declaration order is the baseline (natural) link order. Real
+    // binaries are linked in build-system order, which is uncorrelated
+    // with dynamic call sequences — that lack of correlation is exactly
+    // what procedure ordering repairs. We therefore declare procedures in
+    // a seeded arbitrary order rather than generation order.
+    #[derive(Clone)]
+    enum Role {
+        Named(&'static str),
+        Parse(usize),
+        Exec(usize),
+        Lex(usize),
+        Dead(usize),
+    }
+    const NAMED: [&str; 21] = [
+        "server_main",
+        "txn_begin",
+        "txn_commit",
+        "sql_parse_dispatch",
+        "sql_exec_dispatch",
+        "stats_update",
+        "checkpoint",
+        "bt_lookup",
+        "buf_fix",
+        "buf_evict",
+        "lock_acquire",
+        "lock_release",
+        "lock_backoff",
+        "upd_account",
+        "upd_teller",
+        "upd_branch",
+        "insert_history",
+        "log_append",
+        "rand_next",
+        "row_checksum",
+        "error_path",
+    ];
+    let mut roles: Vec<Role> = NAMED.iter().map(|n| Role::Named(n)).collect();
+    roles.extend((0..v).map(Role::Parse));
+    roles.extend((0..v).map(Role::Exec));
+    roles.extend((0..sc.scale.lex_helpers.max(1)).map(Role::Lex));
+    roles.extend((0..sc.scale.dead_procs).map(Role::Dead));
+    // Fisher-Yates with the scenario seed: arbitrary but reproducible
+    // link order.
+    for i in (1..roles.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        roles.swap(i, j);
+    }
+
+    let mut named = std::collections::HashMap::new();
+    let mut parse = vec![ProcId(u32::MAX); v];
+    let mut exec = vec![ProcId(u32::MAX); v];
+    let mut lex = vec![ProcId(u32::MAX); sc.scale.lex_helpers.max(1)];
+    let mut dead = vec![ProcId(u32::MAX); sc.scale.dead_procs];
+    for role in &roles {
+        match role {
+            Role::Named(n) => {
+                named.insert(*n, pb.declare_proc(*n));
+            }
+            Role::Parse(i) => parse[*i] = pb.declare_proc(format!("parse_q{i}")),
+            Role::Exec(i) => exec[*i] = pb.declare_proc(format!("exec_q{i}")),
+            Role::Lex(i) => lex[*i] = pb.declare_proc(format!("lex_{i}")),
+            Role::Dead(i) => dead[*i] = pb.declare_proc(format!("admin_{i}")),
+        }
+    }
+    let main = named["server_main"];
+    let txn_begin = named["txn_begin"];
+    let txn_commit = named["txn_commit"];
+    let parse_dispatch = named["sql_parse_dispatch"];
+    let exec_dispatch = named["sql_exec_dispatch"];
+    let stats = named["stats_update"];
+    let checkpoint = named["checkpoint"];
+    let btree_lookup = named["bt_lookup"];
+    let buf_fix = named["buf_fix"];
+    let buf_evict = named["buf_evict"];
+    let lock_acquire = named["lock_acquire"];
+    let lock_release = named["lock_release"];
+    let backoff = named["lock_backoff"];
+    let upd_account = named["upd_account"];
+    let upd_teller = named["upd_teller"];
+    let upd_branch = named["upd_branch"];
+    let insert_hist = named["insert_history"];
+    let log_append = named["log_append"];
+    let rand = named["rand_next"];
+    let checksum = named["row_checksum"];
+    let error = named["error_path"];
+
+    let p = Procs {
+        main,
+        txn_begin,
+        txn_commit,
+        parse_dispatch,
+        exec_dispatch,
+        stats,
+        checkpoint,
+        parse,
+        exec,
+        lex,
+        btree_lookup,
+        buf_fix,
+        buf_evict,
+        lock_acquire,
+        lock_release,
+        backoff,
+        upd_account,
+        upd_teller,
+        upd_branch,
+        insert_hist,
+        log_append,
+        rand,
+        checksum,
+        error,
+        dead,
+    };
+
+    // Definitions.
+    pb.define_proc(p.main, gen_main(&p, sc)).unwrap();
+    pb.define_proc(p.txn_begin, gen_txn_begin(&p)).unwrap();
+    pb.define_proc(p.txn_commit, gen_txn_commit(&p)).unwrap();
+    pb.define_proc(p.parse_dispatch, gen_dispatch(&p.parse, p.error))
+        .unwrap();
+    pb.define_proc(p.exec_dispatch, gen_dispatch(&p.exec, p.error))
+        .unwrap();
+    pb.define_proc(p.stats, gen_stats(sga)).unwrap();
+    pb.define_proc(p.checkpoint, gen_checkpoint(&p, sga)).unwrap();
+    for i in 0..v {
+        let body = gen_parse_variant(&p, sc, &mut rng, i);
+        pb.define_proc(p.parse[i], body).unwrap();
+        let body = gen_exec_variant(&p, sga, sc, &mut rng, i);
+        pb.define_proc(p.exec[i], body).unwrap();
+    }
+    for (i, &l) in p.lex.iter().enumerate() {
+        pb.define_proc(l, gen_lex(&mut rng, i)).unwrap();
+    }
+    pb.define_proc(p.btree_lookup, gen_btree_lookup(&p)).unwrap();
+    pb.define_proc(p.buf_fix, gen_buf_fix(&p, sga)).unwrap();
+    pb.define_proc(p.buf_evict, gen_buf_evict(sga)).unwrap();
+    pb.define_proc(p.lock_acquire, gen_lock_acquire(&p)).unwrap();
+    pb.define_proc(p.lock_release, gen_lock_release()).unwrap();
+    pb.define_proc(p.backoff, gen_backoff()).unwrap();
+    pb.define_proc(p.upd_account, gen_upd_account(&p)).unwrap();
+    pb.define_proc(p.upd_teller, gen_upd_simple(0)).unwrap();
+    pb.define_proc(p.upd_branch, gen_upd_branch()).unwrap();
+    pb.define_proc(p.insert_hist, gen_insert_hist(&p, sga)).unwrap();
+    pb.define_proc(p.log_append, gen_log_append(&p)).unwrap();
+    pb.define_proc(p.rand, gen_rand()).unwrap();
+    pb.define_proc(p.checksum, gen_checksum()).unwrap();
+    pb.define_proc(p.error, gen_error()).unwrap();
+    for &d in &p.dead {
+        pb.define_proc(d, gen_dead(&mut rng, sc.scale.dead_blocks, p.error))
+            .unwrap();
+    }
+
+    let program = pb.finish(p.main).unwrap();
+    AppSpec {
+        program,
+        main: p.main,
+    }
+}
+
+/// Server main loop (level 0).
+fn gen_main(p: &Procs, sc: &Scenario) -> ProcBuilder {
+    let v = sc.scale.stmt_variants as i64;
+    let mut f = ProcBuilder::new();
+    let entry = f.entry();
+    let loop_head = f.new_block();
+    let got = f.new_block();
+    let after_commit = f.new_block();
+    let do_stats = f.new_block();
+    let after_stats = f.new_block();
+    let do_ckpt = f.new_block();
+    let shutdown = f.new_block();
+
+    f.select(entry);
+    f.imm(S_COUNT, 0);
+    f.jump(loop_head);
+
+    f.select(loop_head);
+    f.syscall(SYS_RECEIVE);
+    f.branch(Cond::Ge, R0, Operand::Imm(0), got, shutdown);
+
+    f.select(got);
+    f.mov(S_SERIAL, R0);
+    // Reseed the RNG from the serial: a transaction's data effects then
+    // depend only on *which* transaction it is, not on which process runs
+    // it or how scheduling interleaved — so any two layouts (or kernel
+    // images) must produce an identical final database state.
+    f.bin_imm(BinOp::Add, Reg(5), S_SERIAL, 1);
+    f.bin_imm(BinOp::Mul, Reg(5), Reg(5), -7046029254386353131i64);
+    f.mov(A1, S_SERIAL).call(p.txn_begin);
+    // Statement type: Zipf-distributed via the shared frequency table.
+    f.call(p.rand);
+    f.bin_imm(BinOp::And, S_VARIANT, A1, 255);
+    f.bin_imm(BinOp::Add, S_VARIANT, S_VARIANT, words::VARIANT_TABLE as i64);
+    f.load(S_VARIANT, S_VARIANT, 0, MemSpace::Shared);
+    let _ = v;
+    f.mov(A1, S_SERIAL).mov(A2, S_VARIANT).call(p.parse_dispatch);
+    f.mov(A1, S_SERIAL).mov(A2, S_VARIANT).call(p.exec_dispatch);
+    f.mov(A1, S_SERIAL).call(p.txn_commit);
+    f.syscall(SYS_REPLY);
+    f.bin_imm(BinOp::Add, S_COUNT, S_COUNT, 1);
+    f.bin_imm(BinOp::And, S_TMP, S_SERIAL, 63);
+    f.branch(Cond::Eq, S_TMP, Operand::Imm(0), do_stats, after_stats);
+
+    f.select(do_stats);
+    f.call(p.stats);
+    f.jump(after_stats);
+
+    f.select(after_stats);
+    f.bin_imm(BinOp::And, S_TMP, S_SERIAL, 255);
+    f.branch(Cond::Eq, S_TMP, Operand::Imm(0), do_ckpt, after_commit);
+
+    f.select(do_ckpt);
+    f.call(p.checkpoint);
+    f.jump(after_commit);
+
+    f.select(after_commit);
+    f.jump(loop_head);
+
+    f.select(shutdown);
+    f.emit(S_COUNT);
+    f.halt();
+    f
+}
+
+/// Transaction begin: WAL begin record + stats (level 1).
+fn gen_txn_begin(p: &Procs) -> ProcBuilder {
+    let mut f = ProcBuilder::new();
+    f.mov(T0, A1);
+    f.imm(A2, -1);
+    f.call(p.log_append);
+    f.work(T1, 4);
+    let _ = T0;
+    f.ret();
+    f
+}
+
+/// Transaction commit: WAL commit record + blocking log flush (level 1).
+fn gen_txn_commit(p: &Procs) -> ProcBuilder {
+    let mut f = ProcBuilder::new();
+    f.mov(T0, A1);
+    f.imm(A2, -2);
+    f.call(p.log_append);
+    f.syscall(SYS_LOG_WRITE);
+    f.work(T1, 3);
+    f.ret();
+    f
+}
+
+/// Statement dispatch through a jump table (level 1). `A2` = variant.
+fn gen_dispatch(targets: &[ProcId], error: ProcId) -> ProcBuilder {
+    let mut f = ProcBuilder::new();
+    let entry = f.entry();
+    let exit = f.new_block();
+    let bad = f.new_block();
+    let blocks: Vec<LocalBlock> = targets.iter().map(|_| f.new_block()).collect();
+    f.select(entry);
+    f.jump_table(A2, blocks.clone(), bad);
+    for (i, &b) in blocks.iter().enumerate() {
+        f.select(b);
+        f.call(targets[i]);
+        f.jump(exit);
+    }
+    f.select(bad);
+    f.call(error);
+    f.ret();
+    f.select(exit);
+    f.ret();
+    f
+}
+
+/// Periodic statistics sweep (level 1, every 64th transaction).
+fn gen_stats(sga: &SgaLayout) -> ProcBuilder {
+    let mut f = ProcBuilder::new();
+    let entry = f.entry();
+    let head = f.new_block();
+    let body = f.new_block();
+    let out = f.new_block();
+    f.select(entry);
+    f.imm(T0, 0);
+    f.load(T1, T0, priv_words::PID as i32, MemSpace::Private);
+    f.bin_imm(BinOp::And, T1, T1, 7);
+    f.bin_imm(BinOp::Add, T1, T1, words::STATS_BASE as i64);
+    f.load(T2, T1, 0, MemSpace::Shared);
+    f.bin_imm(BinOp::Add, T2, T2, 1);
+    f.store(T2, T1, 0, MemSpace::Shared);
+    // Sweep the first 8 branch rows.
+    f.imm(T0, 0).imm(T2, 0);
+    f.jump(head);
+    f.select(head);
+    f.branch(Cond::Lt, T0, Operand::Imm(8), body, out);
+    f.select(body);
+    f.bin_imm(BinOp::Mul, T1, T0, BRANCH_STRIDE as i64);
+    f.bin_imm(BinOp::Add, T1, T1, sga.branch_base as i64);
+    f.load(A2, T1, 0, MemSpace::Shared);
+    f.bin(BinOp::Add, T2, T2, A2);
+    f.bin_imm(BinOp::Add, T0, T0, 1);
+    f.jump(head);
+    f.select(out);
+    f.imm(T0, 0);
+    f.store(T2, T0, (words::STATS_BASE + 13) as i32, MemSpace::Shared);
+    f.ret();
+    f
+}
+
+/// Periodic checkpoint (level 1, every 256th transaction): sweep all branch
+/// balances and flush the log.
+fn gen_checkpoint(p: &Procs, sga: &SgaLayout) -> ProcBuilder {
+    let mut f = ProcBuilder::new();
+    let entry = f.entry();
+    let head = f.new_block();
+    let body = f.new_block();
+    let out = f.new_block();
+    f.select(entry);
+    f.imm(T0, 0).imm(T2, 0);
+    f.jump(head);
+    f.select(head);
+    f.branch(Cond::Lt, T0, Operand::Imm(sga.branches as i64), body, out);
+    f.select(body);
+    f.bin_imm(BinOp::Mul, T1, T0, BRANCH_STRIDE as i64);
+    f.bin_imm(BinOp::Add, T1, T1, sga.branch_base as i64);
+    f.load(A2, T1, 0, MemSpace::Shared);
+    f.bin(BinOp::Add, T2, T2, A2);
+    f.load(A2, T1, 2, MemSpace::Shared);
+    f.bin(BinOp::Add, T2, T2, A2);
+    f.bin_imm(BinOp::Add, T0, T0, 1);
+    f.jump(head);
+    f.select(out);
+    f.imm(T0, 0);
+    f.store(T2, T0, (words::STATS_BASE + 14) as i32, MemSpace::Shared);
+    f.imm(A1, -3).imm(A2, -3);
+    f.call(p.log_append);
+    f.syscall(SYS_LOG_WRITE);
+    f.ret();
+    f
+}
+
+/// Appends generator-chosen filler to the current block and returns the
+/// register holding a bounded pseudo-input value.
+fn filler_work(f: &mut ProcBuilder, rng: &mut StdRng, sc: &Scenario, scratch: Reg) {
+    f.work(scratch, rng.gen_range(sc.scale.work_min..=sc.scale.work_max));
+}
+
+/// Emits a chain of generated hot blocks with branches, helper calls and
+/// inline cold paths. Used by both parser and executor paths (level 2).
+///
+/// `input` must hold a pseudo-input value; `scratch` and `scratch2` are
+/// free level-2 registers. Ends positioned on a fresh open block.
+#[allow(clippy::too_many_arguments)]
+fn gen_hot_chain(
+    f: &mut ProcBuilder,
+    rng: &mut StdRng,
+    sc: &Scenario,
+    p: &Procs,
+    blocks: usize,
+    input: Reg,
+    scratch: Reg,
+    scratch2: Reg,
+) {
+    for _ in 0..blocks {
+        filler_work(f, rng, sc, scratch);
+        // Mutate the pseudo-input so branch outcomes vary per transaction.
+        f.bin_imm(BinOp::Mul, input, input, 1103515245);
+        f.bin_imm(BinOp::Add, input, input, 12345);
+
+        // Occasionally call a lexer/utility helper.
+        if rng.gen_bool(0.35) && !p.lex.is_empty() {
+            let l = p.lex[rng.gen_range(0..p.lex.len())];
+            f.bin_imm(BinOp::And, A1, input, 0xFF);
+            f.call(l);
+            f.bin(BinOp::Xor, input, input, A1);
+        }
+
+        // Transition to the next block.
+        let next = f.new_block();
+        let cold_cut = 45 + (sc.scale.cold_guard_prob * 100.0) as i32;
+        let style: i32 = rng.gen_range(0..100);
+        if style < 30 {
+            f.jump(next);
+        } else if style < 45 {
+            // 50/50 branch on an input bit; both arms warm.
+            let shift = rng.gen_range(8..24) as i64;
+            let arm_a = f.new_block();
+            let arm_b = f.new_block();
+            f.bin_imm(BinOp::Shr, scratch2, input, shift);
+            f.bin_imm(BinOp::And, scratch2, scratch2, 1);
+            f.branch(Cond::Eq, scratch2, Operand::Imm(0), arm_a, arm_b);
+            f.select(arm_a);
+            filler_work(f, rng, sc, scratch);
+            f.jump(next);
+            f.select(arm_b);
+            filler_work(f, rng, sc, scratch);
+            f.jump(next);
+        } else if style < cold_cut {
+            // Inline cold error path, never taken; sized like real error
+            // handling (format, log, unwind) so it dilutes baseline lines.
+            let cold = f.new_block();
+            let cold2 = f.new_block();
+            f.bin_imm(BinOp::And, scratch2, input, 0xFFFF);
+            f.branch(Cond::Gt, scratch2, Operand::Imm(NEVER), cold, next);
+            f.select(cold);
+            f.work(scratch, rng.gen_range(10..28));
+            f.call(p.error);
+            f.jump(cold2);
+            f.select(cold2);
+            f.work(scratch, rng.gen_range(8..24));
+            f.jump(next);
+        } else {
+            // Skewed branch: ~87/13, both warm; the chainer straightens
+            // the common arm.
+            let common = f.new_block();
+            let rare = f.new_block();
+            f.bin_imm(BinOp::And, scratch2, input, 15);
+            f.branch(Cond::Lt, scratch2, Operand::Imm(14), common, rare);
+            f.select(common);
+            filler_work(f, rng, sc, scratch);
+            f.jump(next);
+            f.select(rare);
+            f.work(scratch, rng.gen_range(6..16));
+            f.jump(next);
+        }
+        f.select(next);
+    }
+}
+
+/// One generated parser path (level 2).
+fn gen_parse_variant(p: &Procs, sc: &Scenario, rng: &mut StdRng, v: usize) -> ProcBuilder {
+    let mut f = ProcBuilder::new();
+    f.mov(X0, A1);
+    f.bin_imm(BinOp::Mul, X1, A1, 2654435761);
+    f.bin_imm(BinOp::Add, X1, X1, (v as i64) * 977 + 13);
+    gen_hot_chain(&mut f, rng, sc, p, sc.scale.parse_blocks, X1, X2, X3);
+    // Plan-cache touch (private memory).
+    f.imm(X4, (priv_words::PLAN_CACHE + v * 4) as i64);
+    f.load(X5, X4, 0, MemSpace::Private);
+    f.bin_imm(BinOp::Add, X5, X5, 1);
+    f.store(X5, X4, 0, MemSpace::Private);
+    let _ = X0;
+    f.ret();
+    f
+}
+
+/// One generated executor path (level 2): TPC-B spine + variant filler.
+fn gen_exec_variant(
+    p: &Procs,
+    sga: &SgaLayout,
+    sc: &Scenario,
+    rng: &mut StdRng,
+    v: usize,
+) -> ProcBuilder {
+    let n_tellers = sga.tellers() as i64;
+    let tpb = sga.tellers_per_branch as i64;
+    let apb = sga.accounts_per_branch as i64;
+    let n_acct = sga.accounts() as i64;
+
+    let mut f = ProcBuilder::new();
+    let entry = f.entry();
+    let local = f.new_block();
+    let global = f.new_block();
+    let cont = f.new_block();
+
+    f.select(entry);
+    f.mov(X0, A1); // serial
+    f.call(p.rand);
+    f.bin_imm(BinOp::Rem, X1, A1, n_tellers); // teller id
+    f.call(p.rand);
+    f.bin_imm(BinOp::Rem, X3, A1, 1999);
+    f.bin_imm(BinOp::Sub, X3, X3, 999); // delta in [-999, 999]
+    f.call(p.rand);
+    f.bin_imm(BinOp::Div, X2, X1, tpb); // branch id
+    f.bin_imm(BinOp::And, X6, A1, 255);
+    f.branch(Cond::Lt, X6, Operand::Imm(217), local, global); // 85% local
+
+    f.select(local);
+    f.bin_imm(BinOp::Mul, X4, X2, apb);
+    f.bin_imm(BinOp::Shr, X7, A1, 8);
+    f.bin_imm(BinOp::Rem, X7, X7, apb);
+    f.bin(BinOp::Add, X4, X4, X7);
+    f.jump(cont);
+
+    f.select(global);
+    f.bin_imm(BinOp::Shr, X7, A1, 8);
+    f.bin_imm(BinOp::Rem, X4, X7, n_acct);
+    f.jump(cont);
+
+    f.select(cont);
+    // Variant-specific pseudo-input drives the filler between spine steps.
+    f.bin_imm(BinOp::Mul, X6, X0, 48271);
+    f.bin_imm(BinOp::Add, X6, X6, (v as i64) * 131 + 7);
+    let spine_filler = (sc.scale.exec_blocks / 4).max(1);
+    gen_hot_chain(&mut f, rng, sc, p, spine_filler, X6, X7, A2);
+
+    f.mov(A1, X4);
+    f.call(p.btree_lookup);
+    f.mov(X5, A1); // account row
+    gen_hot_chain(&mut f, rng, sc, p, spine_filler, X6, X7, A2);
+
+    f.mov(A1, X5);
+    f.call(p.buf_fix);
+    // Branch row offset replaces the branch id.
+    f.bin_imm(BinOp::Mul, X2, X2, BRANCH_STRIDE as i64);
+    f.bin_imm(BinOp::Add, X2, X2, sga.branch_base as i64);
+    f.mov(A1, X2);
+    f.call(p.lock_acquire);
+
+    f.mov(A1, X5).mov(A2, X3).mov(A3, X0);
+    f.call(p.upd_account);
+    // Teller row offset replaces the teller id.
+    f.bin_imm(BinOp::Mul, X1, X1, TELLER_STRIDE as i64);
+    f.bin_imm(BinOp::Add, X1, X1, sga.teller_base as i64);
+    f.mov(A1, X1).mov(A2, X3);
+    f.call(p.upd_teller);
+    f.mov(A1, X2).mov(A2, X3);
+    f.call(p.upd_branch);
+    f.mov(A1, X0).mov(A2, X4).mov(A3, X3).mov(A4, X1);
+    f.call(p.insert_hist);
+    f.mov(A1, X2);
+    f.call(p.lock_release);
+    f.mov(A1, X0).mov(A2, X3);
+    f.call(p.log_append);
+
+    gen_hot_chain(&mut f, rng, sc, p, spine_filler, X6, X7, A2);
+    f.ret();
+    f
+}
+
+/// A generated lexer/utility helper (level 3).
+fn gen_lex(rng: &mut StdRng, i: usize) -> ProcBuilder {
+    let mut f = ProcBuilder::new();
+    let entry = f.entry();
+    let head = f.new_block();
+    let body = f.new_block();
+    let out = f.new_block();
+    f.select(entry);
+    f.mov(U0, A1);
+    f.work(U1, rng.gen_range(3..10));
+    // Short data-dependent loop: 1..=4 iterations.
+    f.bin_imm(BinOp::And, U2, A1, 3);
+    f.jump(head);
+    f.select(head);
+    f.branch(Cond::Ge, U2, Operand::Imm(0), body, out);
+    f.select(body);
+    f.bin_imm(BinOp::Mul, U0, U0, 31);
+    f.bin_imm(BinOp::Add, U0, U0, i as i64 + 1);
+    f.bin_imm(BinOp::Sub, U2, U2, 1);
+    f.jump(head);
+    f.select(out);
+    f.bin_imm(BinOp::And, A1, U0, 0xFFFF);
+    f.ret();
+    f
+}
+
+/// B-tree account lookup (level 3). `A1` = key in, `A1` = row offset out.
+fn gen_btree_lookup(p: &Procs) -> ProcBuilder {
+    let fan = BTREE_FANOUT as i64;
+    let mut f = ProcBuilder::new();
+    let entry = f.entry();
+    let node_loop = f.new_block();
+    let scan = f.new_block();
+    let scan_body = f.new_block();
+    let scan_inc = f.new_block();
+    let after = f.new_block();
+    let internal = f.new_block();
+    let leaf = f.new_block();
+    let done = f.new_block();
+    let bad = f.new_block();
+
+    f.select(entry);
+    f.imm(U0, 0);
+    f.load(U0, U0, words::BTREE_ROOT as i32, MemSpace::Shared);
+    f.jump(node_loop);
+
+    f.select(node_loop);
+    f.load(U1, U0, 0, MemSpace::Shared); // header
+    f.bin_imm(BinOp::And, U3, U1, 1); // leaf flag
+    f.bin_imm(BinOp::Shr, U1, U1, 1); // nkeys
+    f.imm(U2, 0);
+    f.jump(scan);
+
+    f.select(scan);
+    f.branch(Cond::Lt, U2, Operand::Reg(U1), scan_body, after);
+
+    f.select(scan_body);
+    f.bin(BinOp::Add, A2, U0, U2);
+    f.load(A3, A2, 1, MemSpace::Shared); // key[i]
+    f.branch(Cond::Ge, A1, Operand::Reg(A3), scan_inc, after);
+
+    f.select(scan_inc);
+    f.bin_imm(BinOp::Add, U2, U2, 1);
+    f.jump(scan);
+
+    f.select(after);
+    f.branch(Cond::Eq, U3, Operand::Imm(1), leaf, internal);
+
+    f.select(internal);
+    f.bin(BinOp::Add, A2, U0, U2);
+    f.load(U0, A2, 1 + fan as i32, MemSpace::Shared);
+    f.jump(node_loop);
+
+    f.select(leaf);
+    f.bin_imm(BinOp::Sub, U2, U2, 1);
+    f.bin(BinOp::Add, A2, U0, U2);
+    f.load(A1, A2, 1 + fan as i32, MemSpace::Shared); // row offset
+    f.branch(Cond::Lt, A1, Operand::Imm(0), bad, done);
+
+    f.select(done);
+    f.ret();
+
+    f.select(bad);
+    f.call(p.error);
+    f.ret();
+    f
+}
+
+/// Buffer-pool fix (level 3). `A1` = row offset.
+fn gen_buf_fix(p: &Procs, sga: &SgaLayout) -> ProcBuilder {
+    let page_shift = (ROWS_PER_PAGE * ACCT_STRIDE).trailing_zeros() as i64;
+    let mask = (sga.buf_entries - 1) as i64;
+    let mut f = ProcBuilder::new();
+    let entry = f.entry();
+    let probe_head = f.new_block();
+    let probe_body = f.new_block();
+    let probe_inc = f.new_block();
+    let hit = f.new_block();
+    let miss = f.new_block();
+
+    f.select(entry);
+    f.bin_imm(BinOp::Shr, U0, A1, page_shift); // page id
+    f.bin_imm(BinOp::Mul, U1, U0, 2654435761);
+    f.bin_imm(BinOp::And, U1, U1, mask); // hash slot
+    f.imm(U2, 0);
+    f.jump(probe_head);
+
+    f.select(probe_head);
+    f.branch(Cond::Lt, U2, Operand::Imm(4), probe_body, miss);
+
+    f.select(probe_body);
+    f.bin(BinOp::Add, A2, U1, U2);
+    f.bin_imm(BinOp::And, A2, A2, mask);
+    f.bin_imm(BinOp::Mul, A2, A2, BUF_STRIDE as i64);
+    f.bin_imm(BinOp::Add, A2, A2, sga.buf_base as i64);
+    f.load(A3, A2, 0, MemSpace::Shared);
+    f.bin_imm(BinOp::Add, U3, U0, 1);
+    f.branch(Cond::Eq, A3, Operand::Reg(U3), hit, probe_inc);
+
+    f.select(probe_inc);
+    f.bin_imm(BinOp::Add, U2, U2, 1);
+    f.jump(probe_head);
+
+    f.select(hit);
+    f.load(A3, A2, 2, MemSpace::Shared);
+    f.bin_imm(BinOp::Add, A3, A3, 1);
+    f.store(A3, A2, 2, MemSpace::Shared);
+    f.ret();
+
+    f.select(miss);
+    f.bin_imm(BinOp::Mul, A2, U1, BUF_STRIDE as i64);
+    f.bin_imm(BinOp::Add, A2, A2, sga.buf_base as i64);
+    f.bin_imm(BinOp::Add, U3, U0, 1);
+    f.store(U3, A2, 0, MemSpace::Shared);
+    f.imm(A3, 1);
+    f.imm(A4, 0);
+    f.atomic_rmw(BinOp::Add, A4, A4, words::BUF_MISSES as i32, A3, MemSpace::Shared);
+    f.mov(A1, U1);
+    f.call(p.buf_evict);
+    f.ret();
+    f
+}
+
+/// Buffer eviction sweep (level 4). `A1` = starting hash slot.
+fn gen_buf_evict(sga: &SgaLayout) -> ProcBuilder {
+    let mask = (sga.buf_entries - 1) as i64;
+    let mut f = ProcBuilder::new();
+    let entry = f.entry();
+    let head = f.new_block();
+    let body = f.new_block();
+    let out = f.new_block();
+    f.select(entry);
+    f.bin_imm(BinOp::And, V0, A1, mask);
+    f.imm(V1, 0);
+    f.jump(head);
+    f.select(head);
+    f.branch(Cond::Lt, V1, Operand::Imm(16), body, out);
+    f.select(body);
+    f.bin(BinOp::Add, V2, V0, V1);
+    f.bin_imm(BinOp::And, V2, V2, mask);
+    f.bin_imm(BinOp::Mul, V2, V2, BUF_STRIDE as i64);
+    f.bin_imm(BinOp::Add, V2, V2, sga.buf_base as i64);
+    f.load(A2, V2, 2, MemSpace::Shared);
+    f.bin_imm(BinOp::Add, V1, V1, 1);
+    f.jump(head);
+    f.select(out);
+    f.ret();
+    f
+}
+
+/// Branch spin-lock acquire (level 3). `A1` = branch row offset.
+fn gen_lock_acquire(p: &Procs) -> ProcBuilder {
+    let mut f = ProcBuilder::new();
+    let entry = f.entry();
+    let spin = f.new_block();
+    let contended = f.new_block();
+    let slow = f.new_block();
+    let done = f.new_block();
+    f.select(entry);
+    f.imm(U0, 0);
+    f.jump(spin);
+    f.select(spin);
+    f.imm(A2, 1);
+    f.atomic_rmw(BinOp::Or, U1, A1, 1, A2, MemSpace::Shared);
+    f.branch(Cond::Eq, U1, Operand::Imm(0), done, contended);
+    f.select(contended);
+    f.bin_imm(BinOp::Add, U0, U0, 1);
+    f.branch(Cond::Gt, U0, Operand::Imm(64), slow, spin);
+    f.select(slow);
+    f.mov(U2, A1); // backoff clobbers A-regs
+    f.call(p.backoff);
+    f.mov(A1, U2);
+    f.imm(U0, 0);
+    f.jump(spin);
+    f.select(done);
+    f.ret();
+    f
+}
+
+/// Branch spin-lock release (level 3). `A1` = branch row offset.
+fn gen_lock_release() -> ProcBuilder {
+    let mut f = ProcBuilder::new();
+    f.imm(A2, 0);
+    f.store(A2, A1, 1, MemSpace::Shared);
+    f.ret();
+    f
+}
+
+/// Contention backoff (level 4).
+fn gen_backoff() -> ProcBuilder {
+    let mut f = ProcBuilder::new();
+    f.work(V0, 24);
+    f.ret();
+    f
+}
+
+/// Account update (level 3). `A1` = row, `A2` = delta, `A3` = serial.
+fn gen_upd_account(p: &Procs) -> ProcBuilder {
+    let mut f = ProcBuilder::new();
+    f.atomic_rmw(BinOp::Add, U0, A1, 0, A2, MemSpace::Shared);
+    f.store(A3, A1, 2, MemSpace::Shared);
+    f.mov(A1, U0);
+    f.call(p.checksum);
+    f.imm(U1, 0);
+    f.store(A1, U1, (words::STATS_BASE + 12) as i32, MemSpace::Shared);
+    f.ret();
+    f
+}
+
+/// Teller/branch balance update (level 3). `A1` = row, `A2` = delta.
+/// `extra_count_word` adds a non-atomic counter bump at the given row
+/// offset (safe only under the branch lock).
+fn gen_upd_simple(extra_count_word: i32) -> ProcBuilder {
+    let mut f = ProcBuilder::new();
+    f.atomic_rmw(BinOp::Add, U0, A1, 0, A2, MemSpace::Shared);
+    if extra_count_word > 0 {
+        f.load(U1, A1, extra_count_word, MemSpace::Shared);
+        f.bin_imm(BinOp::Add, U1, U1, 1);
+        f.store(U1, A1, extra_count_word, MemSpace::Shared);
+    }
+    f.work(U2, 2);
+    f.ret();
+    f
+}
+
+/// Branch update: balance plus the per-branch transaction counter (held
+/// under the branch lock).
+fn gen_upd_branch() -> ProcBuilder {
+    gen_upd_simple(2)
+}
+
+/// History append (level 3). `A1` = serial, `A2` = account, `A3` = delta,
+/// `A4` = teller row.
+fn gen_insert_hist(p: &Procs, sga: &SgaLayout) -> ProcBuilder {
+    let mut f = ProcBuilder::new();
+    let entry = f.entry();
+    let ok = f.new_block();
+    let overflow = f.new_block();
+    f.select(entry);
+    f.imm(U0, 0).imm(U1, 1);
+    f.atomic_rmw(BinOp::Add, U2, U0, words::HIST_NEXT as i32, U1, MemSpace::Shared);
+    f.branch(
+        Cond::Lt,
+        U2,
+        Operand::Imm(sga.hist_capacity as i64),
+        ok,
+        overflow,
+    );
+    f.select(ok);
+    f.bin_imm(BinOp::Mul, U3, U2, HIST_STRIDE as i64);
+    f.bin_imm(BinOp::Add, U3, U3, sga.hist_base as i64);
+    f.store(A1, U3, 0, MemSpace::Shared);
+    f.store(A2, U3, 1, MemSpace::Shared);
+    f.store(A4, U3, 2, MemSpace::Shared);
+    f.store(A3, U3, 3, MemSpace::Shared);
+    f.ret();
+    f.select(overflow);
+    f.call(p.error);
+    f.ret();
+    f
+}
+
+/// Private WAL append (level 3). `A1` = serial, `A2` = tag.
+fn gen_log_append(p: &Procs) -> ProcBuilder {
+    let mut f = ProcBuilder::new();
+    let entry = f.entry();
+    let mix = f.new_block();
+    let done = f.new_block();
+    f.select(entry);
+    f.imm(U0, 0);
+    f.load(U1, U0, priv_words::LOG_COUNT as i32, MemSpace::Private);
+    f.bin_imm(BinOp::And, U2, U1, 7);
+    f.bin_imm(BinOp::Mul, U2, U2, 6);
+    f.bin_imm(BinOp::Add, U2, U2, priv_words::LOG_BUF as i64);
+    f.store(A1, U2, 0, MemSpace::Private);
+    f.store(A2, U2, 1, MemSpace::Private);
+    f.bin(BinOp::Xor, U3, A1, A2);
+    f.store(U3, U2, 2, MemSpace::Private);
+    f.bin_imm(BinOp::Add, U1, U1, 1);
+    f.store(U1, U0, priv_words::LOG_COUNT as i32, MemSpace::Private);
+    // Occasionally mix in a checksum (every 16th record).
+    f.bin_imm(BinOp::And, U3, U1, 15);
+    f.branch(Cond::Eq, U3, Operand::Imm(0), mix, done);
+    f.select(mix);
+    f.mov(A1, U3);
+    f.call(p.checksum);
+    f.jump(done);
+    f.select(done);
+    f.ret();
+    f
+}
+
+/// The RNG (level 4): a 64-bit LCG; returns 30 uniform bits in `A1`.
+fn gen_rand() -> ProcBuilder {
+    const RNG: Reg = Reg(5);
+    let mut f = ProcBuilder::new();
+    f.bin_imm(BinOp::Mul, RNG, RNG, 6364136223846793005);
+    f.bin_imm(BinOp::Add, RNG, RNG, 1442695040888963407);
+    f.bin_imm(BinOp::Shr, A1, RNG, 33);
+    f.bin_imm(BinOp::And, A1, A1, 0x3FFF_FFFF);
+    f.ret();
+    f
+}
+
+/// Row checksum (level 4): mixes `A1` and returns 16 bits.
+fn gen_checksum() -> ProcBuilder {
+    let mut f = ProcBuilder::new();
+    f.mov(V0, A1);
+    f.bin_imm(BinOp::Mul, V0, V0, 0x9E37_79B9);
+    f.bin_imm(BinOp::Shr, V1, V0, 16);
+    f.bin(BinOp::Xor, V0, V0, V1);
+    f.work(V2, 4);
+    f.bin_imm(BinOp::And, A1, V0, 0xFFFF);
+    f.ret();
+    f
+}
+
+/// Error path (level 4): bumps a statistics word. Reached only from cold
+/// guards (never in practice) and the dispatch default arm.
+fn gen_error() -> ProcBuilder {
+    let mut f = ProcBuilder::new();
+    f.imm(V0, 0);
+    f.load(V1, V0, (words::STATS_BASE + 11) as i32, MemSpace::Shared);
+    f.bin_imm(BinOp::Add, V1, V1, 1);
+    f.store(V1, V0, (words::STATS_BASE + 11) as i32, MemSpace::Shared);
+    f.work(V2, 8);
+    f.ret();
+    f
+}
+
+/// Never-executed application code (admin, recovery, DDL).
+fn gen_dead(rng: &mut StdRng, blocks: usize, error: ProcId) -> ProcBuilder {
+    let mut f = ProcBuilder::new();
+    let n = blocks.max(2);
+    let ids: Vec<LocalBlock> = std::iter::once(f.entry())
+        .chain((1..n).map(|_| f.new_block()))
+        .collect();
+    for (i, &b) in ids.iter().enumerate() {
+        f.select(b);
+        f.work(X0, rng.gen_range(3..14));
+        if rng.gen_bool(0.1) {
+            f.call(error);
+        }
+        if i + 1 == n {
+            f.ret();
+        } else if rng.gen_bool(0.3) {
+            let t = ids[rng.gen_range(i + 1..n)];
+            f.branch(Cond::Gt, X0, Operand::Imm(0), t, ids[i + 1]);
+        } else {
+            f.jump(ids[i + 1]);
+        }
+    }
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn app_builds_and_verifies() {
+        let sc = Scenario::quick();
+        let sga = SgaLayout::new(
+            sc.branches,
+            sc.tellers_per_branch,
+            sc.accounts_per_branch,
+            sc.processes(),
+            (sc.profile_txns + sc.warmup_txns + sc.measure_txns) as usize,
+        );
+        let spec = gen_app(&sga, &sc);
+        let stats = spec.program.stats();
+        assert!(stats.procs > 50, "procs: {}", stats.procs);
+        assert!(stats.body_instrs > 2_000, "instrs: {}", stats.body_instrs);
+        // Deterministic generation.
+        let spec2 = gen_app(&sga, &sc);
+        assert_eq!(spec.program, spec2.program);
+    }
+}

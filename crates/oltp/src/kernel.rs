@@ -1,0 +1,387 @@
+//! Synthetic operating-system kernel, written in the IR.
+//!
+//! The paper's combined-stream study (§5) interleaves Tru64 Unix kernel
+//! instructions with the database's. This module generates a kernel image
+//! providing the services the OLTP engine uses — transaction receive,
+//! blocking log writes, reply accounting and the context-switch scheduler
+//! path — plus a mass of never-executed kernel code (drivers, recovery) so
+//! the kernel image, like the application, has a live footprint much
+//! smaller than its static size.
+//!
+//! Kernel code may clobber any register: the VM banks user registers at
+//! kernel entry (Alpha PALcode shadow-register style).
+
+use crate::scenario::CodeScale;
+use crate::sga::{priv_words, words, SgaLayout, LOG_STAGE_WORDS};
+use codelayout_ir::{
+    BinOp, Cond, MemSpace, Operand, ProcBuilder, ProcId, Program, ProgramBuilder, Reg,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Syscall code: fetch the next transaction serial (or -1 for shutdown).
+pub const SYS_RECEIVE: u16 = 1;
+/// Syscall code: flush the process log buffer (blocking I/O).
+pub const SYS_LOG_WRITE: u16 = 2;
+/// Syscall code: reply to the client (accounting only).
+pub const SYS_REPLY: u16 = 3;
+
+/// The generated kernel program plus the procedure ids the driver needs.
+#[derive(Debug, Clone)]
+pub struct KernelSpec {
+    /// The kernel program.
+    pub program: Program,
+    /// Handler for [`SYS_RECEIVE`].
+    pub receive: ProcId,
+    /// Handler for [`SYS_LOG_WRITE`].
+    pub log_write: ProcId,
+    /// Handler for [`SYS_REPLY`].
+    pub reply: ProcId,
+    /// Context-switch scheduler path.
+    pub sched: ProcId,
+}
+
+const R0: Reg = Reg(0);
+const R8: Reg = Reg(8);
+const R9: Reg = Reg(9);
+const R10: Reg = Reg(10);
+const R11: Reg = Reg(11);
+const R12: Reg = Reg(12);
+const R13: Reg = Reg(13);
+const R14: Reg = Reg(14);
+const R15: Reg = Reg(15);
+
+/// Number of generated service paths per handler (dispatch by low serial
+/// or pid bits), modelling the fan of kernel code a syscall traverses
+/// (VFS, buffer cache, network, scheduler classes, …).
+const KPATHS: usize = 32;
+
+/// Generates the kernel program for an SGA layout.
+pub fn gen_kernel(sga: &SgaLayout, scale: &CodeScale, seed: u64) -> KernelSpec {
+    let mut pb = ProgramBuilder::new("kernel");
+    let receive = pb.declare_proc("sys_receive");
+    let log_write = pb.declare_proc("sys_log_write");
+    let reply = pb.declare_proc("sys_reply");
+    let sched = pb.declare_proc("k_sched");
+    let account = pb.declare_proc("k_account");
+    let queue_scan = pb.declare_proc("k_queue_scan");
+    let helpers: Vec<ProcId> = (0..12)
+        .map(|i| pb.declare_proc(format!("k_util_{i}")))
+        .collect();
+    let rx_paths: Vec<ProcId> = (0..KPATHS)
+        .map(|i| pb.declare_proc(format!("k_rx_path_{i}")))
+        .collect();
+    let fs_paths: Vec<ProcId> = (0..KPATHS)
+        .map(|i| pb.declare_proc(format!("k_fs_path_{i}")))
+        .collect();
+    let sched_paths: Vec<ProcId> = (0..8)
+        .map(|i| pb.declare_proc(format!("k_sched_class_{i}")))
+        .collect();
+
+    // Dead kernel mass: drivers, recovery, diagnostics.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6b65_726e);
+    let n_dead = scale.dead_procs / 8;
+    let dead: Vec<ProcId> = (0..n_dead)
+        .map(|i| pb.declare_proc(format!("k_dead_{i}")))
+        .collect();
+
+    pb.define_proc(receive, gen_receive(account, &rx_paths)).unwrap();
+    pb.define_proc(log_write, gen_log_write(sga, account, &fs_paths))
+        .unwrap();
+    pb.define_proc(reply, gen_reply()).unwrap();
+    pb.define_proc(sched, gen_sched(queue_scan, &sched_paths)).unwrap();
+    pb.define_proc(account, gen_account()).unwrap();
+    pb.define_proc(queue_scan, gen_queue_scan()).unwrap();
+    for (i, &h) in helpers.iter().enumerate() {
+        pb.define_proc(h, gen_k_helper(&mut rng, i)).unwrap();
+    }
+    for &p in rx_paths.iter() {
+        pb.define_proc(p, gen_k_path(&mut rng, 10, &helpers)).unwrap();
+    }
+    for &p in fs_paths.iter() {
+        pb.define_proc(p, gen_k_path(&mut rng, 12, &helpers)).unwrap();
+    }
+    for &p in sched_paths.iter() {
+        pb.define_proc(p, gen_k_path(&mut rng, 7, &helpers)).unwrap();
+    }
+    for &d in &dead {
+        pb.define_proc(d, gen_dead(&mut rng, scale.dead_blocks))
+            .unwrap();
+    }
+
+    let program = pb.finish(receive).unwrap();
+    KernelSpec {
+        program,
+        receive,
+        log_write,
+        reply,
+        sched,
+    }
+}
+
+/// A generated kernel service path: a chain of warm blocks with skewed
+/// branches and helper calls, like the body of a real syscall service
+/// routine. Input: `A1` = a varying selector value. Uses `r12`/`r13`.
+fn gen_k_path(rng: &mut StdRng, blocks: usize, helpers: &[ProcId]) -> ProcBuilder {
+    let mut f = ProcBuilder::new();
+    f.mov(R12, Reg(1));
+    for _ in 0..blocks {
+        f.work(R13, rng.gen_range(4..11));
+        f.bin_imm(BinOp::Mul, R12, R12, 1103515245);
+        f.bin_imm(BinOp::Add, R12, R12, 12345);
+        if rng.gen_bool(0.3) {
+            let h = helpers[rng.gen_range(0..helpers.len())];
+            f.bin_imm(BinOp::And, Reg(1), R12, 0xFF);
+            f.call(h);
+        }
+        let next = f.new_block();
+        if rng.gen_bool(0.45) {
+            let common = f.new_block();
+            let rare = f.new_block();
+            f.bin_imm(BinOp::And, R13, R12, 15);
+            f.branch(Cond::Lt, R13, Operand::Imm(14), common, rare);
+            f.select(common);
+            f.work(R13, rng.gen_range(3..9));
+            f.jump(next);
+            f.select(rare);
+            f.work(R13, rng.gen_range(5..14));
+            f.jump(next);
+        } else {
+            f.jump(next);
+        }
+        f.select(next);
+    }
+    f.ret();
+    f
+}
+
+/// A small kernel leaf helper (hash/copy style). Uses `r14`/`r15`.
+fn gen_k_helper(rng: &mut StdRng, i: usize) -> ProcBuilder {
+    let mut f = ProcBuilder::new();
+    f.mov(R14, Reg(1));
+    f.work(R15, rng.gen_range(6..18));
+    f.bin_imm(BinOp::Mul, R14, R14, 31 + i as i64);
+    f.bin_imm(BinOp::And, Reg(1), R14, 0xFFFF);
+    f.ret();
+    f
+}
+
+/// `r0 = serial` (atomic counter) or `-1` at/after the limit.
+fn gen_receive(account: ProcId, rx_paths: &[ProcId]) -> ProcBuilder {
+    let mut f = ProcBuilder::new();
+    let entry = f.entry();
+    let grant = f.new_block();
+    let over = f.new_block();
+    let done = f.new_block();
+    let arms: Vec<_> = rx_paths.iter().map(|_| f.new_block()).collect();
+    f.select(entry);
+    f.imm(R8, 0).imm(R9, 1);
+    f.atomic_rmw(BinOp::Add, R0, R8, words::COUNTER as i32, R9, MemSpace::Shared);
+    f.load(R10, R8, words::LIMIT as i32, MemSpace::Shared);
+    f.branch(Cond::Lt, R0, Operand::Reg(R10), grant, over);
+    f.select(grant);
+    // Run-queue bookkeeping: record the serial in a queue slot.
+    f.bin_imm(BinOp::And, R11, R0, 31);
+    f.bin_imm(BinOp::Add, R11, R11, words::RUNQ_BASE as i64);
+    f.store(R0, R11, 0, MemSpace::Shared);
+    // The serial stays in R0 for the whole handler: the service paths,
+    // helpers and accounting all keep clear of R0. (A bug once parked it
+    // in R8, which k_account zeroes — every transaction then returned
+    // serial 0.)
+    // Service path fan: different requests traverse different kernel code.
+    f.bin_imm(BinOp::And, R11, R0, rx_paths.len() as i64 - 1);
+    f.jump_table(R11, arms.clone(), done);
+    for (i, &a) in arms.iter().enumerate() {
+        f.select(a);
+        f.mov(Reg(1), R0);
+        f.call(rx_paths[i]);
+        f.jump(done);
+    }
+    f.select(done);
+    f.call(account);
+    f.ret();
+    f.select(over);
+    f.imm(R0, -1);
+    f.ret();
+    f
+}
+
+/// Copies the process's private log buffer into its shared staging area and
+/// bumps the global log tail. The post-handler blocking latency models the
+/// disk write.
+fn gen_log_write(sga: &SgaLayout, account: ProcId, fs_paths: &[ProcId]) -> ProcBuilder {
+    let _ = sga;
+    let mut f = ProcBuilder::new();
+    let entry = f.entry();
+    let loop_head = f.new_block();
+    let copy = f.new_block();
+    let done = f.new_block();
+    let out = f.new_block();
+    let arms: Vec<_> = fs_paths.iter().map(|_| f.new_block()).collect();
+    f.select(entry);
+    f.imm(R8, 0);
+    f.load(R9, R8, priv_words::PID as i32, MemSpace::Private);
+    // Staging base = LOG_STAGE_BASE + pid * LOG_STAGE_WORDS.
+    f.bin_imm(BinOp::Mul, R10, R9, LOG_STAGE_WORDS as i64);
+    f.bin_imm(BinOp::Add, R10, R10, words::LOG_STAGE_BASE as i64);
+    f.load(R11, R8, priv_words::LOG_COUNT as i32, MemSpace::Private);
+    f.bin_imm(BinOp::Min, R11, R11, (LOG_STAGE_WORDS - 1) as i64);
+    f.imm(R12, 0);
+    f.jump(loop_head);
+    f.select(loop_head);
+    f.branch(Cond::Lt, R12, Operand::Reg(R11), copy, done);
+    f.select(copy);
+    f.bin_imm(BinOp::Add, R13, R12, priv_words::LOG_BUF as i64);
+    f.load(R14, R13, 0, MemSpace::Private);
+    f.bin(BinOp::Add, R15, R10, R12);
+    f.store(R14, R15, 0, MemSpace::Shared);
+    f.bin_imm(BinOp::Add, R12, R12, 1);
+    f.jump(loop_head);
+    f.select(done);
+    f.atomic_rmw(BinOp::Add, R13, R8, words::LOG_TAIL as i32, R11, MemSpace::Shared);
+    f.imm(R14, 0);
+    f.store(R14, R8, priv_words::LOG_COUNT as i32, MemSpace::Private);
+    // File-system / device path fan, selected by the (old) log tail so
+    // successive writes traverse different device/FS code.
+    f.bin_imm(BinOp::And, R11, R13, fs_paths.len() as i64 - 1);
+    f.jump_table(R11, arms.clone(), out);
+    for (i, &a) in arms.iter().enumerate() {
+        f.select(a);
+        f.mov(Reg(1), R9);
+        f.call(fs_paths[i]);
+        f.jump(out);
+    }
+    f.select(out);
+    f.call(account);
+    f.imm(R0, 0);
+    f.ret();
+    f
+}
+
+/// Minimal reply accounting: bump a per-process stat slot.
+fn gen_reply() -> ProcBuilder {
+    let mut f = ProcBuilder::new();
+    f.imm(R8, 0);
+    f.load(R9, R8, priv_words::PID as i32, MemSpace::Private);
+    f.bin_imm(BinOp::And, R10, R9, 7);
+    f.bin_imm(BinOp::Add, R10, R10, words::STATS_BASE as i64);
+    f.load(R11, R10, 0, MemSpace::Shared);
+    f.bin_imm(BinOp::Add, R11, R11, 1);
+    f.store(R11, R10, 0, MemSpace::Shared);
+    f.work(R12, 4);
+    f.imm(R0, 0);
+    f.ret();
+    f
+}
+
+/// Context-switch path: scan the run queue, account, then run one of the
+/// scheduler-class paths (alternating with the switch counter).
+fn gen_sched(queue_scan: ProcId, sched_paths: &[ProcId]) -> ProcBuilder {
+    let mut f = ProcBuilder::new();
+    let entry = f.entry();
+    let out = f.new_block();
+    let arms: Vec<_> = sched_paths.iter().map(|_| f.new_block()).collect();
+    f.select(entry);
+    f.call(queue_scan);
+    f.imm(R8, 0);
+    f.load(R9, R8, (words::STATS_BASE + 8) as i32, MemSpace::Shared);
+    f.bin_imm(BinOp::Add, R9, R9, 1);
+    f.store(R9, R8, (words::STATS_BASE + 8) as i32, MemSpace::Shared);
+    f.work(R10, 8);
+    f.bin_imm(BinOp::And, R11, R9, sched_paths.len() as i64 - 1);
+    f.jump_table(R11, arms.clone(), out);
+    for (i, &a) in arms.iter().enumerate() {
+        f.select(a);
+        f.mov(Reg(1), R9);
+        f.call(sched_paths[i]);
+        f.jump(out);
+    }
+    f.select(out);
+    f.ret();
+    f
+}
+
+/// Scans the 32-slot run queue and stores the maximum serial seen.
+fn gen_queue_scan() -> ProcBuilder {
+    let mut f = ProcBuilder::new();
+    let entry = f.entry();
+    let head = f.new_block();
+    let body = f.new_block();
+    let out = f.new_block();
+    f.select(entry);
+    f.imm(R8, words::RUNQ_BASE as i64).imm(R9, 0).imm(R10, 0);
+    f.jump(head);
+    f.select(head);
+    f.branch(Cond::Lt, R9, Operand::Imm(32), body, out);
+    f.select(body);
+    f.bin(BinOp::Add, R11, R8, R9);
+    f.load(R12, R11, 0, MemSpace::Shared);
+    f.bin(BinOp::Max, R10, R10, R12);
+    f.bin_imm(BinOp::Add, R9, R9, 1);
+    f.jump(head);
+    f.select(out);
+    f.imm(R11, 0);
+    f.store(R10, R11, (words::STATS_BASE + 9) as i32, MemSpace::Shared);
+    f.ret();
+    f
+}
+
+/// Accounting helper shared by the handlers.
+fn gen_account() -> ProcBuilder {
+    let mut f = ProcBuilder::new();
+    f.imm(R8, 0);
+    f.load(R9, R8, (words::STATS_BASE + 10) as i32, MemSpace::Shared);
+    f.bin_imm(BinOp::Add, R9, R9, 1);
+    f.store(R9, R8, (words::STATS_BASE + 10) as i32, MemSpace::Shared);
+    f.work(R10, 5);
+    f.ret();
+    f
+}
+
+/// Never-executed kernel code (drivers, recovery, diagnostics).
+fn gen_dead(rng: &mut StdRng, blocks: usize) -> ProcBuilder {
+    let mut f = ProcBuilder::new();
+    let n = blocks.max(2);
+    let ids: Vec<_> = std::iter::once(f.entry())
+        .chain((1..n).map(|_| f.new_block()))
+        .collect();
+    for (i, &b) in ids.iter().enumerate() {
+        f.select(b);
+        f.work(R8, rng.gen_range(3..12));
+        if i + 1 == n {
+            f.ret();
+        } else if rng.gen_bool(0.3) {
+            let t = ids[rng.gen_range(i + 1..n)];
+            f.branch(Cond::Gt, R8, Operand::Imm(0), t, ids[i + 1]);
+        } else {
+            f.jump(ids[i + 1]);
+        }
+    }
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+
+    #[test]
+    fn kernel_builds_and_verifies() {
+        let sc = Scenario::quick();
+        let sga = SgaLayout::new(
+            sc.branches,
+            sc.tellers_per_branch,
+            sc.accounts_per_branch,
+            8,
+            1000,
+        );
+        let spec = gen_kernel(&sga, &sc.scale, 42);
+        assert!(spec.program.procs.len() >= 6);
+        assert_eq!(spec.program.proc(spec.receive).name, "sys_receive");
+        // Deterministic generation.
+        let spec2 = gen_kernel(&sga, &sc.scale, 42);
+        assert_eq!(spec.program, spec2.program);
+        let spec3 = gen_kernel(&sga, &sc.scale, 43);
+        assert_ne!(spec.program, spec3.program);
+    }
+}

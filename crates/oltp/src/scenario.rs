@@ -1,0 +1,166 @@
+//! Workload scenarios: database scale, system shape, code-size knobs.
+
+use serde::{Deserialize, Serialize};
+
+/// Code-size knobs for the generated database engine. These control the
+/// *shape* of the binary: how wide and flat the hot footprint is, how much
+/// cold error-path code sits inline with hot code, and how much
+/// never-executed code pads the image (the paper's Oracle binary is 27 MB
+/// with a ~260 KB live footprint).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CodeScale {
+    /// Number of generated SQL statement variants; each transaction picks
+    /// one uniformly, flattening the execution profile.
+    pub stmt_variants: usize,
+    /// Basic blocks per generated parser path.
+    pub parse_blocks: usize,
+    /// Basic blocks per generated executor path.
+    pub exec_blocks: usize,
+    /// Filler (straight-line) instructions per hot block: min..=max.
+    pub work_min: usize,
+    /// See [`CodeScale::work_min`].
+    pub work_max: usize,
+    /// Shared lexer/utility helper procedures.
+    pub lex_helpers: usize,
+    /// Probability that a hot block carries an inline cold error path.
+    pub cold_guard_prob: f64,
+    /// Never-executed procedures (admin, recovery, DDL, …).
+    pub dead_procs: usize,
+    /// Average blocks per dead procedure.
+    pub dead_blocks: usize,
+}
+
+/// A complete experiment scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Master seed for code generation and per-process RNG seeds.
+    pub seed: u64,
+    /// TPC-B branches (the paper uses 40).
+    pub branches: usize,
+    /// Tellers per branch (TPC-B: 10).
+    pub tellers_per_branch: usize,
+    /// Accounts per branch (TPC-B: 100 000; scaled down here, see
+    /// DESIGN.md substitutions).
+    pub accounts_per_branch: usize,
+    /// Simulated CPUs.
+    pub num_cpus: usize,
+    /// Server processes per CPU (the paper uses 8).
+    pub processes_per_cpu: usize,
+    /// Scheduling quantum in instructions.
+    pub quantum: u64,
+    /// Transactions executed by the profiling run (paper: 2000).
+    pub profile_txns: u64,
+    /// Warm-up transactions before measurement starts.
+    pub warmup_txns: u64,
+    /// Measured transactions (paper: 500 under simulation).
+    pub measure_txns: u64,
+    /// Blocking latency of a log write, in instructions.
+    pub log_write_latency: u64,
+    /// Code-size knobs.
+    pub scale: CodeScale,
+}
+
+impl Scenario {
+    /// Tiny scenario for unit/integration tests: small database, two
+    /// processes, a few hundred transactions, small generated binary.
+    pub fn quick() -> Self {
+        Scenario {
+            seed: 0xC0DE_1A70,
+            branches: 4,
+            tellers_per_branch: 2,
+            accounts_per_branch: 250,
+            num_cpus: 1,
+            processes_per_cpu: 2,
+            quantum: 5_000,
+            profile_txns: 60,
+            warmup_txns: 10,
+            measure_txns: 60,
+            log_write_latency: 400,
+            scale: CodeScale {
+                stmt_variants: 6,
+                parse_blocks: 8,
+                exec_blocks: 10,
+                work_min: 3,
+                work_max: 8,
+                lex_helpers: 6,
+                cold_guard_prob: 0.25,
+                dead_procs: 40,
+                dead_blocks: 8,
+            },
+        }
+    }
+
+    /// The paper's simulated system: 4 CPUs × 8 server processes, a 40
+    /// branch database, 500 measured transactions, and a generated binary
+    /// with a large flat hot footprint (~200–300 KB live).
+    pub fn paper_sim() -> Self {
+        Scenario {
+            seed: 0x01A7_0B42,
+            branches: 40,
+            tellers_per_branch: 10,
+            accounts_per_branch: 2_500,
+            num_cpus: 4,
+            processes_per_cpu: 8,
+            quantum: 20_000,
+            profile_txns: 2_000,
+            warmup_txns: 400,
+            measure_txns: 2_000,
+            log_write_latency: 2_000,
+            scale: CodeScale {
+                stmt_variants: 40,
+                parse_blocks: 38,
+                exec_blocks: 60,
+                work_min: 4,
+                work_max: 12,
+                lex_helpers: 24,
+                cold_guard_prob: 0.30,
+                dead_procs: 1_200,
+                dead_blocks: 14,
+            },
+        }
+    }
+
+    /// Single-processor variant used for the hardware-style execution-time
+    /// comparison (paper Figure 15 reports 1-processor runs).
+    pub fn paper_hw() -> Self {
+        Scenario {
+            num_cpus: 1,
+            processes_per_cpu: 8,
+            ..Self::paper_sim()
+        }
+    }
+
+    /// Total server processes.
+    pub fn processes(&self) -> usize {
+        self.num_cpus * self.processes_per_cpu
+    }
+
+    /// Total accounts.
+    pub fn accounts(&self) -> usize {
+        self.branches * self.accounts_per_branch
+    }
+
+    /// Total tellers.
+    pub fn tellers(&self) -> usize {
+        self.branches * self.tellers_per_branch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_sane() {
+        let q = Scenario::quick();
+        assert!(q.processes() >= 2);
+        assert_eq!(q.accounts(), 1000);
+        let p = Scenario::paper_sim();
+        assert_eq!(p.branches, 40);
+        assert_eq!(p.processes(), 32);
+        assert_eq!(p.tellers(), 400);
+        let h = Scenario::paper_hw();
+        assert_eq!(h.num_cpus, 1);
+        assert_eq!(h.scale, p.scale);
+    }
+}

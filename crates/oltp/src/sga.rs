@@ -1,0 +1,487 @@
+//! Shared memory ("SGA") layout and host-side database loader.
+//!
+//! All server processes attach to one shared region modelled on a database
+//! system global area: global counters, the TPC-B tables (branch, teller,
+//! account, history), a B-tree index over accounts, the buffer-pool hash
+//! table, log staging buffers and the kernel run queue. The *layout* is
+//! computed host-side; the *contents* are read and written by IR code at
+//! simulation time (plus this loader, which plays the role of the initial
+//! database load).
+
+use codelayout_vm::Machine;
+
+/// Number of key slots per B-tree node.
+pub const BTREE_FANOUT: usize = 8;
+/// Words per B-tree node: header + keys + (fanout + 1) pointers.
+pub const BTREE_NODE_WORDS: usize = 2 * BTREE_FANOUT + 2;
+
+/// Words per branch row: `[balance, lock, txn_count, pad…]`.
+pub const BRANCH_STRIDE: usize = 8;
+/// Words per teller row: `[balance, branch, pad…]`.
+pub const TELLER_STRIDE: usize = 8;
+/// Words per account row: `[balance, branch, last_serial, pad…]`.
+pub const ACCT_STRIDE: usize = 8;
+/// Words per history record: `[serial, account, teller, delta]`.
+pub const HIST_STRIDE: usize = 4;
+/// Words per buffer-pool hash entry: `[page_id+1, frame, hits, pad]`.
+pub const BUF_STRIDE: usize = 4;
+/// Words of log staging area per process.
+pub const LOG_STAGE_WORDS: usize = 64;
+/// Account rows per buffer-pool "page".
+pub const ROWS_PER_PAGE: usize = 64;
+
+/// Fixed global word offsets.
+pub mod words {
+    /// Global transaction serial counter (atomically incremented by the
+    /// kernel's receive handler).
+    pub const COUNTER: usize = 0;
+    /// Transaction limit; receive returns -1 at or beyond it.
+    pub const LIMIT: usize = 1;
+    /// Next history slot (atomic).
+    pub const HIST_NEXT: usize = 2;
+    /// Buffer pool miss counter.
+    pub const BUF_MISSES: usize = 3;
+    /// Global log tail.
+    pub const LOG_TAIL: usize = 4;
+    /// Word offset of the account B-tree root node (set by the loader and
+    /// read by the generated lookup code, like a root pointer in a
+    /// database control block).
+    pub const BTREE_ROOT: usize = 5;
+    /// Scratch statistics area (16 words).
+    pub const STATS_BASE: usize = 16;
+    /// Kernel run-queue area (32 words).
+    pub const RUNQ_BASE: usize = 32;
+    /// Statement-variant frequency table: 256 words mapping a random byte
+    /// to a variant id (filled with a Zipf-like distribution by the
+    /// driver, modelling a few dominant statement types).
+    pub const VARIANT_TABLE: usize = 256;
+    /// Size of the variant table in words.
+    pub const VARIANT_TABLE_WORDS: usize = 256;
+    /// Start of per-process log staging buffers.
+    pub const LOG_STAGE_BASE: usize = 512;
+}
+
+/// Fixed per-process private-memory word offsets, agreed between the
+/// application and kernel code generators and the driver.
+pub mod priv_words {
+    /// The process id, written by the driver before the run.
+    pub const PID: usize = 0;
+    /// Initial RNG seed mirror (`r5` is the live state).
+    pub const SEED: usize = 1;
+    /// Number of valid words in the private log buffer.
+    pub const LOG_COUNT: usize = 8;
+    /// Private log buffer (up to 48 words).
+    pub const LOG_BUF: usize = 16;
+    /// Per-statement-variant plan cache (4 words per variant).
+    pub const PLAN_CACHE: usize = 128;
+    /// General scratch area.
+    pub const SCRATCH: usize = 512;
+}
+
+/// The computed shared-memory map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SgaLayout {
+    /// Number of branches.
+    pub branches: usize,
+    /// Tellers per branch.
+    pub tellers_per_branch: usize,
+    /// Accounts per branch.
+    pub accounts_per_branch: usize,
+    /// Max processes (sizes the log staging area).
+    pub max_processes: usize,
+    /// First word of the branch table.
+    pub branch_base: usize,
+    /// First word of the teller table.
+    pub teller_base: usize,
+    /// First word of the account table.
+    pub acct_base: usize,
+    /// First word of the buffer-pool hash table.
+    pub buf_base: usize,
+    /// Buffer hash entries (power of two).
+    pub buf_entries: usize,
+    /// First word of the B-tree node arena.
+    pub btree_base: usize,
+    /// Word offset of the B-tree root node (set by the loader).
+    pub btree_root: usize,
+    /// Number of B-tree nodes.
+    pub btree_nodes: usize,
+    /// First word of the history table.
+    pub hist_base: usize,
+    /// History capacity in records.
+    pub hist_capacity: usize,
+    /// Total words required.
+    pub total_words: usize,
+}
+
+impl SgaLayout {
+    /// Computes the layout for a database scale and a transaction budget
+    /// (history must hold every transaction so the invariant checks are
+    /// exact).
+    pub fn new(
+        branches: usize,
+        tellers_per_branch: usize,
+        accounts_per_branch: usize,
+        max_processes: usize,
+        max_txns: usize,
+    ) -> Self {
+        assert!(branches > 0 && tellers_per_branch > 0 && accounts_per_branch > 0);
+        let accounts = branches * accounts_per_branch;
+        let tellers = branches * tellers_per_branch;
+
+        let branch_base = words::LOG_STAGE_BASE + max_processes * LOG_STAGE_WORDS;
+        let teller_base = branch_base + branches * BRANCH_STRIDE;
+        let acct_base = teller_base + tellers * TELLER_STRIDE;
+        let buf_base = acct_base + accounts * ACCT_STRIDE;
+        let pages = accounts.div_ceil(ROWS_PER_PAGE);
+        let buf_entries = (pages * 2).next_power_of_two();
+        let btree_base = buf_base + buf_entries * BUF_STRIDE;
+        let btree_nodes = btree_node_budget(accounts);
+        let hist_base = btree_base + btree_nodes * BTREE_NODE_WORDS;
+        let hist_capacity = max_txns + 16;
+        let total_words = hist_base + hist_capacity * HIST_STRIDE;
+
+        SgaLayout {
+            branches,
+            tellers_per_branch,
+            accounts_per_branch,
+            max_processes,
+            branch_base,
+            teller_base,
+            acct_base,
+            buf_base,
+            buf_entries,
+            btree_base,
+            btree_root: 0, // set by the loader
+            btree_nodes,
+            hist_base,
+            hist_capacity,
+            total_words,
+        }
+    }
+
+    /// Total accounts.
+    pub fn accounts(&self) -> usize {
+        self.branches * self.accounts_per_branch
+    }
+
+    /// Total tellers.
+    pub fn tellers(&self) -> usize {
+        self.branches * self.tellers_per_branch
+    }
+
+    /// Word offset of an account row.
+    pub fn acct_row(&self, account: usize) -> usize {
+        self.acct_base + account * ACCT_STRIDE
+    }
+
+    /// Word offset of a teller row.
+    pub fn teller_row(&self, teller: usize) -> usize {
+        self.teller_base + teller * TELLER_STRIDE
+    }
+
+    /// Word offset of a branch row.
+    pub fn branch_row(&self, branch: usize) -> usize {
+        self.branch_base + branch * BRANCH_STRIDE
+    }
+
+    /// Loads the database into a machine's shared memory: table rows, the
+    /// account B-tree and global counters. Sets `self.btree_root`.
+    pub fn load_database(&mut self, m: &mut Machine, txn_limit: i64) {
+        for b in 0..self.branches {
+            let row = self.branch_row(b);
+            m.set_shared_word(row, 0); // balance
+            m.set_shared_word(row + 1, 0); // lock
+            m.set_shared_word(row + 2, 0); // txn count
+        }
+        for t in 0..self.tellers() {
+            let row = self.teller_row(t);
+            m.set_shared_word(row, 0);
+            m.set_shared_word(row + 1, (t / self.tellers_per_branch) as i64);
+        }
+        for a in 0..self.accounts() {
+            let row = self.acct_row(a);
+            m.set_shared_word(row, 0);
+            m.set_shared_word(row + 1, (a / self.accounts_per_branch) as i64);
+            m.set_shared_word(row + 2, -1);
+        }
+        let (root, used) = build_btree(self, m);
+        assert!(used <= self.btree_nodes, "btree node budget exceeded");
+        self.btree_root = root;
+        m.set_shared_word(words::BTREE_ROOT, root as i64);
+        m.set_shared_word(words::COUNTER, 0);
+        m.set_shared_word(words::LIMIT, txn_limit);
+        m.set_shared_word(words::HIST_NEXT, 0);
+    }
+
+    /// Fills the statement-variant frequency table with a Zipf(s=1)
+    /// distribution over `variants` statement types: real OLTP workloads
+    /// are dominated by a few statements with a long warm tail, and this
+    /// skew is what gives the execution profile the paper's Figure 3 shape.
+    ///
+    /// # Panics
+    /// Panics if `variants` is 0 or exceeds the table size.
+    pub fn fill_variant_table(m: &mut Machine, variants: usize) {
+        assert!(
+            variants > 0 && variants <= words::VARIANT_TABLE_WORDS,
+            "1..=256 variants supported"
+        );
+        let weights: Vec<f64> = (0..variants).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let total: f64 = weights.iter().sum();
+        // Largest-remainder allocation of 256 slots, at least one each.
+        let mut slots: Vec<usize> = weights
+            .iter()
+            .map(|w| ((w / total) * words::VARIANT_TABLE_WORDS as f64).floor() as usize)
+            .map(|s| s.max(1))
+            .collect();
+        let mut assigned: usize = slots.iter().sum();
+        let mut i = 0;
+        while assigned < words::VARIANT_TABLE_WORDS {
+            slots[i % variants] += 1;
+            assigned += 1;
+            i += 1;
+        }
+        while assigned > words::VARIANT_TABLE_WORDS {
+            let j = slots
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, &s)| s)
+                .map(|(j, _)| j)
+                .expect("nonempty");
+            slots[j] -= 1;
+            assigned -= 1;
+        }
+        let mut slot = 0usize;
+        for (v, &n) in slots.iter().enumerate() {
+            for _ in 0..n {
+                m.set_shared_word(words::VARIANT_TABLE + slot, v as i64);
+                slot += 1;
+            }
+        }
+        debug_assert_eq!(slot, words::VARIANT_TABLE_WORDS);
+    }
+
+    /// Reads the TPC-B invariants back out of shared memory.
+    pub fn read_invariants(&self, m: &Machine) -> Invariants {
+        let sum = |base: usize, stride: usize, n: usize| -> i64 {
+            (0..n)
+                .map(|i| m.shared_word(base + i * stride))
+                .fold(0i64, i64::wrapping_add)
+        };
+        Invariants {
+            sum_accounts: sum(self.acct_base, ACCT_STRIDE, self.accounts()),
+            sum_tellers: sum(self.teller_base, TELLER_STRIDE, self.tellers()),
+            sum_branches: sum(self.branch_base, BRANCH_STRIDE, self.branches),
+            history_count: m.shared_word(words::HIST_NEXT),
+            txn_counter: m.shared_word(words::COUNTER),
+            sum_history_deltas: {
+                let n = m.shared_word(words::HIST_NEXT).max(0) as usize;
+                (0..n.min(self.hist_capacity))
+                    .map(|i| m.shared_word(self.hist_base + i * HIST_STRIDE + 3))
+                    .fold(0i64, i64::wrapping_add)
+            },
+        }
+    }
+}
+
+/// The TPC-B consistency conditions: after N committed transactions the
+/// account, teller and branch balance totals all equal the sum of the
+/// applied deltas, and the history holds one record per transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Invariants {
+    /// Sum of all account balances.
+    pub sum_accounts: i64,
+    /// Sum of all teller balances.
+    pub sum_tellers: i64,
+    /// Sum of all branch balances.
+    pub sum_branches: i64,
+    /// Records appended to history.
+    pub history_count: i64,
+    /// Global transaction serial counter.
+    pub txn_counter: i64,
+    /// Sum of the per-transaction deltas recorded in history.
+    pub sum_history_deltas: i64,
+}
+
+impl Invariants {
+    /// True when all balance totals agree with the history deltas.
+    pub fn consistent(&self) -> bool {
+        self.sum_accounts == self.sum_tellers
+            && self.sum_tellers == self.sum_branches
+            && self.sum_branches == self.sum_history_deltas
+    }
+}
+
+/// Upper bound on B-tree nodes for `n` keys.
+fn btree_node_budget(n: usize) -> usize {
+    let mut total = 0usize;
+    let mut level = n.div_ceil(BTREE_FANOUT);
+    loop {
+        total += level;
+        if level <= 1 {
+            break;
+        }
+        level = level.div_ceil(BTREE_FANOUT + 1);
+    }
+    total + 4
+}
+
+/// Builds the account B-tree bottom-up in shared memory. Returns
+/// `(root offset, nodes used)`.
+fn build_btree(sga: &SgaLayout, m: &mut Machine) -> (usize, usize) {
+    let n = sga.accounts();
+    let mut next_node = sga.btree_base;
+    let mut alloc = |m: &mut Machine| -> usize {
+        let off = next_node;
+        next_node += BTREE_NODE_WORDS;
+        // Zero the node.
+        for w in 0..BTREE_NODE_WORDS {
+            m.set_shared_word(off + w, 0);
+        }
+        off
+    };
+
+    // Leaves: (offset, min_key).
+    let mut level: Vec<(usize, i64)> = Vec::new();
+    let mut key = 0usize;
+    while key < n {
+        let node = alloc(m);
+        let count = BTREE_FANOUT.min(n - key);
+        m.set_shared_word(node, ((count as i64) << 1) | 1);
+        for j in 0..count {
+            let k = (key + j) as i64;
+            m.set_shared_word(node + 1 + j, k);
+            m.set_shared_word(node + 1 + BTREE_FANOUT + j, sga.acct_row(key + j) as i64);
+        }
+        level.push((node, key as i64));
+        key += count;
+    }
+
+    // Internal levels.
+    while level.len() > 1 {
+        let mut parent_level = Vec::new();
+        for chunk in level.chunks(BTREE_FANOUT + 1) {
+            let node = alloc(m);
+            let nkeys = chunk.len() - 1;
+            m.set_shared_word(node, (nkeys as i64) << 1);
+            for (j, &(child, min_key)) in chunk.iter().enumerate() {
+                if j > 0 {
+                    m.set_shared_word(node + j, min_key); // separator j-1
+                }
+                m.set_shared_word(node + 1 + BTREE_FANOUT + j, child as i64);
+            }
+            parent_level.push((node, chunk[0].1));
+        }
+        level = parent_level;
+    }
+
+    let root = level[0].0;
+    let used = (next_node - sga.btree_base) / BTREE_NODE_WORDS;
+    (root, used)
+}
+
+/// Host-side mirror of the IR B-tree search; used by tests to validate the
+/// loader and by the code generator's documentation of the node format.
+pub fn btree_search_host(m: &Machine, root: usize, key: i64) -> i64 {
+    let mut node = root;
+    loop {
+        let hdr = m.shared_word(node);
+        let leaf = hdr & 1 == 1;
+        let nkeys = (hdr >> 1) as usize;
+        let mut i = 0usize;
+        while i < nkeys && key >= m.shared_word(node + 1 + i) {
+            i += 1;
+        }
+        if leaf {
+            assert!(i > 0, "key below leaf minimum");
+            return m.shared_word(node + 1 + BTREE_FANOUT + (i - 1));
+        }
+        node = m.shared_word(node + 1 + BTREE_FANOUT + i) as usize;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codelayout_ir::link::link;
+    use codelayout_ir::{Layout, ProcBuilder, ProgramBuilder};
+    use codelayout_vm::MachineConfig;
+    use std::sync::Arc;
+
+    fn dummy_machine(words: usize) -> Machine {
+        let mut pb = ProgramBuilder::new("noop");
+        let main = pb.declare_proc("main");
+        let mut f = ProcBuilder::new();
+        f.halt();
+        pb.define_proc(main, f).unwrap();
+        let p = pb.finish(main).unwrap();
+        let img = Arc::new(link(&p, &Layout::natural(&p), 0x40_0000).unwrap());
+        Machine::new(
+            img,
+            MachineConfig {
+                shared_words: words,
+                ..MachineConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn regions_do_not_overlap_and_are_ordered() {
+        let s = SgaLayout::new(4, 2, 100, 8, 1000);
+        assert!(words::LOG_STAGE_BASE < s.branch_base);
+        assert!(s.branch_base < s.teller_base);
+        assert!(s.teller_base < s.acct_base);
+        assert!(s.acct_base < s.buf_base);
+        assert!(s.buf_base < s.btree_base);
+        assert!(s.btree_base < s.hist_base);
+        assert!(s.hist_base < s.total_words);
+        assert!(s.buf_entries.is_power_of_two());
+    }
+
+    #[test]
+    fn loader_initializes_rows() {
+        let mut s = SgaLayout::new(3, 2, 50, 4, 100);
+        let mut m = dummy_machine(s.total_words.next_power_of_two());
+        s.load_database(&mut m, 100);
+        assert_eq!(m.shared_word(words::LIMIT), 100);
+        // Teller 3 belongs to branch 1 (2 tellers per branch).
+        assert_eq!(m.shared_word(s.teller_row(3) + 1), 1);
+        // Account 120 belongs to branch 2.
+        assert_eq!(m.shared_word(s.acct_row(120) + 1), 2);
+        assert!(s.btree_root >= s.btree_base);
+    }
+
+    #[test]
+    fn btree_finds_every_account() {
+        let mut s = SgaLayout::new(2, 1, 77, 2, 10);
+        let mut m = dummy_machine(s.total_words.next_power_of_two());
+        s.load_database(&mut m, 10);
+        for a in 0..s.accounts() {
+            let row = btree_search_host(&m, s.btree_root, a as i64);
+            assert_eq!(row, s.acct_row(a) as i64, "account {a}");
+        }
+    }
+
+    #[test]
+    fn btree_node_budget_is_sufficient_for_large_dbs() {
+        for n in [1usize, 7, 8, 9, 64, 1000, 100_000] {
+            let mut s = SgaLayout::new(1, 1, n, 1, 1);
+            let mut m = dummy_machine(s.total_words.next_power_of_two());
+            s.load_database(&mut m, 1); // asserts budget internally
+            let last = s.accounts() - 1;
+            assert_eq!(
+                btree_search_host(&m, s.btree_root, last as i64),
+                s.acct_row(last) as i64
+            );
+        }
+    }
+
+    #[test]
+    fn invariants_read_zeroed_database_as_consistent() {
+        let mut s = SgaLayout::new(2, 2, 10, 2, 10);
+        let mut m = dummy_machine(s.total_words.next_power_of_two());
+        s.load_database(&mut m, 10);
+        let inv = s.read_invariants(&m);
+        assert!(inv.consistent());
+        assert_eq!(inv.history_count, 0);
+    }
+}

@@ -1,0 +1,220 @@
+//! Profile collectors: exact (Pixie-style) and sampled (DCPI-style).
+
+use crate::data::Profile;
+use codelayout_ir::{BlockId, ProcId};
+use codelayout_vm::ExecHook;
+
+/// Which instruction stream a collector observes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stream {
+    User,
+    Kernel,
+}
+
+/// Exact instrumentation collector, the equivalent of running a *pixified*
+/// binary: counts every block entry, flow-edge traversal and call.
+///
+/// One collector observes one stream (user or kernel); attach two to profile
+/// both images in a single run.
+#[derive(Debug, Clone)]
+pub struct PixieCollector {
+    stream: Stream,
+    profile: Profile,
+}
+
+impl PixieCollector {
+    /// Collects the application (user-mode) stream for a program with
+    /// `num_blocks` blocks.
+    pub fn user(num_blocks: usize) -> Self {
+        PixieCollector {
+            stream: Stream::User,
+            profile: Profile::new(num_blocks),
+        }
+    }
+
+    /// Collects the kernel stream for a kernel program with `num_blocks`
+    /// blocks.
+    pub fn kernel(num_blocks: usize) -> Self {
+        PixieCollector {
+            stream: Stream::Kernel,
+            profile: Profile::new(num_blocks),
+        }
+    }
+
+    /// Consumes the collector, returning the profile.
+    pub fn into_profile(self) -> Profile {
+        self.profile
+    }
+
+    /// Borrow the profile collected so far.
+    pub fn profile(&self) -> &Profile {
+        &self.profile
+    }
+
+    #[inline]
+    fn wants(&self, kernel: bool) -> bool {
+        matches!(
+            (self.stream, kernel),
+            (Stream::User, false) | (Stream::Kernel, true)
+        )
+    }
+}
+
+impl ExecHook for PixieCollector {
+    #[inline]
+    fn block(&mut self, kernel: bool, block: BlockId) {
+        if self.wants(kernel) {
+            self.profile.block_counts[block.index()] += 1;
+        }
+    }
+
+    #[inline]
+    fn edge(&mut self, kernel: bool, from: BlockId, to: BlockId) {
+        if self.wants(kernel) {
+            *self.profile.edge_counts.entry((from.0, to.0)).or_insert(0) += 1;
+        }
+    }
+
+    #[inline]
+    fn call(&mut self, kernel: bool, from_block: BlockId, callee: ProcId) {
+        if self.wants(kernel) {
+            *self
+                .profile
+                .call_counts
+                .entry((from_block.0, callee.0))
+                .or_insert(0) += 1;
+        }
+    }
+}
+
+/// Sampling collector modelled after DCPI: every `period` retired
+/// instructions the current block receives one sample. Produces block
+/// counts only; edge weights must be estimated (see
+/// [`crate::estimate_edges_from_blocks`]).
+#[derive(Debug, Clone)]
+pub struct SampledCollector {
+    stream: Stream,
+    period: u64,
+    countdown: u64,
+    samples: Vec<u64>,
+}
+
+impl SampledCollector {
+    /// Samples the user stream every `period` instructions.
+    ///
+    /// # Panics
+    /// Panics if `period` is zero.
+    pub fn user(num_blocks: usize, period: u64) -> Self {
+        assert!(period > 0, "sampling period must be positive");
+        SampledCollector {
+            stream: Stream::User,
+            period,
+            countdown: period,
+            samples: vec![0; num_blocks],
+        }
+    }
+
+    /// Samples the kernel stream every `period` instructions.
+    ///
+    /// # Panics
+    /// Panics if `period` is zero.
+    pub fn kernel(num_blocks: usize, period: u64) -> Self {
+        SampledCollector {
+            stream: Stream::Kernel,
+            ..Self::user(num_blocks, period)
+        }
+    }
+
+    /// Raw per-block sample counts.
+    pub fn samples(&self) -> &[u64] {
+        &self.samples
+    }
+
+    /// Converts samples into estimated block *execution* counts by scaling
+    /// with the sampling period and dividing by block size (a block of `k`
+    /// instructions receives `k` times the samples per execution).
+    ///
+    /// `block_sizes[i]` must be the instruction count of block `i`
+    /// (including one slot for its terminator, matching the lowered form
+    /// closely enough for estimation).
+    pub fn estimated_block_counts(&self, block_sizes: &[usize]) -> Vec<u64> {
+        self.samples
+            .iter()
+            .zip(block_sizes)
+            .map(|(&s, &sz)| s * self.period / (sz.max(1) as u64))
+            .collect()
+    }
+}
+
+impl ExecHook for SampledCollector {
+    #[inline]
+    fn tick(&mut self, kernel: bool, block: BlockId) {
+        let wants = matches!(
+            (self.stream, kernel),
+            (Stream::User, false) | (Stream::Kernel, true)
+        );
+        if !wants {
+            return;
+        }
+        self.countdown -= 1;
+        if self.countdown == 0 {
+            self.countdown = self.period;
+            self.samples[block.index()] += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pixie_filters_by_stream() {
+        let mut c = PixieCollector::user(2);
+        c.block(false, BlockId(0));
+        c.block(true, BlockId(1));
+        c.edge(false, BlockId(0), BlockId(1));
+        c.edge(true, BlockId(0), BlockId(1));
+        c.call(false, BlockId(0), ProcId(0));
+        let p = c.into_profile();
+        assert_eq!(p.block_counts, vec![1, 0]);
+        assert_eq!(p.edge_counts[&(0, 1)], 1);
+        assert_eq!(p.call_counts[&(0, 0)], 1);
+    }
+
+    #[test]
+    fn kernel_collector_takes_kernel_events() {
+        let mut c = PixieCollector::kernel(1);
+        c.block(true, BlockId(0));
+        c.block(false, BlockId(0));
+        assert_eq!(c.profile().block_counts, vec![1]);
+    }
+
+    #[test]
+    fn sampler_takes_every_period_th() {
+        let mut s = SampledCollector::user(2, 3);
+        for _ in 0..9 {
+            s.tick(false, BlockId(1));
+        }
+        assert_eq!(s.samples(), &[0, 3]);
+        // Estimation: block of size 1, period 3 -> 9 estimated executions.
+        assert_eq!(s.estimated_block_counts(&[1, 1]), vec![0, 9]);
+        // A block of 3 instructions is sampled 3x as often per execution.
+        assert_eq!(s.estimated_block_counts(&[1, 3]), vec![0, 3]);
+    }
+
+    #[test]
+    fn sampler_ignores_other_stream() {
+        let mut s = SampledCollector::kernel(1, 1);
+        s.tick(false, BlockId(0));
+        assert_eq!(s.samples(), &[0]);
+        s.tick(true, BlockId(0));
+        assert_eq!(s.samples(), &[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling period")]
+    fn zero_period_panics() {
+        let _ = SampledCollector::user(1, 0);
+    }
+}

@@ -1,0 +1,306 @@
+//! The [`Profile`] data structure.
+
+use codelayout_ir::{BlockId, ProcId, Program};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::io;
+
+/// Errors when loading or validating profiles.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ProfileError {
+    /// The profile does not match the program (block count mismatch).
+    Mismatch(String),
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// JSON (de)serialization failure.
+    Format(serde_json::Error),
+}
+
+impl fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfileError::Mismatch(m) => write!(f, "profile does not match program: {m}"),
+            ProfileError::Io(e) => write!(f, "profile i/o error: {e}"),
+            ProfileError::Format(e) => write!(f, "profile format error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProfileError::Io(e) => Some(e),
+            ProfileError::Format(e) => Some(e),
+            ProfileError::Mismatch(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for ProfileError {
+    fn from(e: io::Error) -> Self {
+        ProfileError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for ProfileError {
+    fn from(e: serde_json::Error) -> Self {
+        ProfileError::Format(e)
+    }
+}
+
+/// Execution counts for one program: per-block counts, flow-edge counts and
+/// call counts. All the layout optimizations consume this structure.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Profile {
+    /// Execution count of each block, indexed by [`BlockId`].
+    pub block_counts: Vec<u64>,
+    /// Flow-edge traversal counts keyed by `(from, to)` block ids. Edges are
+    /// terminator transitions only; calls and returns are not flow edges.
+    pub edge_counts: HashMap<(u32, u32), u64>,
+    /// Call counts keyed by `(calling block, callee procedure)`.
+    pub call_counts: HashMap<(u32, u32), u64>,
+}
+
+impl Profile {
+    /// Creates an all-zero profile sized for `num_blocks` blocks.
+    pub fn new(num_blocks: usize) -> Self {
+        Profile {
+            block_counts: vec![0; num_blocks],
+            edge_counts: HashMap::new(),
+            call_counts: HashMap::new(),
+        }
+    }
+
+    /// Execution count of a block (0 when out of range).
+    #[inline]
+    pub fn block_count(&self, b: BlockId) -> u64 {
+        self.block_counts.get(b.index()).copied().unwrap_or(0)
+    }
+
+    /// Traversal count of a flow edge.
+    #[inline]
+    pub fn edge_count(&self, from: BlockId, to: BlockId) -> u64 {
+        self.edge_counts
+            .get(&(from.0, to.0))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Call count from a block into a procedure.
+    #[inline]
+    pub fn call_count(&self, from: BlockId, callee: ProcId) -> u64 {
+        self.call_counts
+            .get(&(from.0, callee.0))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Total dynamic block entries.
+    pub fn total_block_entries(&self) -> u64 {
+        self.block_counts.iter().sum()
+    }
+
+    /// Total calls into a procedure, summed over all call sites.
+    pub fn calls_into(&self, callee: ProcId) -> u64 {
+        self.call_counts
+            .iter()
+            .filter(|((_, c), _)| *c == callee.0)
+            .map(|(_, n)| *n)
+            .sum()
+    }
+
+    /// Merges another profile of the same shape into this one.
+    ///
+    /// # Errors
+    /// Returns [`ProfileError::Mismatch`] if block vectors differ in length.
+    pub fn merge(&mut self, other: &Profile) -> Result<(), ProfileError> {
+        if self.block_counts.len() != other.block_counts.len() {
+            return Err(ProfileError::Mismatch(format!(
+                "{} vs {} blocks",
+                self.block_counts.len(),
+                other.block_counts.len()
+            )));
+        }
+        for (a, b) in self.block_counts.iter_mut().zip(&other.block_counts) {
+            *a += b;
+        }
+        for (k, v) in &other.edge_counts {
+            *self.edge_counts.entry(*k).or_insert(0) += v;
+        }
+        for (k, v) in &other.call_counts {
+            *self.call_counts.entry(*k).or_insert(0) += v;
+        }
+        Ok(())
+    }
+
+    /// Checks flow conservation against a program: for every block, its
+    /// entry count must equal incoming flow edges plus incoming calls (for
+    /// procedure entry blocks), allowing `slack` for blocks that were
+    /// executing when collection started/stopped (process entry points).
+    ///
+    /// Returns the list of violating blocks with `(expected, actual)`.
+    pub fn flow_violations(&self, program: &Program, slack: u64) -> Vec<(BlockId, u64, u64)> {
+        let n = program.blocks.len();
+        let mut incoming = vec![0u64; n];
+        for (&(_, to), &c) in &self.edge_counts {
+            if (to as usize) < n {
+                incoming[to as usize] += c;
+            }
+        }
+        for (&(_, callee), &c) in &self.call_counts {
+            let entry = program.proc(ProcId(callee)).entry;
+            incoming[entry.index()] += c;
+        }
+        // The program entry block is additionally entered once per process
+        // without any edge or call; `slack` is the process count.
+        let prog_entry = program.proc(program.entry).entry;
+        incoming[prog_entry.index()] += slack;
+
+        let mut out = Vec::new();
+        for (i, &actual) in self.block_counts.iter().enumerate() {
+            let expected = incoming[i];
+            if actual != expected {
+                out.push((BlockId(i as u32), expected, actual));
+            }
+        }
+        out
+    }
+
+    /// Aggregated call-graph weights at procedure granularity:
+    /// `(caller proc, callee proc) -> calls`, derived with the block-owner
+    /// map of `program`.
+    pub fn proc_call_weights(&self, program: &Program) -> HashMap<(u32, u32), u64> {
+        let owner = program.owner_of_blocks();
+        let mut w: HashMap<(u32, u32), u64> = HashMap::new();
+        for (&(from_block, callee), &c) in &self.call_counts {
+            let caller = owner[from_block as usize];
+            *w.entry((caller.0, callee)).or_insert(0) += c;
+        }
+        w
+    }
+
+    /// Serializes to pretty JSON.
+    ///
+    /// # Errors
+    /// Returns an error if the writer fails.
+    pub fn save<W: io::Write>(&self, mut w: W) -> Result<(), ProfileError> {
+        // HashMap keys must be strings in JSON; use a stable on-disk form.
+        let disk = DiskProfile::from(self);
+        serde_json::to_writer(&mut w, &disk)?;
+        Ok(())
+    }
+
+    /// Deserializes from JSON produced by [`Profile::save`].
+    ///
+    /// # Errors
+    /// Returns an error if the reader fails or the JSON is malformed.
+    pub fn load<R: io::Read>(r: R) -> Result<Self, ProfileError> {
+        let disk: DiskProfile = serde_json::from_reader(r)?;
+        Ok(disk.into())
+    }
+}
+
+/// On-disk representation with vector-encoded maps (JSON-friendly and
+/// deterministic when sorted).
+#[derive(Serialize, Deserialize)]
+struct DiskProfile {
+    block_counts: Vec<u64>,
+    edges: Vec<(u32, u32, u64)>,
+    calls: Vec<(u32, u32, u64)>,
+}
+
+impl From<&Profile> for DiskProfile {
+    fn from(p: &Profile) -> Self {
+        let mut edges: Vec<_> = p
+            .edge_counts
+            .iter()
+            .map(|(&(a, b), &c)| (a, b, c))
+            .collect();
+        edges.sort_unstable();
+        let mut calls: Vec<_> = p
+            .call_counts
+            .iter()
+            .map(|(&(a, b), &c)| (a, b, c))
+            .collect();
+        calls.sort_unstable();
+        DiskProfile {
+            block_counts: p.block_counts.clone(),
+            edges,
+            calls,
+        }
+    }
+}
+
+impl From<DiskProfile> for Profile {
+    fn from(d: DiskProfile) -> Self {
+        Profile {
+            block_counts: d.block_counts,
+            edge_counts: d.edges.into_iter().map(|(a, b, c)| ((a, b), c)).collect(),
+            call_counts: d.calls.into_iter().map(|(a, b, c)| ((a, b), c)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_default_to_zero() {
+        let p = Profile::new(3);
+        assert_eq!(p.block_count(BlockId(0)), 0);
+        assert_eq!(p.block_count(BlockId(99)), 0);
+        assert_eq!(p.edge_count(BlockId(0), BlockId(1)), 0);
+        assert_eq!(p.call_count(BlockId(0), ProcId(0)), 0);
+        assert_eq!(p.total_block_entries(), 0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Profile::new(2);
+        a.block_counts[0] = 5;
+        a.edge_counts.insert((0, 1), 2);
+        let mut b = Profile::new(2);
+        b.block_counts[0] = 3;
+        b.block_counts[1] = 1;
+        b.edge_counts.insert((0, 1), 4);
+        b.call_counts.insert((1, 0), 9);
+        a.merge(&b).unwrap();
+        assert_eq!(a.block_counts, vec![8, 1]);
+        assert_eq!(a.edge_counts[&(0, 1)], 6);
+        assert_eq!(a.call_counts[&(1, 0)], 9);
+    }
+
+    #[test]
+    fn merge_rejects_shape_mismatch() {
+        let mut a = Profile::new(2);
+        let b = Profile::new(3);
+        assert!(a.merge(&b).is_err());
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let mut p = Profile::new(4);
+        p.block_counts = vec![1, 2, 3, 4];
+        p.edge_counts.insert((0, 1), 10);
+        p.edge_counts.insert((1, 2), 20);
+        p.call_counts.insert((2, 0), 30);
+        let mut buf = Vec::new();
+        p.save(&mut buf).unwrap();
+        let q = Profile::load(&buf[..]).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn calls_into_sums_over_sites() {
+        let mut p = Profile::new(4);
+        p.call_counts.insert((0, 7), 3);
+        p.call_counts.insert((1, 7), 4);
+        p.call_counts.insert((2, 8), 5);
+        assert_eq!(p.calls_into(ProcId(7)), 7);
+        assert_eq!(p.calls_into(ProcId(8)), 5);
+        assert_eq!(p.calls_into(ProcId(9)), 0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Flow-edge estimation from block counts.
+//!
+//! When profiles come from PC sampling (DCPI) only block counts are known.
+//! Spike then estimates control-flow edge weights from the block counts;
+//! this module implements that estimation: the outgoing count of a block is
+//! split across its successors proportionally to the successors' own
+//! execution counts.
+
+use crate::data::Profile;
+use codelayout_ir::{BlockId, Program, Terminator};
+
+/// Builds a full [`Profile`] from per-block counts by estimating edge
+/// weights. Call counts are estimated per call site as the containing
+/// block's count (each execution of a block executes each of its call
+/// instructions once).
+pub fn estimate_edges_from_blocks(program: &Program, block_counts: &[u64]) -> Profile {
+    let mut p = Profile::new(program.blocks.len());
+    p.block_counts = block_counts.to_vec();
+
+    for (bi, block) in program.blocks.iter().enumerate() {
+        let from = BlockId(bi as u32);
+        let c = block_counts.get(bi).copied().unwrap_or(0);
+        if c == 0 {
+            continue;
+        }
+        // Calls: every execution of the block runs its calls once.
+        for ins in &block.instrs {
+            if let codelayout_ir::Instr::Call { callee } = ins {
+                *p.call_counts.entry((from.0, callee.0)).or_insert(0) += c;
+            }
+        }
+        // Edges: split proportionally to successor counts.
+        let succs: Vec<BlockId> = dedup_successors(&block.term);
+        if succs.is_empty() {
+            continue;
+        }
+        let weights: Vec<u64> = succs
+            .iter()
+            .map(|s| block_counts.get(s.index()).copied().unwrap_or(0))
+            .collect();
+        let total: u64 = weights.iter().sum();
+        if total == 0 {
+            // No information: split evenly.
+            let share = c / succs.len() as u64;
+            for s in &succs {
+                *p.edge_counts.entry((from.0, s.0)).or_insert(0) += share;
+            }
+            continue;
+        }
+        let mut assigned = 0u64;
+        for (i, s) in succs.iter().enumerate() {
+            let w = if i + 1 == succs.len() {
+                c - assigned // give the remainder to the last successor
+            } else {
+                let w = (c as u128 * weights[i] as u128 / total as u128) as u64;
+                assigned += w;
+                w
+            };
+            if w > 0 {
+                *p.edge_counts.entry((from.0, s.0)).or_insert(0) += w;
+            }
+        }
+    }
+    p
+}
+
+fn dedup_successors(term: &Terminator) -> Vec<BlockId> {
+    let mut out = Vec::new();
+    for s in term.successors() {
+        if !out.contains(&s) {
+            out.push(s);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codelayout_ir::{
+        Cond, Operand, ProcBuilder, ProgramBuilder, Reg,
+    };
+
+    fn branchy_program() -> Program {
+        let mut pb = ProgramBuilder::new("e");
+        let main = pb.declare_proc("main");
+        let leaf = pb.declare_proc("leaf");
+        let mut f = ProcBuilder::new();
+        let e = f.entry();
+        let hot = f.new_block();
+        let cold = f.new_block();
+        let done = f.new_block();
+        f.select(e);
+        f.branch(Cond::Eq, Reg(1), Operand::Imm(0), hot, cold);
+        f.select(hot);
+        f.call(leaf);
+        f.jump(done);
+        f.select(cold);
+        f.jump(done);
+        f.select(done);
+        f.halt();
+        pb.define_proc(main, f).unwrap();
+        let mut g = ProcBuilder::new();
+        g.nop();
+        g.ret();
+        pb.define_proc(leaf, g).unwrap();
+        pb.finish(main).unwrap()
+    }
+
+    #[test]
+    fn proportional_split_and_conservation() {
+        let p = branchy_program();
+        // entry=0, hot=1, cold=2, done=3, leaf entry=4.
+        let counts = vec![100, 90, 10, 100, 90];
+        let prof = estimate_edges_from_blocks(&p, &counts);
+        assert_eq!(prof.edge_counts[&(0, 1)], 90);
+        assert_eq!(prof.edge_counts[&(0, 2)], 10);
+        // Outgoing edges of block 0 sum to its count (remainder rule).
+        let out: u64 = prof
+            .edge_counts
+            .iter()
+            .filter(|((f, _), _)| *f == 0)
+            .map(|(_, c)| *c)
+            .sum();
+        assert_eq!(out, 100);
+        // Calls estimated from block counts.
+        assert_eq!(prof.call_counts[&(1, 1)], 90);
+    }
+
+    #[test]
+    fn zero_information_splits_evenly() {
+        let p = branchy_program();
+        let counts = vec![100, 0, 0, 0, 0];
+        let prof = estimate_edges_from_blocks(&p, &counts);
+        assert_eq!(prof.edge_counts[&(0, 1)], 50);
+        assert_eq!(prof.edge_counts[&(0, 2)], 50);
+    }
+
+    #[test]
+    fn zero_blocks_produce_no_edges() {
+        let p = branchy_program();
+        let counts = vec![0; 5];
+        let prof = estimate_edges_from_blocks(&p, &counts);
+        assert!(prof.edge_counts.is_empty());
+        assert!(prof.call_counts.is_empty());
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests for profiles: exact profiles conserve flow, and edge
+//! estimation from block counts conserves outgoing mass.
+
+use codelayout_ir::link::link;
+use codelayout_ir::testgen::{random_program, GenConfig};
+use codelayout_ir::Layout;
+use codelayout_profile::{estimate_edges_from_blocks, PixieCollector, SampledCollector};
+use codelayout_vm::{Machine, MachineConfig, NullSink, PairHook, APP_TEXT_BASE};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const FUEL: u64 = 2_000_000;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn exact_profiles_conserve_flow(seed in 0u64..10_000) {
+        let program = random_program(seed, &GenConfig::default());
+        let image = Arc::new(
+            link(&program, &Layout::natural(&program), APP_TEXT_BASE).unwrap(),
+        );
+        let mut m = Machine::new(image, MachineConfig::default());
+        let mut pixie = PixieCollector::user(program.blocks.len());
+        let report = m.run_hooked(&mut NullSink, &mut pixie, FUEL);
+        prop_assert!(report.faults.is_empty());
+        let profile = pixie.into_profile();
+        // One process entered the program entry once without an edge.
+        let violations = profile.flow_violations(&program, 1);
+        prop_assert!(violations.is_empty(), "violations: {:?}", violations);
+    }
+
+    #[test]
+    fn estimated_edges_conserve_outgoing_mass(seed in 0u64..10_000) {
+        let program = random_program(seed, &GenConfig::default());
+        let image = Arc::new(
+            link(&program, &Layout::natural(&program), APP_TEXT_BASE).unwrap(),
+        );
+        let mut m = Machine::new(image, MachineConfig::default());
+        let mut pixie = PixieCollector::user(program.blocks.len());
+        m.run_hooked(&mut NullSink, &mut pixie, FUEL);
+        let exact = pixie.into_profile();
+
+        let est = estimate_edges_from_blocks(&program, &exact.block_counts);
+        // For every block with successors and a nonzero count, estimated
+        // outgoing edges sum exactly to the block count.
+        for (bi, b) in program.blocks.iter().enumerate() {
+            let c = exact.block_counts[bi];
+            let nsucc = b.term.successors().count();
+            if c == 0 || nsucc == 0 {
+                continue;
+            }
+            let out: u64 = est
+                .edge_counts
+                .iter()
+                .filter(|((f, _), _)| *f == bi as u32)
+                .map(|(_, v)| *v)
+                .sum();
+            // Even splits floor-divide, so allow the rounding remainder.
+            prop_assert!(out <= c);
+            prop_assert!(out + nsucc as u64 > c, "block {} lost mass: {} of {}", bi, out, c);
+        }
+        // Estimated call counts equal exact call counts (calls are
+        // unconditional per block execution).
+        prop_assert_eq!(&est.call_counts, &exact.call_counts);
+    }
+
+    #[test]
+    fn sampled_block_estimates_track_exact_counts(seed in 0u64..5_000) {
+        let program = random_program(seed, &GenConfig {
+            loop_iters: 200,
+            ..GenConfig::default()
+        });
+        let image = Arc::new(
+            link(&program, &Layout::natural(&program), APP_TEXT_BASE).unwrap(),
+        );
+        let mut m = Machine::new(image, MachineConfig::default());
+        let mut hook = PairHook(
+            PixieCollector::user(program.blocks.len()),
+            SampledCollector::user(program.blocks.len(), 16),
+        );
+        let report = m.run_hooked(&mut NullSink, &mut hook, 20_000_000);
+        prop_assert!(report.faults.is_empty());
+        let exact = hook.0.into_profile();
+        let sizes: Vec<usize> = program.blocks.iter().map(|b| b.instrs.len() + 1).collect();
+        let est = hook.1.estimated_block_counts(&sizes);
+
+        // Hot blocks (≥ 64 samples worth of executions) estimated within 3x.
+        for (bi, (&e, &x)) in est.iter().zip(&exact.block_counts).enumerate() {
+            if x >= 1_000 {
+                prop_assert!(
+                    e as f64 >= x as f64 / 3.0 && e as f64 <= x as f64 * 3.0,
+                    "block {}: est {} vs exact {}",
+                    bi, e, x
+                );
+            }
+        }
+    }
+}

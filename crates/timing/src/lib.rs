@@ -1,0 +1,204 @@
+//! In-order processor timing model.
+//!
+//! The paper reports end-to-end results as *non-idle execution cycles*
+//! (§3.3) on a 1 GHz single-issue pipelined model with 12 ns L2 hits and
+//! 80 ns local memory, and on two hardware platforms (21264-like and
+//! 21164-like front-ends, Figure 15). This crate turns
+//! [`codelayout_memsim::HierarchyStats`] plus an instruction count into a
+//! cycle breakdown: one cycle per instruction plus stall cycles per miss
+//! level. Relative times between layouts are the quantity of interest;
+//! absolute cycle counts are model artifacts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use codelayout_memsim::{CacheConfig, HierarchyConfig, HierarchyStats};
+use serde::{Deserialize, Serialize};
+
+/// Stall latencies (in CPU cycles) of one machine model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimingModel {
+    /// Human-readable machine name.
+    pub name: String,
+    /// Cycles for an L1 miss that hits in L2 (the paper's 12 ns at 1 GHz).
+    pub l2_hit_cycles: u64,
+    /// Cycles for an L2 miss served from local memory (80 ns at 1 GHz).
+    pub memory_cycles: u64,
+    /// Cycles for an iTLB miss (software fill on Alpha).
+    pub itlb_miss_cycles: u64,
+}
+
+impl TimingModel {
+    /// The paper's simulated 1 GHz next-generation Alpha (21364-like).
+    pub fn simos_1ghz() -> Self {
+        TimingModel {
+            name: "21364-like 1GHz (SimOS)".into(),
+            l2_hit_cycles: 12,
+            memory_cycles: 80,
+            itlb_miss_cycles: 40,
+        }
+    }
+
+    /// A 21264-like machine (64 KB 2-way L1s). Same relative latencies.
+    pub fn alpha_21264() -> Self {
+        TimingModel {
+            name: "21264-like (64KB, 2-way)".into(),
+            l2_hit_cycles: 14,
+            memory_cycles: 90,
+            itlb_miss_cycles: 40,
+        }
+    }
+
+    /// A 21164-like machine (8 KB direct-mapped L1I).
+    pub fn alpha_21164() -> Self {
+        TimingModel {
+            name: "21164-like (8KB, 1-way)".into(),
+            l2_hit_cycles: 10,
+            memory_cycles: 60,
+            itlb_miss_cycles: 30,
+        }
+    }
+
+    /// Hierarchy configuration matching [`TimingModel::alpha_21264`].
+    pub fn hierarchy_21264(num_cpus: usize) -> HierarchyConfig {
+        HierarchyConfig {
+            num_cpus,
+            l1i: CacheConfig::new(64 * 1024, 64, 2),
+            l1d: CacheConfig::new(64 * 1024, 64, 2),
+            l2: CacheConfig::new(2 * 1024 * 1024, 64, 1),
+            itlb_entries: 128,
+            page_bytes: 8192,
+        }
+    }
+
+    /// Hierarchy configuration matching [`TimingModel::alpha_21164`]:
+    /// small 8 KB direct-mapped primary caches and a 2 MB direct-mapped
+    /// board cache, with the 48-entry iTLB the paper measured.
+    pub fn hierarchy_21164(num_cpus: usize) -> HierarchyConfig {
+        HierarchyConfig {
+            num_cpus,
+            l1i: CacheConfig::new(8 * 1024, 32, 1),
+            l1d: CacheConfig::new(8 * 1024, 32, 1),
+            l2: CacheConfig::new(2 * 1024 * 1024, 64, 1),
+            itlb_entries: 48,
+            page_bytes: 8192,
+        }
+    }
+
+    /// Computes the cycle breakdown for a run.
+    pub fn evaluate(&self, instructions: u64, h: &HierarchyStats) -> CycleBreakdown {
+        let l1i_l2hit = h.l1i_misses - h.l2_instr_misses;
+        let l1d_l2hit = h.l1d_misses - h.l2_data_misses;
+        CycleBreakdown {
+            busy: instructions,
+            istall: l1i_l2hit * self.l2_hit_cycles + h.l2_instr_misses * self.memory_cycles,
+            dstall: l1d_l2hit * self.l2_hit_cycles + h.l2_data_misses * self.memory_cycles,
+            itlb_stall: h.itlb_misses * self.itlb_miss_cycles,
+        }
+    }
+}
+
+/// Non-idle cycles split by cause.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CycleBreakdown {
+    /// One cycle per retired instruction.
+    pub busy: u64,
+    /// Instruction-fetch stall cycles.
+    pub istall: u64,
+    /// Data stall cycles.
+    pub dstall: u64,
+    /// iTLB fill stall cycles.
+    pub itlb_stall: u64,
+}
+
+impl CycleBreakdown {
+    /// Total non-idle cycles.
+    pub fn total(&self) -> u64 {
+        self.busy + self.istall + self.dstall + self.itlb_stall
+    }
+
+    /// This breakdown's total relative to a baseline total (1.0 = equal;
+    /// lower is faster). This is the y-axis of the paper's Figure 15.
+    pub fn relative_to(&self, baseline: &CycleBreakdown) -> f64 {
+        if baseline.total() == 0 {
+            return 1.0;
+        }
+        self.total() as f64 / baseline.total() as f64
+    }
+
+    /// Speedup of this breakdown over `other` (the paper reports 1.33×).
+    pub fn speedup_over(&self, other: &CycleBreakdown) -> f64 {
+        if self.total() == 0 {
+            return 1.0;
+        }
+        other.total() as f64 / self.total() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> HierarchyStats {
+        HierarchyStats {
+            fetches: 1_000_000,
+            data_accesses: 300_000,
+            l1i_misses: 10_000,
+            l1d_misses: 5_000,
+            itlb_misses: 100,
+            l2_instr_misses: 1_000,
+            l2_data_misses: 2_000,
+        }
+    }
+
+    #[test]
+    fn breakdown_adds_up() {
+        let m = TimingModel::simos_1ghz();
+        let b = m.evaluate(1_000_000, &stats());
+        assert_eq!(b.busy, 1_000_000);
+        // 9000 L2 hits * 12 + 1000 memory * 80
+        assert_eq!(b.istall, 9_000 * 12 + 1_000 * 80);
+        // 3000 * 12 + 2000 * 80
+        assert_eq!(b.dstall, 3_000 * 12 + 2_000 * 80);
+        assert_eq!(b.itlb_stall, 100 * 40);
+        assert_eq!(
+            b.total(),
+            b.busy + b.istall + b.dstall + b.itlb_stall
+        );
+    }
+
+    #[test]
+    fn relative_and_speedup() {
+        let m = TimingModel::simos_1ghz();
+        let base = m.evaluate(1_000_000, &stats());
+        let better = m.evaluate(
+            1_000_000,
+            &HierarchyStats {
+                l1i_misses: 3_000,
+                l2_instr_misses: 300,
+                ..stats()
+            },
+        );
+        assert!(better.relative_to(&base) < 1.0);
+        assert!(better.speedup_over(&base) > 1.0);
+        let r = better.relative_to(&base) * better.speedup_over(&base);
+        assert!((r - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_baseline_is_safe() {
+        let z = CycleBreakdown::default();
+        assert_eq!(z.total(), 0);
+        assert_eq!(z.relative_to(&z), 1.0);
+        assert_eq!(z.speedup_over(&z), 1.0);
+    }
+
+    #[test]
+    fn machine_presets_differ() {
+        assert_ne!(TimingModel::alpha_21264(), TimingModel::alpha_21164());
+        let h64 = TimingModel::hierarchy_21264(1);
+        let h8 = TimingModel::hierarchy_21164(1);
+        assert!(h64.l1i.size_bytes > h8.l1i.size_bytes);
+        assert_eq!(h8.itlb_entries, 48);
+    }
+}

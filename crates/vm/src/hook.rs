@@ -1,0 +1,125 @@
+//! Execution hooks: block/edge/call observation for profilers.
+
+use codelayout_ir::{BlockId, ProcId};
+
+/// Receives control-flow events during execution. This is the instrumentation
+/// interface the Pixie-style profiler in `codelayout-profile` plugs into.
+///
+/// Events distinguish the application and kernel images via the `kernel`
+/// flag; block and procedure ids are image-local.
+pub trait ExecHook {
+    /// A basic block began executing (including procedure entries).
+    fn block(&mut self, kernel: bool, block: BlockId) {
+        let _ = (kernel, block);
+    }
+
+    /// Control flowed from `from` to `to` via a terminator (jump, branch
+    /// outcome, or table jump). Call/return transitions are *not* edges.
+    fn edge(&mut self, kernel: bool, from: BlockId, to: BlockId) {
+        let _ = (kernel, from, to);
+    }
+
+    /// A call instruction in `from_block` invoked procedure `callee`.
+    fn call(&mut self, kernel: bool, from_block: BlockId, callee: ProcId) {
+        let _ = (kernel, from_block, callee);
+    }
+
+    /// One clock tick: an instruction finished executing. Used by the
+    /// sampling (DCPI-style) profiler; `block` is the block the retiring
+    /// instruction belongs to.
+    fn tick(&mut self, kernel: bool, block: BlockId) {
+        let _ = (kernel, block);
+    }
+}
+
+/// A hook that observes nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullHook;
+
+impl ExecHook for NullHook {}
+
+/// Feeds two hooks from one execution; nests for arbitrary fan-out (for
+/// example a user-stream and a kernel-stream profiler in one run).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PairHook<A, B>(pub A, pub B);
+
+impl<A: ExecHook, B: ExecHook> ExecHook for PairHook<A, B> {
+    #[inline]
+    fn block(&mut self, kernel: bool, block: BlockId) {
+        self.0.block(kernel, block);
+        self.1.block(kernel, block);
+    }
+
+    #[inline]
+    fn edge(&mut self, kernel: bool, from: BlockId, to: BlockId) {
+        self.0.edge(kernel, from, to);
+        self.1.edge(kernel, from, to);
+    }
+
+    #[inline]
+    fn call(&mut self, kernel: bool, from_block: BlockId, callee: ProcId) {
+        self.0.call(kernel, from_block, callee);
+        self.1.call(kernel, from_block, callee);
+    }
+
+    #[inline]
+    fn tick(&mut self, kernel: bool, block: BlockId) {
+        self.0.tick(kernel, block);
+        self.1.tick(kernel, block);
+    }
+}
+
+impl<H: ExecHook + ?Sized> ExecHook for &mut H {
+    #[inline]
+    fn block(&mut self, kernel: bool, block: BlockId) {
+        (**self).block(kernel, block);
+    }
+
+    #[inline]
+    fn edge(&mut self, kernel: bool, from: BlockId, to: BlockId) {
+        (**self).edge(kernel, from, to);
+    }
+
+    #[inline]
+    fn call(&mut self, kernel: bool, from_block: BlockId, callee: ProcId) {
+        (**self).call(kernel, from_block, callee);
+    }
+
+    #[inline]
+    fn tick(&mut self, kernel: bool, block: BlockId) {
+        (**self).tick(kernel, block);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Counter(u64);
+
+    impl ExecHook for Counter {
+        fn block(&mut self, _k: bool, _b: BlockId) {
+            self.0 += 1;
+        }
+    }
+
+    #[test]
+    fn default_methods_are_noops() {
+        let mut h = NullHook;
+        h.block(false, BlockId(0));
+        h.edge(false, BlockId(0), BlockId(1));
+        h.call(true, BlockId(0), ProcId(0));
+        h.tick(false, BlockId(0));
+    }
+
+    #[test]
+    fn mut_ref_delegates() {
+        let mut c = Counter::default();
+        {
+            let r: &mut Counter = &mut c;
+            r.block(false, BlockId(3));
+        }
+        assert_eq!(c.0, 1);
+    }
+}

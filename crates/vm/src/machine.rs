@@ -1,0 +1,830 @@
+//! The multi-process, multi-CPU interpreter.
+
+use crate::hook::{ExecHook, NullHook};
+use crate::sink::{DataRecord, FetchRecord, TraceSink};
+use crate::{
+    checksum_words, PRIVATE_DATA_BASE, PRIVATE_DATA_STRIDE, SHARED_DATA_BASE,
+};
+use codelayout_ir::{BlockId, Image, LInstr, MemSpace, Operand, ProcId, Reg};
+use std::sync::Arc;
+
+/// Kernel service routine bound to a syscall code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyscallDef {
+    /// Kernel procedure implementing the service.
+    pub proc: ProcId,
+    /// Instructions the process stays blocked after the handler returns
+    /// (models I/O latency); `0` means non-blocking.
+    pub block_instrs: u64,
+}
+
+/// Machine configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineConfig {
+    /// Number of simulated CPUs; processes are statically assigned
+    /// round-robin (`pid % num_cpus`).
+    pub num_cpus: usize,
+    /// Server processes per CPU (the paper uses 8).
+    pub processes_per_cpu: usize,
+    /// Scheduling quantum in instructions.
+    pub quantum: u64,
+    /// Words of per-process private memory (rounded up to a power of two).
+    pub private_words: usize,
+    /// Words of shared memory (rounded up to a power of two).
+    pub shared_words: usize,
+    /// Call-stack depth limit per mode.
+    pub max_call_depth: usize,
+    /// Kernel procedure executed on every context switch (scheduler code),
+    /// when a kernel image is attached.
+    pub sched_proc: Option<ProcId>,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            num_cpus: 1,
+            processes_per_cpu: 1,
+            quantum: 10_000,
+            private_words: 1 << 16,
+            shared_words: 1 << 20,
+            max_call_depth: 512,
+            sched_proc: None,
+        }
+    }
+}
+
+/// Why a process stopped making progress permanently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Fault {
+    /// Program counter left the text segment.
+    PcOutOfRange,
+    /// Call stack exceeded [`MachineConfig::max_call_depth`].
+    CallDepthExceeded,
+    /// `Syscall` executed while already in kernel mode.
+    SyscallInKernel,
+    /// `Syscall` with a code that has no kernel binding (and a kernel image
+    /// is attached).
+    UnknownSyscall(u16),
+    /// Kernel `Return` executed with no kernel image attached.
+    KernelStateCorrupt,
+}
+
+/// Aggregate outcome of a [`Machine::run`] call.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunReport {
+    /// Total executed instructions (user + kernel).
+    pub instructions: u64,
+    /// Instructions executed in user mode.
+    pub user_instrs: u64,
+    /// Instructions executed in kernel mode.
+    pub kernel_instrs: u64,
+    /// Idle "instruction slots" spent with every process blocked.
+    pub idle_instrs: u64,
+    /// Syscalls dispatched to the kernel (or emulated when no kernel).
+    pub syscalls: u64,
+    /// Context switches performed.
+    pub context_switches: u64,
+    /// Processes that halted normally.
+    pub halted_processes: usize,
+    /// Faulted processes and their faults.
+    pub faults: Vec<(u8, Fault)>,
+}
+
+impl RunReport {
+    /// Accumulates another report into this one (for chunked runs).
+    pub fn absorb(&mut self, other: &RunReport) {
+        self.instructions += other.instructions;
+        self.user_instrs += other.user_instrs;
+        self.kernel_instrs += other.kernel_instrs;
+        self.idle_instrs += other.idle_instrs;
+        self.syscalls += other.syscalls;
+        self.context_switches += other.context_switches;
+        self.halted_processes += other.halted_processes;
+        self.faults.extend(other.faults.iter().copied());
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Process {
+    regs: [i64; 32],
+    /// User register snapshot taken at kernel entry; restored at kernel
+    /// exit (register banking, like Alpha PALcode shadow registers), so
+    /// kernel code may clobber any register.
+    saved_regs: [i64; 32],
+    /// Whether `r0` carries a kernel return value back to user mode
+    /// (true for syscalls, false for preemption/scheduler entries).
+    kernel_returns_r0: bool,
+    pc: u32,
+    stack: Vec<u32>,
+    kernel_mode: bool,
+    kpc: u32,
+    kstack: Vec<u32>,
+    pending_block: u64,
+    cur_block_user: BlockId,
+    cur_block_kernel: BlockId,
+    priv_mem: Vec<i64>,
+    emitted: Vec<i64>,
+    halted: bool,
+    fault: Option<Fault>,
+    blocked_until: u64,
+    started: bool,
+    syscalls: u64,
+}
+
+enum Stop {
+    Quantum,
+    Halted,
+    Blocked,
+    Faulted(Fault),
+}
+
+/// A deterministic multi-process machine executing one application image and
+/// an optional kernel image.
+///
+/// See the crate docs for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    app: Arc<Image>,
+    kernel: Option<Arc<Image>>,
+    syscalls: Vec<Option<SyscallDef>>,
+    cfg: MachineConfig,
+    procs: Vec<Process>,
+    shared: Vec<i64>,
+    now: u64,
+    last_pid: Vec<Option<usize>>,
+    /// Next CPU to serve; persists across `run` calls so chunked runs
+    /// cannot starve CPUs (for example a preempted lock holder).
+    cpu_rr: usize,
+    /// Per-CPU next-process cursor; persists across `run` calls for the
+    /// same fairness reason.
+    proc_rr: Vec<usize>,
+    /// Diagnostic: dispatch count per process.
+    dispatches: Vec<u64>,
+}
+
+impl Machine {
+    /// Creates a machine running `app` on every process, without a kernel:
+    /// syscalls become no-ops returning `0` in `r0`.
+    pub fn new(app: Arc<Image>, cfg: MachineConfig) -> Self {
+        Self::with_kernel_opt(app, None, Vec::new(), cfg)
+    }
+
+    /// Creates a machine with a kernel image and a syscall table mapping
+    /// codes to kernel procedures.
+    pub fn with_kernel(
+        app: Arc<Image>,
+        kernel: Arc<Image>,
+        table: Vec<(u16, SyscallDef)>,
+        cfg: MachineConfig,
+    ) -> Self {
+        Self::with_kernel_opt(app, Some(kernel), table, cfg)
+    }
+
+    fn with_kernel_opt(
+        app: Arc<Image>,
+        kernel: Option<Arc<Image>>,
+        table: Vec<(u16, SyscallDef)>,
+        cfg: MachineConfig,
+    ) -> Self {
+        let nprocs = cfg.num_cpus.max(1) * cfg.processes_per_cpu.max(1);
+        assert!(nprocs <= 256, "at most 256 processes");
+        assert!(cfg.num_cpus <= 64, "at most 64 CPUs");
+        let priv_words = cfg.private_words.next_power_of_two();
+        let shared_words = cfg.shared_words.next_power_of_two();
+        assert!(
+            priv_words as u64 * 8 <= PRIVATE_DATA_STRIDE,
+            "private region exceeds its address stride"
+        );
+        let mut syscalls = Vec::new();
+        for (code, def) in table {
+            let idx = code as usize;
+            if syscalls.len() <= idx {
+                syscalls.resize(idx + 1, None);
+            }
+            syscalls[idx] = Some(def);
+        }
+        let entry_block = app.block_of[app.entry as usize];
+        let procs = (0..nprocs)
+            .map(|_| Process {
+                regs: [0; 32],
+                saved_regs: [0; 32],
+                kernel_returns_r0: false,
+                pc: app.entry,
+                stack: Vec::new(),
+                kernel_mode: false,
+                kpc: 0,
+                kstack: Vec::new(),
+                pending_block: 0,
+                cur_block_user: entry_block,
+                cur_block_kernel: BlockId(0),
+                priv_mem: vec![0; priv_words],
+                emitted: Vec::new(),
+                halted: false,
+                fault: None,
+                blocked_until: 0,
+                started: false,
+                syscalls: 0,
+            })
+            .collect();
+        let last_pid = vec![None; cfg.num_cpus.max(1)];
+        let proc_rr = vec![0; cfg.num_cpus.max(1)];
+        Machine {
+            cpu_rr: 0,
+            dispatches: vec![0; nprocs],
+            proc_rr,
+            app,
+            kernel,
+            syscalls,
+            cfg: MachineConfig {
+                private_words: priv_words,
+                shared_words,
+                ..cfg
+            },
+            procs,
+            shared: vec![0; shared_words],
+            now: 0,
+            last_pid,
+        }
+    }
+
+    /// Number of processes.
+    pub fn num_processes(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Debug snapshot of a process: `(kernel_mode, pc, kpc, blocked_until,
+    /// halted)`. Intended for diagnostics and tests.
+    pub fn process_state(&self, pid: usize) -> (bool, u32, u32, u64, bool) {
+        let p = &self.procs[pid];
+        (p.kernel_mode, p.pc, p.kpc, p.blocked_until, p.halted)
+    }
+
+    /// Diagnostic: how many times each process has been dispatched.
+    pub fn dispatch_counts(&self) -> &[u64] {
+        &self.dispatches
+    }
+
+    /// Processes that have neither halted nor faulted.
+    pub fn live_processes(&self) -> usize {
+        self.procs
+            .iter()
+            .filter(|p| !p.halted && p.fault.is_none())
+            .count()
+    }
+
+    /// The machine configuration (with memory sizes normalized).
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Global instruction clock.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Sets a register of a (not yet started) process.
+    ///
+    /// # Panics
+    /// Panics if `pid` is out of range.
+    pub fn set_reg(&mut self, pid: usize, reg: Reg, value: i64) {
+        self.procs[pid].regs[reg.index() & 31] = value;
+    }
+
+    /// Reads a register of a process.
+    pub fn reg(&self, pid: usize, reg: Reg) -> i64 {
+        self.procs[pid].regs[reg.index() & 31]
+    }
+
+    /// Writes a word of shared memory.
+    pub fn set_shared_word(&mut self, idx: usize, value: i64) {
+        let m = self.shared.len() - 1;
+        self.shared[idx & m] = value;
+    }
+
+    /// Reads a word of shared memory.
+    pub fn shared_word(&self, idx: usize) -> i64 {
+        self.shared[idx & (self.shared.len() - 1)]
+    }
+
+    /// Writes a word of a process's private memory.
+    pub fn set_private_word(&mut self, pid: usize, idx: usize, value: i64) {
+        let mem = &mut self.procs[pid].priv_mem;
+        let m = mem.len() - 1;
+        mem[idx & m] = value;
+    }
+
+    /// Reads a word of a process's private memory.
+    pub fn private_word(&self, pid: usize, idx: usize) -> i64 {
+        let mem = &self.procs[pid].priv_mem;
+        mem[idx & (mem.len() - 1)]
+    }
+
+    /// Values emitted (via `Emit`) by a process, in order.
+    pub fn emitted(&self, pid: usize) -> &[i64] {
+        &self.procs[pid].emitted
+    }
+
+    /// Checksum of shared memory (layout-invariant architectural state).
+    pub fn shared_checksum(&self) -> u64 {
+        checksum_words(&self.shared)
+    }
+
+    /// Checksum of a process's private memory.
+    pub fn private_checksum(&self, pid: usize) -> u64 {
+        checksum_words(&self.procs[pid].priv_mem)
+    }
+
+    /// Runs without an execution hook. See [`Machine::run_hooked`].
+    pub fn run<S: TraceSink>(&mut self, sink: &mut S, max_instrs: u64) -> RunReport {
+        self.run_hooked(sink, &mut NullHook, max_instrs)
+    }
+
+    /// Runs all processes until they halt/fault or `max_instrs` instructions
+    /// have executed, streaming fetch/data records to `sink` and
+    /// block/edge/call events to `hook`.
+    ///
+    /// Scheduling: CPUs are served round-robin; on each turn a CPU picks its
+    /// next runnable process (round-robin within the CPU) and runs it for up
+    /// to one quantum, or until it halts, faults, or blocks. If a kernel is
+    /// attached and [`MachineConfig::sched_proc`] is set, the scheduler
+    /// procedure executes (as kernel instructions, in the incoming process's
+    /// context) on every context switch.
+    pub fn run_hooked<S: TraceSink, H: ExecHook>(
+        &mut self,
+        sink: &mut S,
+        hook: &mut H,
+        max_instrs: u64,
+    ) -> RunReport {
+        let mut report = RunReport::default();
+        let ncpus = self.cfg.num_cpus.max(1);
+        let nprocs = self.procs.len();
+        let budget_end = self.now.saturating_add(max_instrs);
+
+        loop {
+            let mut any_ran = false;
+            let mut min_wake = u64::MAX;
+            let mut all_done = true;
+
+            let cpu_base = self.cpu_rr;
+            for turn in 0..ncpus {
+                let cpu = (cpu_base + turn) % ncpus;
+                // Budget check BEFORE selecting a process: selecting
+                // advances the round-robin cursor, and doing that without
+                // actually running the process would systematically skip
+                // it under resonant chunked driving (a starvation bug that
+                // once left a lock holder unscheduled forever).
+                let quantum = self.cfg.quantum.min(budget_end.saturating_sub(self.now));
+                if quantum == 0 {
+                    self.cpu_rr = cpu;
+                    break;
+                }
+                // Processes assigned to this cpu: pid % ncpus == cpu.
+                let count = (nprocs + ncpus - 1 - cpu) / ncpus;
+                if count == 0 {
+                    continue;
+                }
+                let mut chosen = None;
+                for k in 0..count {
+                    let slot = (self.proc_rr[cpu] + k) % count;
+                    let pid = slot * ncpus + cpu;
+                    let p = &self.procs[pid];
+                    if p.halted || p.fault.is_some() {
+                        continue;
+                    }
+                    all_done = false;
+                    if p.blocked_until > self.now {
+                        min_wake = min_wake.min(p.blocked_until);
+                        continue;
+                    }
+                    chosen = Some((slot, pid));
+                    break;
+                }
+                let Some((slot, pid)) = chosen else { continue };
+                self.proc_rr[cpu] = (slot + 1) % count;
+                self.dispatches[pid] += 1;
+                any_ran = true;
+
+                if self.last_pid[cpu] != Some(pid) {
+                    if self.last_pid[cpu].is_some() {
+                        report.context_switches += 1;
+                    }
+                    self.last_pid[cpu] = Some(pid);
+                    // Run the kernel scheduler path in the incoming process's
+                    // context — unless it was preempted inside the kernel, in
+                    // which case its saved kernel state must not be clobbered.
+                    if let (Some(sp), true) = (self.cfg.sched_proc, self.kernel.is_some()) {
+                        if !self.procs[pid].kernel_mode {
+                            self.enter_kernel(pid, sp, 0, false, hook);
+                        }
+                    }
+                }
+
+                self.cpu_rr = (cpu + 1) % ncpus;
+                let stop = self.exec(cpu as u8, pid, quantum, sink, hook, &mut report);
+                match stop {
+                    Stop::Halted => {
+                        report.halted_processes += 1;
+                        self.last_pid[cpu] = None;
+                    }
+                    Stop::Faulted(f) => {
+                        report.faults.push((pid as u8, f));
+                        self.procs[pid].fault = Some(f);
+                        self.last_pid[cpu] = None;
+                    }
+                    Stop::Blocked | Stop::Quantum => {}
+                }
+            }
+
+            if all_done {
+                break;
+            }
+            if self.now >= budget_end {
+                break;
+            }
+            if !any_ran {
+                if min_wake == u64::MAX {
+                    break; // nothing runnable and nothing will wake
+                }
+                let wake = min_wake.min(budget_end);
+                report.idle_instrs += wake - self.now;
+                self.now = wake;
+            }
+        }
+        report
+    }
+
+    /// Enters kernel mode at the entry of `proc`, recording the
+    /// post-handler blocking latency to apply at kernel exit. User
+    /// registers are banked and restored at kernel exit; `returns_r0`
+    /// selects whether the kernel's `r0` is forwarded back (syscall return
+    /// convention) or the user's `r0` is preserved (preemption).
+    fn enter_kernel<H: ExecHook>(
+        &mut self,
+        pid: usize,
+        kproc: ProcId,
+        block: u64,
+        returns_r0: bool,
+        hook: &mut H,
+    ) {
+        let kernel = self.kernel.as_ref().expect("kernel image attached");
+        let p = &mut self.procs[pid];
+        debug_assert!(!p.kernel_mode, "nested kernel entry");
+        p.kernel_mode = true;
+        p.saved_regs = p.regs;
+        p.kernel_returns_r0 = returns_r0;
+        p.kpc = kernel.proc_entry[kproc.index()];
+        p.kstack.clear();
+        p.pending_block = block;
+        let entry_block = kernel.block_of[p.kpc as usize];
+        p.cur_block_kernel = entry_block;
+        hook.block(true, entry_block);
+    }
+
+    /// Executes process `pid` for up to `quantum` instructions.
+    #[allow(clippy::too_many_lines)]
+    fn exec<S: TraceSink, H: ExecHook>(
+        &mut self,
+        cpu: u8,
+        pid: usize,
+        quantum: u64,
+        sink: &mut S,
+        hook: &mut H,
+        report: &mut RunReport,
+    ) -> Stop {
+        let app = Arc::clone(&self.app);
+        let kernel = self.kernel.clone();
+        let max_depth = self.cfg.max_call_depth;
+        let priv_base = PRIVATE_DATA_BASE + pid as u64 * PRIVATE_DATA_STRIDE;
+        let shared_mask = self.shared.len() - 1;
+
+        let p = &mut self.procs[pid];
+        let priv_mask = p.priv_mem.len() - 1;
+        if !p.started {
+            p.started = true;
+            hook.block(false, p.cur_block_user);
+        }
+        let pid8 = pid as u8;
+        let mut executed: u64 = 0;
+        let mut kernel_executed: u64 = 0;
+
+        let outcome = loop {
+            if executed >= quantum {
+                break Stop::Quantum;
+            }
+            let kmode = p.kernel_mode;
+            kernel_executed += u64::from(kmode);
+            let image: &Image = if kmode {
+                kernel.as_deref().expect("kernel mode without kernel")
+            } else {
+                &app
+            };
+            let pc = if kmode { p.kpc } else { p.pc };
+            let Some(instr) = image.code.get(pc as usize) else {
+                break Stop::Faulted(Fault::PcOutOfRange);
+            };
+            sink.fetch(FetchRecord {
+                addr: image.addr(pc),
+                cpu,
+                pid: pid8,
+                kernel: kmode,
+            });
+            executed += 1;
+            let cur_block = image.block_of[pc as usize];
+            hook.tick(kmode, cur_block);
+
+            // Default next pc: sequential.
+            let mut next = pc + 1;
+            let mut transferred = false;
+
+            match instr {
+                LInstr::Imm { dst, value } => {
+                    p.regs[dst.index() & 31] = *value;
+                }
+                LInstr::Mov { dst, src } => {
+                    p.regs[dst.index() & 31] = p.regs[src.index() & 31];
+                }
+                LInstr::Bin { op, dst, lhs, rhs } => {
+                    let l = p.regs[lhs.index() & 31];
+                    let r = operand(&p.regs, *rhs);
+                    p.regs[dst.index() & 31] = op.apply(l, r);
+                }
+                LInstr::Load {
+                    dst,
+                    base,
+                    offset,
+                    space,
+                } => {
+                    let idx =
+                        (p.regs[base.index() & 31].wrapping_add(*offset as i64)) as usize;
+                    let (val, addr) = match space {
+                        MemSpace::Private => {
+                            let i = idx & priv_mask;
+                            (p.priv_mem[i], priv_base + (i as u64) * 8)
+                        }
+                        MemSpace::Shared => {
+                            let i = idx & shared_mask;
+                            (self.shared[i], SHARED_DATA_BASE + (i as u64) * 8)
+                        }
+                    };
+                    p.regs[dst.index() & 31] = val;
+                    sink.data(DataRecord {
+                        addr,
+                        cpu,
+                        pid: pid8,
+                        kernel: kmode,
+                        write: false,
+                    });
+                }
+                LInstr::Store {
+                    src,
+                    base,
+                    offset,
+                    space,
+                } => {
+                    let idx =
+                        (p.regs[base.index() & 31].wrapping_add(*offset as i64)) as usize;
+                    let val = p.regs[src.index() & 31];
+                    let addr = match space {
+                        MemSpace::Private => {
+                            let i = idx & priv_mask;
+                            p.priv_mem[i] = val;
+                            priv_base + (i as u64) * 8
+                        }
+                        MemSpace::Shared => {
+                            let i = idx & shared_mask;
+                            self.shared[i] = val;
+                            SHARED_DATA_BASE + (i as u64) * 8
+                        }
+                    };
+                    sink.data(DataRecord {
+                        addr,
+                        cpu,
+                        pid: pid8,
+                        kernel: kmode,
+                        write: true,
+                    });
+                }
+                LInstr::AtomicRmw {
+                    op,
+                    dst,
+                    base,
+                    offset,
+                    src,
+                    space,
+                } => {
+                    let idx =
+                        (p.regs[base.index() & 31].wrapping_add(*offset as i64)) as usize;
+                    let rhs = p.regs[src.index() & 31];
+                    let addr = match space {
+                        MemSpace::Private => {
+                            let i = idx & priv_mask;
+                            let old = p.priv_mem[i];
+                            p.priv_mem[i] = op.apply(old, rhs);
+                            p.regs[dst.index() & 31] = old;
+                            priv_base + (i as u64) * 8
+                        }
+                        MemSpace::Shared => {
+                            let i = idx & shared_mask;
+                            let old = self.shared[i];
+                            self.shared[i] = op.apply(old, rhs);
+                            p.regs[dst.index() & 31] = old;
+                            SHARED_DATA_BASE + (i as u64) * 8
+                        }
+                    };
+                    sink.data(DataRecord {
+                        addr,
+                        cpu,
+                        pid: pid8,
+                        kernel: kmode,
+                        write: true,
+                    });
+                }
+                LInstr::Emit { src } => {
+                    p.emitted.push(p.regs[src.index() & 31]);
+                }
+                LInstr::Nop => {}
+                LInstr::Br { target } => {
+                    next = *target;
+                    transferred = true;
+                }
+                LInstr::BrCond {
+                    cond,
+                    reg,
+                    rhs,
+                    target,
+                } => {
+                    let l = p.regs[reg.index() & 31];
+                    let r = operand(&p.regs, *rhs);
+                    if cond.eval(l, r) {
+                        next = *target;
+                        transferred = true;
+                    }
+                }
+                LInstr::JmpTbl {
+                    reg,
+                    table,
+                    default,
+                } => {
+                    let v = p.regs[reg.index() & 31];
+                    next = if v >= 0 && (v as usize) < table.len() {
+                        table[v as usize]
+                    } else {
+                        *default
+                    };
+                    transferred = true;
+                }
+                LInstr::Call { callee, target } => {
+                    let stack = if kmode { &mut p.kstack } else { &mut p.stack };
+                    if stack.len() >= max_depth {
+                        break Stop::Faulted(Fault::CallDepthExceeded);
+                    }
+                    stack.push(pc + 1);
+                    hook.call(kmode, cur_block, *callee);
+                    let entry_block = image.block_of[*target as usize];
+                    hook.block(kmode, entry_block);
+                    if kmode {
+                        p.kpc = *target;
+                        p.cur_block_kernel = entry_block;
+                    } else {
+                        p.pc = *target;
+                        p.cur_block_user = entry_block;
+                    }
+                    continue;
+                }
+                LInstr::Ret => {
+                    // Returning normally lands mid-block (after the call
+                    // instruction). But when a call is the *last* body
+                    // instruction of a block whose jump terminator was
+                    // fall-through-eliminated, the return address is the
+                    // first instruction of the next block: that IS a block
+                    // entry (the eliminated jump's flow edge), and
+                    // profilers must see it.
+                    if kmode {
+                        match p.kstack.pop() {
+                            Some(r) => {
+                                let kimg =
+                                    kernel.as_deref().expect("kernel mode without kernel");
+                                p.kpc = r;
+                                let nb = kimg.block_of[r as usize];
+                                if kimg.block_start[nb.index()] == r {
+                                    let from = kimg.block_of[r as usize - 1];
+                                    hook.edge(true, from, nb);
+                                    hook.block(true, nb);
+                                }
+                                p.cur_block_kernel = nb;
+                            }
+                            None => {
+                                // Kernel service finished: back to user mode.
+                                // Restore the banked user registers,
+                                // forwarding r0 when this entry was a
+                                // syscall.
+                                p.kernel_mode = false;
+                                let r0 = p.regs[0];
+                                p.regs = p.saved_regs;
+                                if p.kernel_returns_r0 {
+                                    p.regs[0] = r0;
+                                }
+                                if p.pending_block > 0 {
+                                    p.blocked_until = self.now + executed + p.pending_block;
+                                    p.pending_block = 0;
+                                    break Stop::Blocked;
+                                }
+                            }
+                        }
+                    } else {
+                        match p.stack.pop() {
+                            Some(r) => {
+                                p.pc = r;
+                                let nb = app.block_of[r as usize];
+                                if app.block_start[nb.index()] == r {
+                                    let from = app.block_of[r as usize - 1];
+                                    hook.edge(false, from, nb);
+                                    hook.block(false, nb);
+                                }
+                                p.cur_block_user = nb;
+                            }
+                            None => {
+                                // Entry procedure returned: process done.
+                                p.halted = true;
+                                break Stop::Halted;
+                            }
+                        }
+                    }
+                    continue;
+                }
+                LInstr::Syscall { code } => {
+                    if kmode {
+                        break Stop::Faulted(Fault::SyscallInKernel);
+                    }
+                    p.pc = next;
+                    p.syscalls += 1;
+                    report.syscalls += 1;
+                    if kernel.is_some() {
+                        let def = self.syscalls.get(*code as usize).copied().flatten();
+                        let Some(def) = def else {
+                            break Stop::Faulted(Fault::UnknownSyscall(*code));
+                        };
+                        // Inline kernel entry (cannot call self.enter_kernel
+                        // while `p` is borrowed; replicate).
+                        let kimg = kernel.as_deref().expect("checked above");
+                        p.kernel_mode = true;
+                        p.saved_regs = p.regs;
+                        p.kernel_returns_r0 = true;
+                        p.kpc = kimg.proc_entry[def.proc.index()];
+                        p.kstack.clear();
+                        p.pending_block = def.block_instrs;
+                        let eb = kimg.block_of[p.kpc as usize];
+                        p.cur_block_kernel = eb;
+                        hook.block(true, eb);
+                    } else {
+                        // No kernel: emulate as `r0 = 0`.
+                        p.regs[0] = 0;
+                    }
+                    continue;
+                }
+                LInstr::Halt => {
+                    p.halted = true;
+                    break Stop::Halted;
+                }
+            }
+
+            // Sequential or branch advance; detect block entry.
+            if (next as usize) >= image.code.len() {
+                break Stop::Faulted(Fault::PcOutOfRange);
+            }
+            let new_block = image.block_of[next as usize];
+            if transferred || new_block != cur_block {
+                hook.edge(kmode, cur_block, new_block);
+                hook.block(kmode, new_block);
+                if kmode {
+                    p.cur_block_kernel = new_block;
+                } else {
+                    p.cur_block_user = new_block;
+                }
+            }
+            if kmode {
+                p.kpc = next;
+            } else {
+                p.pc = next;
+            }
+        };
+
+        report.instructions += executed;
+        report.kernel_instrs += kernel_executed;
+        report.user_instrs += executed - kernel_executed;
+        self.now += executed;
+        outcome
+    }
+}
+
+#[inline]
+fn operand(regs: &[i64; 32], op: Operand) -> i64 {
+    match op {
+        Operand::Reg(r) => regs[r.index() & 31],
+        Operand::Imm(v) => v,
+    }
+}
+
+#[allow(unused)]
+fn _assert_reg_bound(_r: Reg) {}

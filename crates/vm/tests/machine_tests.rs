@@ -1,0 +1,594 @@
+//! Behavioural tests for the multi-process machine.
+
+use codelayout_ir::link::link;
+use codelayout_ir::{
+    BinOp, BlockId, Cond, Layout, MemSpace, Operand, ProcBuilder, ProcId, Program,
+    ProgramBuilder, Reg,
+};
+use codelayout_vm::{
+    CountingSink, ExecHook, Machine, MachineConfig, NullSink, RecordingSink, SyscallDef,
+    APP_TEXT_BASE, KERNEL_TEXT_BASE,
+};
+use std::sync::Arc;
+
+const R0: Reg = Reg(0);
+const R1: Reg = Reg(1);
+const R2: Reg = Reg(2);
+const R3: Reg = Reg(3);
+
+fn app_image(p: &Program) -> Arc<codelayout_ir::Image> {
+    Arc::new(link(p, &Layout::natural(p), APP_TEXT_BASE).unwrap())
+}
+
+fn kernel_image(p: &Program) -> Arc<codelayout_ir::Image> {
+    Arc::new(link(p, &Layout::natural(p), KERNEL_TEXT_BASE).unwrap())
+}
+
+/// Counts r1 down from its initial value, emitting each value.
+fn countdown_program() -> Program {
+    let mut pb = ProgramBuilder::new("countdown");
+    let main = pb.declare_proc("main");
+    let mut f = ProcBuilder::new();
+    let head = f.entry();
+    let body = f.new_block();
+    let done = f.new_block();
+    f.select(head);
+    f.branch(Cond::Gt, R1, Operand::Imm(0), body, done);
+    f.select(body);
+    f.emit(R1).bin_imm(BinOp::Sub, R1, R1, 1);
+    f.jump(head);
+    f.select(done);
+    f.halt();
+    pb.define_proc(main, f).unwrap();
+    pb.finish(main).unwrap()
+}
+
+#[test]
+fn countdown_emits_descending_values() {
+    let p = countdown_program();
+    let mut m = Machine::new(app_image(&p), MachineConfig::default());
+    m.set_reg(0, R1, 3);
+    let report = m.run(&mut NullSink, 1_000);
+    assert!(report.faults.is_empty());
+    assert_eq!(report.halted_processes, 1);
+    assert_eq!(m.emitted(0), &[3, 2, 1]);
+}
+
+#[test]
+fn call_and_return_work() {
+    let mut pb = ProgramBuilder::new("callret");
+    let main = pb.declare_proc("main");
+    let double = pb.declare_proc("double");
+
+    let mut f = ProcBuilder::new();
+    f.imm(R1, 21).call(double).emit(R1);
+    f.halt();
+    pb.define_proc(main, f).unwrap();
+
+    let mut g = ProcBuilder::new();
+    g.bin(BinOp::Add, R1, R1, R1);
+    g.ret();
+    pb.define_proc(double, g).unwrap();
+
+    let p = pb.finish(main).unwrap();
+    let mut m = Machine::new(app_image(&p), MachineConfig::default());
+    let report = m.run(&mut NullSink, 1_000);
+    assert!(report.faults.is_empty());
+    assert_eq!(m.emitted(0), &[42]);
+}
+
+#[test]
+fn top_level_return_halts_process() {
+    let mut pb = ProgramBuilder::new("ret");
+    let main = pb.declare_proc("main");
+    let mut f = ProcBuilder::new();
+    f.imm(R1, 1);
+    f.ret();
+    pb.define_proc(main, f).unwrap();
+    let p = pb.finish(main).unwrap();
+    let mut m = Machine::new(app_image(&p), MachineConfig::default());
+    let report = m.run(&mut NullSink, 100);
+    assert_eq!(report.halted_processes, 1);
+    assert!(report.faults.is_empty());
+}
+
+#[test]
+fn recursion_depth_fault() {
+    let mut pb = ProgramBuilder::new("rec");
+    let main = pb.declare_proc("main");
+    let mut f = ProcBuilder::new();
+    f.call(main);
+    f.ret();
+    pb.define_proc(main, f).unwrap();
+    let p = pb.finish(main).unwrap();
+    let mut m = Machine::new(
+        app_image(&p),
+        MachineConfig {
+            max_call_depth: 16,
+            ..MachineConfig::default()
+        },
+    );
+    let report = m.run(&mut NullSink, 10_000);
+    assert_eq!(report.faults.len(), 1);
+    assert!(matches!(
+        report.faults[0].1,
+        codelayout_vm::Fault::CallDepthExceeded
+    ));
+}
+
+#[test]
+fn syscall_without_kernel_returns_zero() {
+    let mut pb = ProgramBuilder::new("sys");
+    let main = pb.declare_proc("main");
+    let mut f = ProcBuilder::new();
+    f.imm(R0, 99).syscall(5).emit(R0);
+    f.halt();
+    pb.define_proc(main, f).unwrap();
+    let p = pb.finish(main).unwrap();
+    let mut m = Machine::new(app_image(&p), MachineConfig::default());
+    let report = m.run(&mut NullSink, 100);
+    assert!(report.faults.is_empty());
+    assert_eq!(report.syscalls, 1);
+    assert_eq!(m.emitted(0), &[0]);
+}
+
+fn simple_kernel() -> Program {
+    let mut pb = ProgramBuilder::new("kernel");
+    let set7 = pb.declare_proc("sys_set7");
+    let mut f = ProcBuilder::new();
+    f.imm(R0, 7);
+    f.ret();
+    pb.define_proc(set7, f).unwrap();
+    pb.finish(set7).unwrap()
+}
+
+#[test]
+fn syscall_with_kernel_runs_handler() {
+    let mut pb = ProgramBuilder::new("sysk");
+    let main = pb.declare_proc("main");
+    let mut f = ProcBuilder::new();
+    f.syscall(1).emit(R0);
+    f.halt();
+    pb.define_proc(main, f).unwrap();
+    let p = pb.finish(main).unwrap();
+
+    let k = simple_kernel();
+    let mut m = Machine::with_kernel(
+        app_image(&p),
+        kernel_image(&k),
+        vec![(
+            1,
+            SyscallDef {
+                proc: ProcId(0),
+                block_instrs: 0,
+            },
+        )],
+        MachineConfig::default(),
+    );
+    let mut sink = CountingSink::default();
+    let report = m.run(&mut sink, 1_000);
+    assert!(report.faults.is_empty());
+    assert_eq!(m.emitted(0), &[7]);
+    assert!(report.kernel_instrs >= 2);
+    assert!(sink.kernel_fetches >= 2);
+}
+
+#[test]
+fn unknown_syscall_faults_when_kernel_attached() {
+    let mut pb = ProgramBuilder::new("sysu");
+    let main = pb.declare_proc("main");
+    let mut f = ProcBuilder::new();
+    f.syscall(42);
+    f.halt();
+    pb.define_proc(main, f).unwrap();
+    let p = pb.finish(main).unwrap();
+    let k = simple_kernel();
+    let mut m = Machine::with_kernel(
+        app_image(&p),
+        kernel_image(&k),
+        vec![],
+        MachineConfig::default(),
+    );
+    let report = m.run(&mut NullSink, 100);
+    assert_eq!(report.faults.len(), 1);
+    assert!(matches!(
+        report.faults[0].1,
+        codelayout_vm::Fault::UnknownSyscall(42)
+    ));
+}
+
+#[test]
+fn blocking_syscall_interleaves_processes() {
+    // Each process: syscall(1) [blocking], then emit own pid, halt.
+    let mut pb = ProgramBuilder::new("blk");
+    let main = pb.declare_proc("main");
+    let mut f = ProcBuilder::new();
+    f.syscall(1).emit(R1);
+    f.halt();
+    pb.define_proc(main, f).unwrap();
+    let p = pb.finish(main).unwrap();
+    let k = simple_kernel();
+    let mut m = Machine::with_kernel(
+        app_image(&p),
+        kernel_image(&k),
+        vec![(
+            1,
+            SyscallDef {
+                proc: ProcId(0),
+                block_instrs: 500,
+            },
+        )],
+        MachineConfig {
+            processes_per_cpu: 2,
+            quantum: 100,
+            ..MachineConfig::default()
+        },
+    );
+    m.set_reg(0, R1, 100);
+    m.set_reg(1, R1, 101);
+    let report = m.run(&mut NullSink, 100_000);
+    assert!(report.faults.is_empty());
+    assert_eq!(report.halted_processes, 2);
+    assert_eq!(m.emitted(0), &[100]);
+    assert_eq!(m.emitted(1), &[101]);
+    assert!(report.context_switches >= 1);
+    assert!(report.idle_instrs > 0, "both blocked at once at some point");
+}
+
+#[test]
+fn atomic_rmw_is_exact_across_processes() {
+    // Each of 4 processes adds 1 to shared[0] N times.
+    let n = 1000;
+    let mut pb = ProgramBuilder::new("atomic");
+    let main = pb.declare_proc("main");
+    let mut f = ProcBuilder::new();
+    let head = f.entry();
+    let body = f.new_block();
+    let done = f.new_block();
+    f.select(head);
+    f.imm(R2, 0).imm(R3, 1);
+    f.jump(body);
+    f.select(body);
+    f.atomic_rmw(BinOp::Add, R0, R2, 0, R3, MemSpace::Shared);
+    f.bin_imm(BinOp::Add, R1, R1, 1);
+    f.branch(Cond::Lt, R1, Operand::Imm(n), body, done);
+    f.select(done);
+    f.halt();
+    pb.define_proc(main, f).unwrap();
+    let p = pb.finish(main).unwrap();
+    let mut m = Machine::new(
+        app_image(&p),
+        MachineConfig {
+            num_cpus: 2,
+            processes_per_cpu: 2,
+            quantum: 37, // deliberately odd to force mid-loop preemption
+            ..MachineConfig::default()
+        },
+    );
+    let report = m.run(&mut NullSink, 10_000_000);
+    assert!(report.faults.is_empty());
+    assert_eq!(report.halted_processes, 4);
+    assert_eq!(m.shared_word(0), 4 * n);
+}
+
+#[test]
+fn deterministic_traces() {
+    let p = countdown_program();
+    let run = || {
+        let mut m = Machine::new(
+            app_image(&p),
+            MachineConfig {
+                processes_per_cpu: 3,
+                quantum: 7,
+                ..MachineConfig::default()
+            },
+        );
+        for pid in 0..3 {
+            m.set_reg(pid, R1, 50 + pid as i64);
+        }
+        let mut sink = RecordingSink::default();
+        m.run(&mut sink, 100_000);
+        sink.fetches
+    };
+    assert_eq!(run(), run());
+}
+
+#[derive(Default)]
+struct EventCounter {
+    blocks: u64,
+    edges: u64,
+    calls: u64,
+    ticks: u64,
+}
+
+impl ExecHook for EventCounter {
+    fn block(&mut self, _k: bool, _b: BlockId) {
+        self.blocks += 1;
+    }
+    fn edge(&mut self, _k: bool, _f: BlockId, _t: BlockId) {
+        self.edges += 1;
+    }
+    fn call(&mut self, _k: bool, _f: BlockId, _c: ProcId) {
+        self.calls += 1;
+    }
+    fn tick(&mut self, _k: bool, _b: BlockId) {
+        self.ticks += 1;
+    }
+}
+
+#[test]
+fn hook_sees_blocks_edges_calls() {
+    // main: loop 3 times calling leaf.
+    let mut pb = ProgramBuilder::new("hook");
+    let main = pb.declare_proc("main");
+    let leaf = pb.declare_proc("leaf");
+
+    let mut f = ProcBuilder::new();
+    let head = f.entry();
+    let body = f.new_block();
+    let done = f.new_block();
+    f.select(head);
+    f.imm(R1, 3);
+    f.jump(body);
+    f.select(body);
+    f.call(leaf).bin_imm(BinOp::Sub, R1, R1, 1);
+    f.branch(Cond::Gt, R1, Operand::Imm(0), body, done);
+    f.select(done);
+    f.halt();
+    pb.define_proc(main, f).unwrap();
+
+    let mut g = ProcBuilder::new();
+    g.nop();
+    g.ret();
+    pb.define_proc(leaf, g).unwrap();
+
+    let p = pb.finish(main).unwrap();
+    let mut m = Machine::new(app_image(&p), MachineConfig::default());
+    let mut hook = EventCounter::default();
+    let report = m.run_hooked(&mut NullSink, &mut hook, 10_000);
+    assert!(report.faults.is_empty());
+    assert_eq!(hook.calls, 3);
+    // Blocks: entry(head) + jump->body + 3 leaf entries + 2 back-edges to
+    // body + 1 edge to done = entry(1) + body(3) + leaf(3) + done(1) = 8.
+    assert_eq!(hook.blocks, 8);
+    // Edges: head->body, body->body (x2), body->done = 4.
+    assert_eq!(hook.edges, 4);
+    assert_eq!(hook.ticks, report.instructions);
+}
+
+#[test]
+fn quantum_preempts_spinner() {
+    // Process 0 spins forever; process 1 counts down and halts. With
+    // round-robin quanta, process 1 must finish.
+    let mut pb = ProgramBuilder::new("spin");
+    let main = pb.declare_proc("main");
+    let mut f = ProcBuilder::new();
+    let head = f.entry();
+    let spin = f.new_block();
+    let count = f.new_block();
+    let done = f.new_block();
+    f.select(head);
+    // r2 == 0 -> spinner, else countdown
+    f.branch(Cond::Eq, R2, Operand::Imm(0), spin, count);
+    f.select(spin);
+    f.nop();
+    f.jump(spin);
+    f.select(count);
+    f.bin_imm(BinOp::Sub, R1, R1, 1);
+    f.branch(Cond::Gt, R1, Operand::Imm(0), count, done);
+    f.select(done);
+    f.emit(R1);
+    f.halt();
+    pb.define_proc(main, f).unwrap();
+    let p = pb.finish(main).unwrap();
+    let mut m = Machine::new(
+        app_image(&p),
+        MachineConfig {
+            processes_per_cpu: 2,
+            quantum: 50,
+            ..MachineConfig::default()
+        },
+    );
+    m.set_reg(0, R2, 0);
+    m.set_reg(1, R2, 1);
+    m.set_reg(1, R1, 500);
+    let report = m.run(&mut NullSink, 100_000);
+    assert_eq!(report.halted_processes, 1);
+    assert_eq!(m.emitted(1), &[0]);
+    assert!(report.context_switches > 2);
+    assert_eq!(report.instructions, 100_000); // spinner consumed the budget
+}
+
+#[test]
+fn private_memory_is_isolated_per_process() {
+    let mut pb = ProgramBuilder::new("priv");
+    let main = pb.declare_proc("main");
+    let mut f = ProcBuilder::new();
+    f.imm(R2, 10).store(R1, R2, 0, MemSpace::Private);
+    f.load(R3, R2, 0, MemSpace::Private).emit(R3);
+    f.halt();
+    pb.define_proc(main, f).unwrap();
+    let p = pb.finish(main).unwrap();
+    let mut m = Machine::new(
+        app_image(&p),
+        MachineConfig {
+            processes_per_cpu: 2,
+            ..MachineConfig::default()
+        },
+    );
+    m.set_reg(0, R1, 111);
+    m.set_reg(1, R1, 222);
+    let report = m.run(&mut NullSink, 10_000);
+    assert!(report.faults.is_empty());
+    assert_eq!(m.emitted(0), &[111]);
+    assert_eq!(m.emitted(1), &[222]);
+    assert_eq!(m.private_word(0, 10), 111);
+    assert_eq!(m.private_word(1, 10), 222);
+    assert_ne!(m.private_checksum(0), m.private_checksum(1));
+}
+
+#[test]
+fn fetch_addresses_fall_in_the_right_segments() {
+    let mut pb = ProgramBuilder::new("addr");
+    let main = pb.declare_proc("main");
+    let mut f = ProcBuilder::new();
+    f.syscall(1);
+    f.halt();
+    pb.define_proc(main, f).unwrap();
+    let p = pb.finish(main).unwrap();
+    let k = simple_kernel();
+    let mut m = Machine::with_kernel(
+        app_image(&p),
+        kernel_image(&k),
+        vec![(
+            1,
+            SyscallDef {
+                proc: ProcId(0),
+                block_instrs: 0,
+            },
+        )],
+        MachineConfig::default(),
+    );
+    let mut sink = RecordingSink::default();
+    let report = m.run(&mut sink, 1_000);
+    assert!(report.faults.is_empty());
+    for rec in &sink.fetches {
+        if rec.kernel {
+            assert!(rec.addr >= KERNEL_TEXT_BASE);
+        } else {
+            assert!(rec.addr >= APP_TEXT_BASE && rec.addr < KERNEL_TEXT_BASE);
+        }
+    }
+    assert!(sink.fetches.iter().any(|r| r.kernel));
+    assert!(sink.fetches.iter().any(|r| !r.kernel));
+}
+
+#[test]
+fn chunked_driving_never_starves_a_lock_holder() {
+    // Regression test: drive the machine in externally-chunked runs whose
+    // size resonates with the CPU rotation. Every process must keep making
+    // progress — an early scheduler version advanced the round-robin
+    // cursor past a chosen-but-not-run process on budget exhaustion,
+    // systematically skipping the same process and leaving a spinlock
+    // holder unscheduled forever.
+    let n = 200;
+    let mut pb = ProgramBuilder::new("spinlock");
+    let main = pb.declare_proc("main");
+    let mut f = ProcBuilder::new();
+    let head = f.entry();
+    let acquire = f.new_block();
+    let spin_chk = f.new_block();
+    let crit = f.new_block();
+    let done = f.new_block();
+    f.select(head);
+    f.imm(R2, 0).imm(R3, 1).imm(R1, 0);
+    f.jump(acquire);
+    f.select(acquire);
+    // old = shared[1] |= 1
+    f.atomic_rmw(BinOp::Or, R0, R2, 1, R3, MemSpace::Shared);
+    f.branch(Cond::Eq, R0, Operand::Imm(0), crit, spin_chk);
+    f.select(spin_chk);
+    f.nop();
+    f.jump(acquire);
+    f.select(crit);
+    // counter++ under the lock (non-atomic: the lock must protect it),
+    // then some critical-section work so preemption mid-section happens,
+    // then release.
+    f.load(R0, R2, 0, MemSpace::Shared);
+    f.bin_imm(BinOp::Add, R0, R0, 1);
+    f.store(R0, R2, 0, MemSpace::Shared);
+    f.work(Reg(4), 37);
+    f.imm(R0, 0);
+    f.store(R0, R2, 1, MemSpace::Shared);
+    f.bin_imm(BinOp::Add, R1, R1, 1);
+    f.branch(Cond::Lt, R1, Operand::Imm(n), acquire, done);
+    f.select(done);
+    f.halt();
+    pb.define_proc(main, f).unwrap();
+    let p = pb.finish(main).unwrap();
+
+    let mut m = Machine::new(
+        app_image(&p),
+        MachineConfig {
+            num_cpus: 4,
+            processes_per_cpu: 2,
+            quantum: 64, // short quantum: preemption inside the section
+            ..MachineConfig::default()
+        },
+    );
+    // Resonant chunk size: one quantum-sized slice per call.
+    let mut total = 0u64;
+    for _ in 0..3_000_000 {
+        let r = m.run(&mut NullSink, 64);
+        total += r.instructions;
+        if m.live_processes() == 0 {
+            break;
+        }
+        assert!(total < 80_000_000, "machine livelocked under chunked driving");
+    }
+    assert_eq!(m.live_processes(), 0, "all processes must finish");
+    assert_eq!(m.shared_word(0), 8 * n); // lock protected the counter
+}
+
+#[test]
+fn kernel_register_banking_preserves_user_state() {
+    // The kernel handler trashes every register; on return only r0 may
+    // change (syscall return convention).
+    let mut pb = ProgramBuilder::new("bank");
+    let main = pb.declare_proc("main");
+    let mut f = ProcBuilder::new();
+    f.imm(R1, 11).imm(R2, 22).imm(R3, 33);
+    f.syscall(1);
+    f.emit(R0).emit(R1).emit(R2).emit(R3);
+    f.halt();
+    pb.define_proc(main, f).unwrap();
+    let p = pb.finish(main).unwrap();
+
+    let mut kb = ProgramBuilder::new("kernel");
+    let h = kb.declare_proc("trash");
+    let mut g = ProcBuilder::new();
+    for r in 0..32u8 {
+        g.imm(Reg(r), -7);
+    }
+    g.imm(R0, 55); // syscall return value
+    g.ret();
+    kb.define_proc(h, g).unwrap();
+    let k = kb.finish(h).unwrap();
+
+    let mut m = Machine::with_kernel(
+        app_image(&p),
+        kernel_image(&k),
+        vec![(
+            1,
+            SyscallDef {
+                proc: ProcId(0),
+                block_instrs: 0,
+            },
+        )],
+        MachineConfig::default(),
+    );
+    let report = m.run(&mut NullSink, 1_000);
+    assert!(report.faults.is_empty());
+    assert_eq!(m.emitted(0), &[55, 11, 22, 33]);
+}
+
+#[test]
+fn layout_change_preserves_semantics() {
+    // Run the countdown under natural and a scrambled-but-valid layout;
+    // emitted values and memory checksums must match.
+    let p = countdown_program();
+    let natural = Layout::natural(&p);
+    let mut scrambled = natural.clone();
+    scrambled.order.reverse();
+
+    let run = |layout: &Layout| {
+        let img = Arc::new(link(&p, layout, APP_TEXT_BASE).unwrap());
+        let mut m = Machine::new(img, MachineConfig::default());
+        m.set_reg(0, R1, 10);
+        let report = m.run(&mut NullSink, 100_000);
+        assert!(report.faults.is_empty());
+        (m.emitted(0).to_vec(), m.private_checksum(0))
+    };
+
+    assert_eq!(run(&natural), run(&scrambled));
+}

@@ -1,0 +1,88 @@
+//! The toolkit's central invariant, tested property-style: **any** valid
+//! layout of a program produces bit-identical observable behaviour —
+//! emitted values, final private memory, final shared memory — differing
+//! only in its instruction-address trace.
+
+use codelayout_ir::link::link;
+use codelayout_ir::testgen::{random_program, GenConfig};
+use codelayout_ir::{BlockId, Layout};
+use codelayout_vm::{Machine, MachineConfig, NullSink, APP_TEXT_BASE};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+const FUEL: u64 = 2_000_000;
+
+fn shuffled_layout(program: &codelayout_ir::Program, seed: u64) -> Layout {
+    let mut order: Vec<BlockId> = Layout::natural(program).order;
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in (1..order.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    Layout { order }
+}
+
+fn observe(program: &codelayout_ir::Program, layout: &Layout) -> (Vec<i64>, u64, u64) {
+    let image = Arc::new(link(program, layout, APP_TEXT_BASE).expect("valid layout"));
+    let mut m = Machine::new(image, MachineConfig::default());
+    let report = m.run(&mut NullSink, FUEL);
+    assert!(report.faults.is_empty(), "faults: {:?}", report.faults);
+    assert!(
+        report.instructions < FUEL,
+        "generated program must terminate"
+    );
+    (
+        m.emitted(0).to_vec(),
+        m.private_checksum(0),
+        m.shared_checksum(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn any_layout_preserves_semantics(seed in 0u64..10_000, shuffle in 0u64..1_000) {
+        let program = random_program(seed, &GenConfig::default());
+        let natural = observe(&program, &Layout::natural(&program));
+        let shuffled = observe(&program, &shuffled_layout(&program, shuffle));
+        prop_assert_eq!(natural, shuffled);
+    }
+
+    #[test]
+    fn reversed_layout_preserves_semantics(seed in 0u64..10_000) {
+        let program = random_program(seed, &GenConfig {
+            procs: 3,
+            max_blocks: 6,
+            max_instrs: 4,
+            loop_iters: 6,
+            call_prob: 0.5,
+        });
+        let mut rev = Layout::natural(&program);
+        rev.order.reverse();
+        prop_assert_eq!(
+            observe(&program, &Layout::natural(&program)),
+            observe(&program, &rev)
+        );
+    }
+
+    #[test]
+    fn trace_length_differs_but_work_is_equal(seed in 0u64..10_000) {
+        // Different layouts may execute different numbers of *branch*
+        // instructions but identical numbers of body instructions.
+        let program = random_program(seed, &GenConfig::default());
+        let count = |layout: &Layout| {
+            let image = Arc::new(link(&program, layout, APP_TEXT_BASE).unwrap());
+            let mut m = Machine::new(image, MachineConfig::default());
+            let mut sink = codelayout_vm::CountingSink::default();
+            let report = m.run(&mut sink, FUEL);
+            assert!(report.faults.is_empty());
+            (sink.reads, sink.writes, m.emitted(0).len())
+        };
+        let mut rev = Layout::natural(&program);
+        rev.order.reverse();
+        prop_assert_eq!(count(&Layout::natural(&program)), count(&rev));
+    }
+}

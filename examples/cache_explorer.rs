@@ -1,0 +1,50 @@
+//! Cache design-space exploration on the OLTP trace: one workload pass
+//! feeding a grid of cache geometries, as the paper's Figure 4 sweep does.
+//!
+//! Run with: `cargo run --release --example cache_explorer [base|all]`
+
+use codelayout::memsim::{CacheConfig, StreamFilter, SweepSink};
+use codelayout::oltp::{build_study, Scenario};
+use codelayout::opt::OptimizationSet;
+
+fn main() {
+    let layout = std::env::args().nth(1).unwrap_or_else(|| "base".into());
+    let set = OptimizationSet::paper_series()
+        .into_iter()
+        .find(|(n, _)| *n == layout)
+        .map(|(_, s)| s)
+        .unwrap_or_else(|| {
+            eprintln!("unknown layout {layout}; use one of base/porder/chain/chain+split/chain+porder/all");
+            std::process::exit(2);
+        });
+
+    let scenario = Scenario::quick();
+    let study = build_study(&scenario);
+    let image = study.image(set);
+
+    // A 45-cell grid: sizes × line sizes × associativities, one pass.
+    let mut configs = Vec::new();
+    for &size_kb in &[16u64, 32, 64] {
+        for &line in &[32u32, 64, 128] {
+            for &ways in &[1u32, 2, 4] {
+                configs.push(CacheConfig::new(size_kb * 1024, line, ways));
+            }
+        }
+    }
+    let mut sweep = SweepSink::new(configs, scenario.num_cpus, StreamFilter::UserOnly);
+    let out = study.run_measured(&image, &study.base_kernel_image, &mut sweep);
+    out.assert_correct();
+
+    println!("layout: {layout}");
+    println!("{:>6} {:>6} {:>6} {:>10} {:>9}", "size", "line", "ways", "misses", "missrate");
+    for cell in sweep.results() {
+        println!(
+            "{:>5}K {:>5}B {:>6} {:>10} {:>8.2}%",
+            cell.config.size_bytes / 1024,
+            cell.config.line_bytes,
+            cell.config.ways,
+            cell.stats.misses,
+            100.0 * cell.stats.miss_rate(),
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! End-to-end OLTP study: generate the workload, profile, optimize, and
+//! print the headline comparison the paper reports.
+//!
+//! Run with: `cargo run --release --example oltp_report [quick|sim|hw]`
+
+use codelayout::memsim::{CacheConfig, SequenceProfiler, StreamFilter, SweepSink};
+use codelayout::oltp::{build_study, Scenario};
+use codelayout::opt::OptimizationSet;
+use codelayout::vm::TeeSink;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "quick".into());
+    let scenario = match which.as_str() {
+        "sim" => Scenario::paper_sim(),
+        "hw" => Scenario::paper_hw(),
+        _ => Scenario::quick(),
+    };
+    println!("building study ({which})…");
+    let study = build_study(&scenario);
+    let stats = study.app.program.stats();
+    println!(
+        "application: {} procedures, {} blocks, ~{} KB static text",
+        stats.procs,
+        stats.blocks,
+        stats.body_instrs * 4 / 1024
+    );
+
+    let configs: Vec<CacheConfig> = [32u64, 64, 128]
+        .iter()
+        .map(|&k| CacheConfig::new(k * 1024, 128, 4))
+        .collect();
+
+    println!(
+        "\n{:>14} {:>10} {:>10} {:>10} {:>8} {:>9}",
+        "layout", "32KB", "64KB", "128KB", "seq len", "txns"
+    );
+    for (name, set) in OptimizationSet::paper_series() {
+        let image = study.image(set);
+        let mut sweep = SweepSink::new(configs.clone(), scenario.num_cpus, StreamFilter::UserOnly);
+        let mut seq = SequenceProfiler::new(StreamFilter::UserOnly);
+        let mut sink = TeeSink(&mut sweep, &mut seq);
+        let out = study.run_measured(&image, &study.base_kernel_image, &mut sink);
+        out.assert_correct();
+        let misses: Vec<u64> = sweep.results().iter().map(|c| c.stats.misses).collect();
+        let seq = seq.finish();
+        println!(
+            "{:>14} {:>10} {:>10} {:>10} {:>8.2} {:>9}",
+            name,
+            misses[0],
+            misses[1],
+            misses[2],
+            seq.average_length(),
+            out.invariants.history_count,
+        );
+    }
+    println!("\nTPC-B invariants held for every layout (asserted).");
+}

@@ -1,0 +1,53 @@
+//! # codelayout
+//!
+//! A production-quality reproduction of *"Code Layout Optimizations for
+//! Transaction Processing Workloads"* (Ramirez, Barroso, Gharachorloo, Cohn,
+//! Larriba-Pey, Lowney, Valero — ISCA 2001).
+//!
+//! This facade crate re-exports the whole toolkit:
+//!
+//! * [`ir`] — program IR, builder and linker (the "executable" substrate);
+//! * [`vm`] — deterministic multi-process virtual machine and trace sinks;
+//! * [`profile`] — Pixie-style exact and DCPI-style sampled profilers;
+//! * [`opt`] — the paper's contribution: basic-block chaining, fine-grain
+//!   procedure splitting and Pettis–Hansen procedure ordering (plus the
+//!   hot/cold and CFA variants discussed in the paper);
+//! * [`memsim`] — instruction cache, iTLB and unified L2 simulators with the
+//!   paper's locality metric collectors;
+//! * [`oltp`] — a miniature TPC-B style transaction-processing engine and
+//!   synthetic kernel, written in the IR, standing in for Oracle on Alpha;
+//! * [`timing`] — an in-order timing model for end-to-end cycle estimates.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-versus-measured record of every reproduced figure.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use codelayout::prelude::*;
+//!
+//! // Build the OLTP workload, profile it, optimize the layout, compare.
+//! let scenario = codelayout::oltp::Scenario::quick();
+//! let study = codelayout::oltp::build_study(&scenario);
+//! # let _ = study;
+//! ```
+
+pub use codelayout_core as opt;
+pub use codelayout_ir as ir;
+pub use codelayout_memsim as memsim;
+pub use codelayout_oltp as oltp;
+pub use codelayout_profile as profile;
+pub use codelayout_timing as timing;
+pub use codelayout_vm as vm;
+
+/// Commonly used items, glob-importable.
+pub mod prelude {
+    pub use codelayout_core::{LayoutPipeline, OptimizationSet};
+    pub use codelayout_ir::{
+        BinOp, BlockId, Cond, Image, Instr, Layout, MemSpace, Operand, ProcBuilder, ProcId,
+        Program, ProgramBuilder, Reg, Terminator,
+    };
+    pub use codelayout_memsim::{CacheConfig, ICacheSim};
+    pub use codelayout_profile::Profile;
+    pub use codelayout_vm::{Machine, MachineConfig, TraceSink};
+}
