@@ -14,13 +14,16 @@ use std::sync::Arc;
 use std::time::Duration;
 
 fn bench_vm(c: &mut Criterion) {
-    let program = random_program(42, &GenConfig {
-        procs: 6,
-        max_blocks: 8,
-        max_instrs: 6,
-        loop_iters: 100_000,
-        call_prob: 0.5,
-    });
+    let program = random_program(
+        42,
+        &GenConfig {
+            procs: 6,
+            max_blocks: 8,
+            max_instrs: 6,
+            loop_iters: 100_000,
+            call_prob: 0.5,
+        },
+    );
     let image = Arc::new(link(&program, &Layout::natural(&program), APP_TEXT_BASE).unwrap());
     let mut g = c.benchmark_group("vm");
     g.measurement_time(Duration::from_secs(3));
@@ -116,7 +119,11 @@ fn bench_optimizer(c: &mut Criterion) {
         let edges: Vec<(u32, u32, u64)> = (0..20_000)
             .map(|_| {
                 x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-                ((x >> 11) as u32 % 5000, (x >> 31) as u32 % 5000, (x >> 51) & 0xFF)
+                (
+                    (x >> 11) as u32 % 5000,
+                    (x >> 31) as u32 % 5000,
+                    (x >> 51) & 0xFF,
+                )
             })
             .collect();
         b.iter(|| pettis_hansen_order(5000, edges.iter().copied()).len())

@@ -27,8 +27,7 @@ fn main() {
     println!("{:>24} misses={all}", "all (paper pipeline)");
 
     for reserved_kb in [8u64, 16, 32, 48] {
-        let (layout, report) =
-            cfa_layout(&study.app.program, &study.profile, reserved_kb * 1024);
+        let (layout, report) = cfa_layout(&study.app.program, &study.profile, reserved_kb * 1024);
         let image = Arc::new(link(&study.app.program, &layout, APP_TEXT_BASE).unwrap());
         let misses = run(&image);
         println!(

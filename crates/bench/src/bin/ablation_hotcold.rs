@@ -25,7 +25,10 @@ fn main() {
         sweep.results().iter().map(|c| c.stats.misses).collect()
     };
 
-    println!("{:>28} {:>9} {:>9} {:>9}", "layout", "32KB", "64KB", "128KB");
+    println!(
+        "{:>28} {:>9} {:>9} {:>9}",
+        "layout", "32KB", "64KB", "128KB"
+    );
     for (name, set) in [
         ("base", OptimizationSet::BASE),
         ("chain", OptimizationSet::CHAIN),
@@ -38,5 +41,8 @@ fn main() {
     let hc = hot_cold_layout(&study.app.program, &study.profile);
     let image = Arc::new(link(&study.app.program, &hc, APP_TEXT_BASE).unwrap());
     let m = run(&image);
-    println!("{:>28} {:>9} {:>9} {:>9}", "hot/cold split+PH (Spike)", m[0], m[1], m[2]);
+    println!(
+        "{:>28} {:>9} {:>9} {:>9}",
+        "hot/cold split+PH (Spike)", m[0], m[1], m[2]
+    );
 }

@@ -27,8 +27,11 @@ fn main() {
     let base = run(&study.image(OptimizationSet::BASE));
     println!("{:>22} misses={base}", "base");
     let exact = run(&study.image(OptimizationSet::ALL));
-    println!("{:>22} misses={exact} ({:.0}% reduction)", "all (exact pixie)",
-        100.0 * (1.0 - exact as f64 / base as f64));
+    println!(
+        "{:>22} misses={exact} ({:.0}% reduction)",
+        "all (exact pixie)",
+        100.0 * (1.0 - exact as f64 / base as f64)
+    );
 
     let sizes: Vec<usize> = study
         .app
@@ -40,19 +43,15 @@ fn main() {
 
     for period in [64u64, 256, 1024, 4096] {
         // Re-run the profiling phase with a sampling collector.
-        let (mut m, _) = study.new_machine(
-            &study.base_image,
-            &study.base_kernel_image,
-            sc.profile_txns,
-        );
+        let (mut m, _) =
+            study.new_machine(&study.base_image, &study.base_kernel_image, sc.profile_txns);
         let mut sampler = SampledCollector::user(study.app.program.blocks.len(), period);
         while m.live_processes() > 0 {
             m.run_hooked(&mut NullSink, &mut sampler, 1_000_000);
         }
         let counts = sampler.estimated_block_counts(&sizes);
         let profile = estimate_edges_from_blocks(&study.app.program, &counts);
-        let layout = LayoutPipeline::new(&study.app.program, &profile)
-            .build(OptimizationSet::ALL);
+        let layout = LayoutPipeline::new(&study.app.program, &profile).build(OptimizationSet::ALL);
         let image = Arc::new(link(&study.app.program, &layout, APP_TEXT_BASE).unwrap());
         let misses = run(&image);
         println!(

@@ -4,9 +4,7 @@
 //! Usage: `probe [quick|sim|hw]`
 
 use codelayout_core::OptimizationSet;
-use codelayout_memsim::{
-    CacheConfig, FootprintCounter, SequenceProfiler, StreamFilter, SweepSink,
-};
+use codelayout_memsim::{CacheConfig, FootprintCounter, SequenceProfiler, StreamFilter, SweepSink};
 use codelayout_oltp::{build_study, Scenario};
 use codelayout_vm::TeeSink;
 use std::time::Instant;

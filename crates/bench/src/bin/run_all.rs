@@ -36,6 +36,19 @@ fn main() {
         eprintln!("[run_all] {name} in {:?}", t.elapsed());
     }
 
+    if let Some(t) = h.sweep_timing() {
+        eprintln!(
+            "[run_all] grid sweep replay: {} shards x {} events on {} threads: \
+             {:.3}s parallel vs {:.3}s single-thread ({:.2}x speedup)",
+            t.shards,
+            t.events,
+            t.threads,
+            t.parallel_secs,
+            t.serial_secs,
+            t.speedup()
+        );
+    }
+
     // Figure 15 on the single-processor scenario (the paper's hardware
     // execution-time runs are 1-processor).
     let t = Instant::now();

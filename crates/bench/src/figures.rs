@@ -69,7 +69,10 @@ pub fn fig03(h: &mut Harness) -> Value {
         &["captured", "footprint"],
         &rows,
     );
-    println!("total live footprint: {} KB (paper: ~260 KB, 60% at ~50 KB, 99% at ~200 KB)", live_bytes / 1024);
+    println!(
+        "total live footprint: {} KB (paper: ~260 KB, 60% at ~50 KB, 99% at ~200 KB)",
+        live_bytes / 1024
+    );
     json!({
         "figure": "fig03",
         "paper": {"total_kb": 260, "kb_at_60pct": 50, "kb_at_99pct": 200},
@@ -96,8 +99,10 @@ pub fn fig04(h: &mut Harness) -> Value {
             rows.push(row);
         }
         print_table(
-            &format!("Fig 4({}) app-only I-cache misses, direct-mapped ({name})",
-                if name == "base" { "a" } else { "b" }),
+            &format!(
+                "Fig 4({}) app-only I-cache misses, direct-mapped ({name})",
+                if name == "base" { "a" } else { "b" }
+            ),
             &["size", "16B", "32B", "64B", "128B", "256B"],
             &rows,
         );
@@ -248,12 +253,20 @@ pub fn fig08(h: &mut Harness) -> Value {
         instrs += c * (b.instrs.len() as u128 + 1);
         entries += c;
     }
-    let avg_bb = if entries == 0 { 0.0 } else { instrs as f64 / entries as f64 };
+    let avg_bb = if entries == 0 {
+        0.0
+    } else {
+        instrs as f64 / entries as f64
+    };
 
     let base = h.run("base").seq_user.clone().expect("full run");
     let opt = h.run("all").seq_user.clone().expect("full run");
     let mut rows = vec![
-        vec!["avg basic block".into(), format!("{avg_bb:.2}"), String::new()],
+        vec![
+            "avg basic block".into(),
+            format!("{avg_bb:.2}"),
+            String::new(),
+        ],
         vec![
             "avg run length".into(),
             format!("{:.2}", base.average_length()),
@@ -402,9 +415,16 @@ pub fn fig12(h: &mut Harness) -> Value {
             })
             .collect();
         print_table(
-            &format!("Fig 12({}) combined-stream misses ({name}, 128B/4-way)",
-                if name == "base" { "a" } else { "b" }),
-            &["size", "all (combined)", "app (isolated)", "kernel (isolated)"],
+            &format!(
+                "Fig 12({}) combined-stream misses ({name}, 128B/4-way)",
+                if name == "base" { "a" } else { "b" }
+            ),
+            &[
+                "size",
+                "all (combined)",
+                "app (isolated)",
+                "kernel (isolated)",
+            ],
             &rows,
         );
         out.insert(
@@ -452,7 +472,12 @@ pub fn fig13(h: &mut Harness) -> Value {
         ];
         print_table(
             &format!("Fig 13 interference at 128KB/128B/4-way ({name})"),
-            &["missing", "displaced app line", "displaced kernel line", "cold fill"],
+            &[
+                "missing",
+                "displaced app line",
+                "displaced kernel line",
+                "cold fill",
+            ],
             &rows,
         );
         out.insert(name.to_string(), json!({"displaced": s.displaced}));
@@ -532,7 +557,11 @@ pub fn fig15(h: &mut Harness) -> Value {
     let speedup164 = cycles164[0] as f64 / cycles164[5] as f64;
     print_table(
         "Fig 15: relative non-idle execution time (paper: 'all' ~ 75%, 1.33x speedup)",
-        &["layout", "21264-like (64KB 2-way)", "21164-like (8KB 1-way)"],
+        &[
+            "layout",
+            "21264-like (64KB 2-way)",
+            "21164-like (8KB 1-way)",
+        ],
         &rows,
     );
     println!("speedup of 'all': {speedup264:.2}x (21264-like), {speedup164:.2}x (21164-like)");
@@ -588,10 +617,7 @@ pub fn claims(h: &mut Harness) -> Value {
         .total();
     let dbase = h.run("base");
     let base_cycles = model
-        .evaluate(
-            dbase.user_fetches + dbase.kernel_fetches,
-            &dbase.hier_21264,
-        )
+        .evaluate(dbase.user_fetches + dbase.kernel_fetches, &dbase.hier_21264)
         .total();
     let kernel_gain = 100.0 * (1.0 - kopt_cycles as f64 / base_cycles as f64);
 

@@ -7,12 +7,25 @@
 //! figures, and writes `results/figNN.json` files plus human-readable
 //! tables.
 //!
-//! The harness runs each code layout once with a composite trace sink that
-//! feeds every simulator a figure needs: the direct-mapped line-size grid
-//! (Fig. 4/5), the 128-byte 4-way size sweeps for user/kernel/combined
-//! streams (Figs. 6, 7, 12, 13), the sequence profiler (Fig. 8), the
-//! locality cache (Figs. 9–11), footprint counters (packing claims), and
-//! three full memory hierarchies (Fig. 14 and the Fig. 15 timing models).
+//! The harness runs each code layout **once**, with a composite trace sink
+//! that does two things in the same pass:
+//!
+//! * feeds the *streaming* collectors that want the live event stream —
+//!   the sequence profiler (Fig. 8), the locality cache (Figs. 9–11),
+//!   footprint counters (packing claims), and three full memory
+//!   hierarchies (Fig. 14 and the Fig. 15 timing models);
+//! * records the instruction fetch stream into a compact
+//!   [`codelayout_vm::TraceBuffer`] (8 bytes per instruction).
+//!
+//! The cache-grid sweeps — the direct-mapped line-size grid (Fig. 4/5)
+//! and the 128-byte 4-way size sweeps for user/kernel/combined streams
+//! (Figs. 6, 7, 12, 13) — then *replay* the frozen trace through a
+//! [`ParallelSweep`], sharding the (configuration, CPU) simulators over
+//! worker threads. Replay results are bit-identical to simulating
+//! during the live run; the worker count honors `CODELAYOUT_THREADS`.
+//! The first fully-instrumented layout also times a single-thread
+//! replay of the same grids, so `run_all` can report the measured sweep
+//! speedup (see [`Harness::sweep_timing`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,15 +35,16 @@ pub mod figures;
 use codelayout_core::OptimizationSet;
 use codelayout_ir::Image;
 use codelayout_memsim::{
-    CacheConfig, FootprintCounter, HierarchyStats, LocalityCache, LocalityStats,
-    MemoryHierarchy, SequenceProfiler, SequenceStats, StreamFilter, SweepCell, SweepSink,
+    CacheConfig, FootprintCounter, HierarchyStats, LocalityCache, LocalityStats, MemoryHierarchy,
+    ParallelSweep, SequenceProfiler, SequenceStats, StreamFilter, SweepCell, SweepJob, SweepSink,
 };
 use codelayout_oltp::{build_study, RunOutcome, Scenario, Study};
 use codelayout_timing::TimingModel;
-use codelayout_vm::{DataRecord, FetchRecord, TraceSink};
+use codelayout_vm::{DataRecord, FetchRecord, TraceBuffer, TraceSink};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Cache sizes (KB) used across the paper's sweeps.
 pub const SIZES_KB: [u64; 5] = [32, 64, 128, 256, 512];
@@ -82,13 +96,21 @@ pub struct LayoutData {
     pub outcome: RunOutcome,
 }
 
-/// Composite sink feeding every simulator in one pass.
+/// The 128 B / 4-way size-sweep grid shared by several figures.
+fn sizes_128_4w() -> Vec<CacheConfig> {
+    SIZES_KB
+        .iter()
+        .map(|&k| CacheConfig::new(k * 1024, 128, 4))
+        .collect()
+}
+
+/// Composite sink for the live pass: streaming collectors that need the
+/// raw event stream, plus a compact fetch-trace recording. The cache
+/// grids are *not* simulated here — they replay the recorded trace in
+/// parallel afterwards (see [`Harness`]).
 struct CompositeSink {
     full: bool,
-    dm_grid_user: SweepSink,
-    sizes_4w_user: SweepSink,
-    sizes_4w_all: SweepSink,
-    sizes_4w_kernel: SweepSink,
+    trace: TraceBuffer,
     seq_user: SequenceProfiler,
     locality: LocalityCache,
     fp: FootprintCounter,
@@ -101,34 +123,15 @@ struct CompositeSink {
 
 impl CompositeSink {
     fn new(num_cpus: usize, full: bool) -> Self {
-        let sizes_128_4w: Vec<CacheConfig> = SIZES_KB
-            .iter()
-            .map(|&k| CacheConfig::new(k * 1024, 128, 4))
-            .collect();
         CompositeSink {
             full,
-            dm_grid_user: SweepSink::new(
-                if full { SweepSink::fig4_grid(1) } else { Vec::new() },
-                num_cpus,
-                StreamFilter::UserOnly,
-            ),
-            sizes_4w_user: SweepSink::new(sizes_128_4w.clone(), num_cpus, StreamFilter::UserOnly),
-            sizes_4w_all: SweepSink::new(
-                if full { sizes_128_4w.clone() } else { Vec::new() },
-                num_cpus,
-                StreamFilter::All,
-            ),
-            sizes_4w_kernel: SweepSink::new(
-                if full { sizes_128_4w } else { Vec::new() },
-                num_cpus,
-                StreamFilter::KernelOnly,
-            ),
+            trace: TraceBuffer::fetch_only(),
             seq_user: SequenceProfiler::new(StreamFilter::UserOnly),
             locality: LocalityCache::new(locality_config(), StreamFilter::UserOnly),
             fp: FootprintCounter::new(128, StreamFilter::UserOnly),
-            hier_simos: MemoryHierarchy::new(
-                codelayout_memsim::HierarchyConfig::simos_base(num_cpus),
-            ),
+            hier_simos: MemoryHierarchy::new(codelayout_memsim::HierarchyConfig::simos_base(
+                num_cpus,
+            )),
             hier_21264: MemoryHierarchy::new(TimingModel::hierarchy_21264(num_cpus)),
             hier_21164: MemoryHierarchy::new(TimingModel::hierarchy_21164(num_cpus)),
             user_fetches: 0,
@@ -145,13 +148,10 @@ impl TraceSink for CompositeSink {
         } else {
             self.user_fetches += 1;
         }
-        self.sizes_4w_user.fetch(rec);
+        self.trace.fetch(rec);
         self.hier_21264.fetch(rec);
         self.hier_21164.fetch(rec);
         if self.full {
-            self.dm_grid_user.fetch(rec);
-            self.sizes_4w_all.fetch(rec);
-            self.sizes_4w_kernel.fetch(rec);
             self.seq_user.fetch(rec);
             self.locality.fetch(rec);
             self.fp.fetch(rec);
@@ -169,23 +169,63 @@ impl TraceSink for CompositeSink {
     }
 }
 
+/// Wall-clock measurement of one layout's grid sweeps, parallel replay
+/// vs a single-thread replay of the identical jobs.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepTiming {
+    /// Worker threads the parallel sweep used.
+    pub threads: usize,
+    /// Fetch events replayed per sweep pass.
+    pub events: u64,
+    /// (configuration, CPU) simulators in the sweep grid.
+    pub shards: usize,
+    /// Wall-clock seconds of the parallel replay.
+    pub parallel_secs: f64,
+    /// Wall-clock seconds of the single-thread replay.
+    pub serial_secs: f64,
+}
+
+impl SweepTiming {
+    /// Measured speedup (single-thread time / parallel time).
+    pub fn speedup(&self) -> f64 {
+        if self.parallel_secs > 0.0 {
+            self.serial_secs / self.parallel_secs
+        } else {
+            1.0
+        }
+    }
+}
+
 /// Builds and caches per-layout measurements for one scenario.
 pub struct Harness {
     /// The prepared study (workload + profile).
     pub study: Study,
     runs: HashMap<String, LayoutData>,
     out_dir: PathBuf,
+    sweeper: ParallelSweep,
+    sweep_timing: Option<SweepTiming>,
 }
 
 impl Harness {
     /// Builds the study for a scenario. The results directory defaults to
-    /// `results/` under the current directory (created on demand).
+    /// `results/` under the current directory (created on demand). The
+    /// sweep worker count honors `CODELAYOUT_THREADS`, defaulting to the
+    /// host's available parallelism.
     pub fn new(scenario: &Scenario) -> Self {
         Harness {
             study: build_study(scenario),
             runs: HashMap::new(),
             out_dir: PathBuf::from("results"),
+            sweeper: ParallelSweep::from_env(),
+            sweep_timing: None,
         }
+    }
+
+    /// Timing of the first fully-instrumented layout's grid sweeps:
+    /// parallel replay vs a single-thread replay of the same jobs.
+    /// `None` until a full layout (`base`/`all`) has been measured.
+    pub fn sweep_timing(&self) -> Option<&SweepTiming> {
+        self.sweep_timing.as_ref()
     }
 
     /// Builds the scenario selected by `CODELAYOUT_SCENARIO`
@@ -200,10 +240,8 @@ impl Harness {
     fn image_for(&self, name: &str) -> Arc<Image> {
         match name {
             "hotcold" => {
-                let layout = codelayout_core::hot_cold_layout(
-                    &self.study.app.program,
-                    &self.study.profile,
-                );
+                let layout =
+                    codelayout_core::hot_cold_layout(&self.study.app.program, &self.study.profile);
                 Arc::new(
                     codelayout_ir::link::link(
                         &self.study.app.program,
@@ -250,20 +288,84 @@ impl Harness {
         &self.runs[name]
     }
 
-    fn measure(&self, name: &str, full: bool) -> LayoutData {
+    fn measure(&mut self, name: &str, full: bool) -> LayoutData {
         let image = self.image_for(name);
-        let mut sink = CompositeSink::new(self.study.scenario.num_cpus, full);
-        let outcome =
-            self.study
-                .run_measured(&image, &self.study.base_kernel_image, &mut sink);
+        let num_cpus = self.study.scenario.num_cpus;
+        let mut sink = CompositeSink::new(num_cpus, full);
+        let outcome = self
+            .study
+            .run_measured(&image, &self.study.base_kernel_image, &mut sink);
         outcome.assert_correct();
+
+        // Record-once / replay-in-parallel: the live pass above recorded
+        // the fetch stream; every grid sweep now replays it from worker
+        // threads. Jobs: [user sizes, dm grid, combined sizes, kernel
+        // sizes] — the last three only for fully-instrumented layouts.
+        let trace = std::mem::take(&mut sink.trace).freeze();
+        let mut jobs = vec![SweepJob::new(
+            sizes_128_4w(),
+            num_cpus,
+            StreamFilter::UserOnly,
+        )];
+        if full {
+            jobs.push(SweepJob::new(
+                SweepSink::fig4_grid(1),
+                num_cpus,
+                StreamFilter::UserOnly,
+            ));
+            jobs.push(SweepJob::new(sizes_128_4w(), num_cpus, StreamFilter::All));
+            jobs.push(SweepJob::new(
+                sizes_128_4w(),
+                num_cpus,
+                StreamFilter::KernelOnly,
+            ));
+        }
+        let start = Instant::now();
+        let mut grids = self.sweeper.run(&trace, &jobs);
+        let parallel_secs = start.elapsed().as_secs_f64();
+        if full && self.sweep_timing.is_none() {
+            // Once per evaluation: replay the identical jobs on one
+            // thread, both as the speedup baseline and as a standing
+            // serial-equivalence check.
+            let start = Instant::now();
+            let serial = ParallelSweep::new(1).run(&trace, &jobs);
+            let serial_secs = start.elapsed().as_secs_f64();
+            assert_eq!(
+                serial, grids,
+                "parallel sweep diverged from single-thread replay"
+            );
+            self.sweep_timing = Some(SweepTiming {
+                threads: self.sweeper.threads(),
+                events: trace.len() as u64,
+                shards: jobs.iter().map(|j| j.configs.len() * j.num_cpus).sum(),
+                parallel_secs,
+                serial_secs,
+            });
+        }
+        let sizes_4w_kernel = if full {
+            grids.pop().unwrap()
+        } else {
+            Vec::new()
+        };
+        let sizes_4w_all = if full {
+            grids.pop().unwrap()
+        } else {
+            Vec::new()
+        };
+        let dm_grid_user = if full {
+            grids.pop().unwrap()
+        } else {
+            Vec::new()
+        };
+        let sizes_4w_user = grids.pop().unwrap();
+
         LayoutData {
             label: name.to_string(),
             text_bytes: image.text_bytes(),
-            dm_grid_user: sink.dm_grid_user.results(),
-            sizes_4w_user: sink.sizes_4w_user.results(),
-            sizes_4w_all: sink.sizes_4w_all.results(),
-            sizes_4w_kernel: sink.sizes_4w_kernel.results(),
+            dm_grid_user,
+            sizes_4w_user,
+            sizes_4w_all,
+            sizes_4w_kernel,
             seq_user: full.then(|| sink.seq_user.finish()),
             locality: full.then(|| sink.locality.finish()),
             footprint_line_bytes: full.then(|| sink.fp.line_footprint_bytes()),
@@ -311,7 +413,11 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     let line = |cells: Vec<String>| {
         let mut s = String::new();
         for (i, c) in cells.iter().enumerate() {
-            s.push_str(&format!("{:>w$}  ", c, w = widths.get(i).copied().unwrap_or(8)));
+            s.push_str(&format!(
+                "{:>w$}  ",
+                c,
+                w = widths.get(i).copied().unwrap_or(8)
+            ));
         }
         println!("{}", s.trim_end());
     };

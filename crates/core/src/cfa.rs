@@ -13,8 +13,8 @@
 
 use crate::graph::pettis_hansen_order;
 use crate::pipeline::{segment_edges, LayoutPipeline};
-use codelayout_profile::Profile;
 use codelayout_ir::{BlockId, Layout, Program, INSTR_BYTES};
+use codelayout_profile::Profile;
 
 /// Outcome of a CFA layout: the layout plus how well the hot traces fit the
 /// reserved area.
@@ -33,7 +33,11 @@ pub struct CfaReport {
 /// Builds a CFA layout: hottest segments (by execution weight) are packed
 /// into a reserved area of `reserved_bytes`; the remainder is Pettis–Hansen
 /// ordered after it.
-pub fn cfa_layout(program: &Program, profile: &Profile, reserved_bytes: u64) -> (Layout, CfaReport) {
+pub fn cfa_layout(
+    program: &Program,
+    profile: &Profile,
+    reserved_bytes: u64,
+) -> (Layout, CfaReport) {
     let pipe = LayoutPipeline::new(program, profile);
     let segs = pipe.segments(true);
 

@@ -8,8 +8,8 @@
 //! count. The effect is that hot conditional branches become not-taken
 //! fall-throughs and hot unconditional branches disappear entirely.
 
-use codelayout_profile::Profile;
 use codelayout_ir::{BlockId, ProcId, Program};
+use codelayout_profile::Profile;
 use std::collections::HashMap;
 
 /// Returns the chained block order for one procedure.

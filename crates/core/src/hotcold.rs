@@ -11,8 +11,8 @@
 
 use crate::chain::chain_all;
 use crate::graph::pettis_hansen_order;
-use codelayout_profile::Profile;
 use codelayout_ir::{BlockId, Layout, Program};
+use codelayout_profile::Profile;
 
 /// Builds a layout using chaining + hot/cold splitting + procedure ordering.
 pub fn hot_cold_layout(program: &Program, profile: &Profile) -> Layout {
@@ -22,9 +22,8 @@ pub fn hot_cold_layout(program: &Program, profile: &Profile) -> Layout {
     let mut hot: Vec<Vec<BlockId>> = Vec::with_capacity(nprocs);
     let mut cold: Vec<Vec<BlockId>> = Vec::with_capacity(nprocs);
     for order in &orders {
-        let (h, c): (Vec<BlockId>, Vec<BlockId>) = order
-            .iter()
-            .partition(|&&b| profile.block_count(b) > 0);
+        let (h, c): (Vec<BlockId>, Vec<BlockId>) =
+            order.iter().partition(|&&b| profile.block_count(b) > 0);
         hot.push(h);
         cold.push(c);
     }

@@ -3,8 +3,8 @@
 use crate::chain::chain_all;
 use crate::graph::pettis_hansen_order;
 use crate::split::{split_all, Segment};
-use codelayout_profile::Profile;
 use codelayout_ir::{BlockId, Layout, ProcId, Program};
+use codelayout_profile::Profile;
 use std::fmt;
 
 /// Which optimizations to apply, mirroring the x-axis of the paper's
@@ -122,7 +122,11 @@ impl<'a> LayoutPipeline<'a> {
         if chain {
             chain_all(self.program, self.profile)
         } else {
-            self.program.procs.iter().map(|p| p.blocks.clone()).collect()
+            self.program
+                .procs
+                .iter()
+                .map(|p| p.blocks.clone())
+                .collect()
         }
     }
 

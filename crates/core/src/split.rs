@@ -11,8 +11,8 @@
 //! hot/cold splitting shipped in the Spike distribution (see
 //! [`crate::hot_cold_layout`]).
 
-use codelayout_profile::Profile;
 use codelayout_ir::{BlockId, ProcId, Program};
+use codelayout_profile::Profile;
 
 /// One placeable code segment: a run of blocks ending at an unconditional
 /// transfer.
@@ -89,11 +89,7 @@ fn make_segment(profile: &Profile, proc: ProcId, entry: BlockId, blocks: Vec<Blo
 /// Splits every procedure of a program given per-procedure block orders
 /// (for example from [`crate::chain_all`]). Returns all segments, in
 /// procedure order then segment order.
-pub fn split_all(
-    program: &Program,
-    profile: &Profile,
-    orders: &[Vec<BlockId>],
-) -> Vec<Segment> {
+pub fn split_all(program: &Program, profile: &Profile, orders: &[Vec<BlockId>]) -> Vec<Segment> {
     let mut out = Vec::new();
     for (pi, order) in orders.iter().enumerate() {
         out.extend(split_order(program, profile, ProcId(pi as u32), order));

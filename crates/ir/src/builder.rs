@@ -229,7 +229,14 @@ impl ProcBuilder {
     }
 
     /// Seals the selected block with a conditional branch.
-    pub fn branch(&mut self, cond: Cond, reg: Reg, rhs: Operand, then_: LocalBlock, else_: LocalBlock) {
+    pub fn branch(
+        &mut self,
+        cond: Cond,
+        reg: Reg,
+        rhs: Operand,
+        then_: LocalBlock,
+        else_: LocalBlock,
+    ) {
         self.seal(LocalTerm::Branch {
             cond,
             reg,

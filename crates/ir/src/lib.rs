@@ -58,8 +58,8 @@ mod ids;
 mod image;
 mod instr;
 pub mod link;
-pub mod testgen;
 mod program;
+pub mod testgen;
 mod verify;
 
 pub use builder::{ProcBuilder, ProgramBuilder};

@@ -139,7 +139,9 @@ pub fn link_with_stats(
                         target: tgt(*then_),
                     });
                     block_of.push(b);
-                    code.push(LInstr::Br { target: tgt(*else_) });
+                    code.push(LInstr::Br {
+                        target: tgt(*else_),
+                    });
                     block_of.push(b);
                 }
             }

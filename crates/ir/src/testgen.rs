@@ -58,7 +58,9 @@ pub fn random_program(seed: u64, cfg: &GenConfig) -> Program {
     let mut rng = StdRng::seed_from_u64(seed);
     let nprocs = cfg.procs.max(1);
     let mut pb = ProgramBuilder::new(format!("random-{seed:#x}"));
-    let ids: Vec<ProcId> = (0..nprocs).map(|i| pb.declare_proc(format!("p{i}"))).collect();
+    let ids: Vec<ProcId> = (0..nprocs)
+        .map(|i| pb.declare_proc(format!("p{i}")))
+        .collect();
 
     for (pi, &pid) in ids.iter().enumerate() {
         let body = gen_proc(&mut rng, cfg, pi, &ids);
@@ -111,8 +113,7 @@ fn gen_proc(rng: &mut StdRng, cfg: &GenConfig, pi: usize, ids: &[ProcId]) -> Pro
                 }
                 2 => {
                     let k = rng.gen_range(1..4);
-                    let targets: Vec<LocalBlock> =
-                        (0..k).map(|_| next_of(rng, bi + 1)).collect();
+                    let targets: Vec<LocalBlock> = (0..k).map(|_| next_of(rng, bi + 1)).collect();
                     let default = next_of(rng, bi + 1);
                     f.bin_imm(BinOp::And, TMP, ACC, 7);
                     f.jump_table(TMP, targets, default);

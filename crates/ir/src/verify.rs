@@ -139,10 +139,7 @@ mod tests {
     fn orphan_block_fails() {
         let mut p = prog_one_block(Terminator::Halt);
         p.blocks.push(BasicBlock::new(vec![], Terminator::Halt));
-        assert_eq!(
-            verify_program(&p),
-            Err(IrError::BlockOwnership(BlockId(1)))
-        );
+        assert_eq!(verify_program(&p), Err(IrError::BlockOwnership(BlockId(1))));
     }
 
     #[test]
@@ -153,10 +150,7 @@ mod tests {
             blocks: vec![BlockId(0)],
             entry: BlockId(0),
         });
-        assert_eq!(
-            verify_program(&p),
-            Err(IrError::BlockOwnership(BlockId(0)))
-        );
+        assert_eq!(verify_program(&p), Err(IrError::BlockOwnership(BlockId(0))));
     }
 
     #[test]

@@ -63,6 +63,21 @@ impl CacheStats {
     pub fn misses_of(&self, class: AccessClass) -> u64 {
         self.misses_by_class[class.idx()]
     }
+
+    /// Adds another cache's counters into this one. Pure `u64` addition,
+    /// so merging is associative and commutative — the serial sweep and
+    /// the parallel sweep produce bit-identical aggregates regardless of
+    /// merge order.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.accesses += other.accesses;
+        self.misses += other.misses;
+        for k in 0..2 {
+            self.misses_by_class[k] += other.misses_by_class[k];
+            for v in 0..3 {
+                self.displaced[k][v] += other.displaced[k][v];
+            }
+        }
+    }
 }
 
 const INVALID: u64 = u64::MAX;
@@ -214,7 +229,9 @@ mod tests {
         let mut x: u64 = 0x1234_5678;
         let mut addrs = Vec::new();
         for _ in 0..20_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             addrs.push((x >> 16) & 0xFFFF); // 64KB range
         }
         let sets_fixed = |ways: u32| CacheConfig::new(64 * 8 * ways as u64, 8, ways);

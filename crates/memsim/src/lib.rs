@@ -10,6 +10,10 @@
 //!   (paper Figures 4–7, 12, 13);
 //! * [`SweepSink`] — fans one trace out to a grid of cache configurations ×
 //!   CPUs in a single pass (Figures 4, 5, 6);
+//! * [`ParallelSweep`] — replays a recorded [`codelayout_vm::FrozenTrace`]
+//!   through such grids on scoped worker threads, bit-identical to the
+//!   serial sweep (the record-once/replay-in-parallel path the harness
+//!   uses);
 //! * [`LocalityCache`] — per-line word-use bitmaps, word reuse counters and
 //!   line lifetimes (Figures 9, 10, 11, and the unused-fetch claim);
 //! * [`SequenceProfiler`] — sequential run-length histogram (Figure 8);
@@ -32,6 +36,7 @@ mod hierarchy;
 mod icache;
 mod itlb;
 mod locality;
+mod parallel;
 mod sequence;
 mod sweep;
 
@@ -41,5 +46,6 @@ pub use hierarchy::{HierarchyConfig, HierarchyStats, MemoryHierarchy};
 pub use icache::{AccessClass, CacheStats, ICacheSim};
 pub use itlb::Itlb;
 pub use locality::{LocalityCache, LocalityStats};
+pub use parallel::{ParallelSweep, SweepJob, THREADS_ENV};
 pub use sequence::{SequenceProfiler, SequenceStats};
 pub use sweep::{SweepCell, SweepSink};

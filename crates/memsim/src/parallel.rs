@@ -1,0 +1,323 @@
+//! Parallel replay of a frozen trace across sweep grids.
+//!
+//! A [`SweepSink`] feeds every (configuration, CPU) simulator from a
+//! live machine run in one pass. That is optimal when the workload
+//! executes once, but the experiment harness sweeps *several* grids per
+//! layout (direct-mapped user grid, 4-way user/kernel/combined grids),
+//! and the simulators dominate wall-clock time. [`ParallelSweep`] takes
+//! the other half of the record-once/replay-many design: given a
+//! [`FrozenTrace`], it shards every (job, configuration, CPU) simulator
+//! across scoped worker threads. Each worker owns its [`ICacheSim`]s
+//! outright and replays the shared trace with no locks or atomics on
+//! the hot path; per-CPU statistics are merged into per-configuration
+//! cells only at join time.
+//!
+//! Results are **bit-identical** to the serial [`SweepSink`] for any
+//! thread count: a given (configuration, CPU) simulator consumes the
+//! identical filtered subsequence of the trace wherever it runs, and
+//! [`CacheStats::merge`] is commutative `u64` addition.
+//!
+//! [`SweepSink`]: crate::SweepSink
+
+use crate::config::{CacheConfig, StreamFilter};
+use crate::icache::{AccessClass, CacheStats, ICacheSim};
+use crate::sweep::SweepCell;
+use codelayout_vm::{FetchRecord, FrozenTrace, TraceSink};
+
+/// One sweep to run over a trace: a grid of cache configurations,
+/// simulated per CPU, over one filtered stream.
+#[derive(Debug, Clone)]
+pub struct SweepJob {
+    /// Cache configurations to simulate.
+    pub configs: Vec<CacheConfig>,
+    /// Number of simulated CPUs (each gets a private cache per config).
+    pub num_cpus: usize,
+    /// Which fetches this sweep observes.
+    pub filter: StreamFilter,
+}
+
+impl SweepJob {
+    /// Creates a job.
+    ///
+    /// # Panics
+    /// Panics if `num_cpus` is zero.
+    pub fn new(configs: Vec<CacheConfig>, num_cpus: usize, filter: StreamFilter) -> Self {
+        assert!(num_cpus > 0, "need at least one CPU");
+        SweepJob {
+            configs,
+            num_cpus,
+            filter,
+        }
+    }
+
+    fn shard_count(&self) -> usize {
+        self.configs.len() * self.num_cpus
+    }
+}
+
+/// One (job, configuration, CPU) simulator, owned by a single worker.
+struct Shard {
+    job: usize,
+    config_idx: usize,
+    cpu: usize,
+    sim: ICacheSim,
+}
+
+/// A worker's slice of the grid; a [`TraceSink`] over the replayed
+/// stream. The per-job filter and CPU decimation are re-applied here,
+/// exactly as [`crate::SweepSink::fetch`] applies them live.
+struct ShardWorker<'a> {
+    jobs: &'a [SweepJob],
+    shards: Vec<Shard>,
+}
+
+impl TraceSink for ShardWorker<'_> {
+    #[inline]
+    fn fetch(&mut self, rec: FetchRecord) {
+        let class = AccessClass::from_kernel_flag(rec.kernel);
+        for shard in &mut self.shards {
+            let job = &self.jobs[shard.job];
+            if !job.filter.accepts(rec.kernel) {
+                continue;
+            }
+            if (rec.cpu as usize) % job.num_cpus != shard.cpu {
+                continue;
+            }
+            shard.sim.access(rec.addr, class);
+        }
+    }
+}
+
+/// Replays a [`FrozenTrace`] through one or more [`SweepJob`]s on a
+/// pool of scoped threads.
+///
+/// ```
+/// use codelayout_memsim::{ParallelSweep, StreamFilter, SweepJob, SweepSink};
+/// use codelayout_vm::{FetchRecord, TraceBuffer, TraceSink};
+///
+/// let mut buf = TraceBuffer::new();
+/// for i in 0..1000u64 {
+///     buf.fetch(FetchRecord { addr: i % 96 * 64, cpu: (i % 2) as u8, pid: 0, kernel: false });
+/// }
+/// let trace = buf.freeze();
+///
+/// let grid = SweepSink::fig4_grid(1);
+/// let job = SweepJob::new(grid.clone(), 2, StreamFilter::All);
+/// let parallel = ParallelSweep::new(4).run(&trace, &[job]);
+///
+/// // Bit-identical to the serial sweep.
+/// let mut serial = SweepSink::new(grid, 2, StreamFilter::All);
+/// trace.replay(&mut serial);
+/// assert_eq!(parallel[0], serial.results());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ParallelSweep {
+    threads: usize,
+}
+
+/// Environment variable overriding the worker-thread count used by
+/// [`ParallelSweep::from_env`].
+pub const THREADS_ENV: &str = "CODELAYOUT_THREADS";
+
+impl ParallelSweep {
+    /// A sweep runner using up to `threads` workers (clamped to ≥ 1; a
+    /// run never spawns more workers than it has shards).
+    pub fn new(threads: usize) -> Self {
+        ParallelSweep {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Thread count from the `CODELAYOUT_THREADS` environment variable,
+    /// falling back to the host's available parallelism.
+    pub fn from_env() -> Self {
+        let threads = std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        ParallelSweep::new(threads)
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Replays `trace` through every job, returning one result vector
+    /// per job (same order; cells in each job's config order, summed
+    /// over CPUs — the exact shape [`crate::SweepSink::results`]
+    /// returns).
+    pub fn run(&self, trace: &FrozenTrace, jobs: &[SweepJob]) -> Vec<Vec<SweepCell>> {
+        // Round-robin the shards over workers so each worker carries a
+        // similar mix of small and large configurations.
+        let total: usize = jobs.iter().map(SweepJob::shard_count).sum();
+        let num_workers = self.threads.min(total.max(1));
+        let mut workers: Vec<ShardWorker> = (0..num_workers)
+            .map(|_| ShardWorker {
+                jobs,
+                shards: Vec::new(),
+            })
+            .collect();
+        let mut next = 0usize;
+        for (job, j) in jobs.iter().enumerate() {
+            for (config_idx, &config) in j.configs.iter().enumerate() {
+                for cpu in 0..j.num_cpus {
+                    workers[next % num_workers].shards.push(Shard {
+                        job,
+                        config_idx,
+                        cpu,
+                        sim: ICacheSim::new(config),
+                    });
+                    next += 1;
+                }
+            }
+        }
+
+        let finished: Vec<Shard> = std::thread::scope(|s| {
+            let handles: Vec<_> = workers
+                .into_iter()
+                .map(|mut w| {
+                    let trace = trace.clone();
+                    s.spawn(move || {
+                        trace.replay(&mut w);
+                        w.shards
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("sweep worker panicked"))
+                .collect()
+        });
+
+        let mut results: Vec<Vec<SweepCell>> = jobs
+            .iter()
+            .map(|j| {
+                j.configs
+                    .iter()
+                    .map(|&config| SweepCell {
+                        config,
+                        stats: CacheStats::default(),
+                    })
+                    .collect()
+            })
+            .collect();
+        for shard in finished {
+            results[shard.job][shard.config_idx]
+                .stats
+                .merge(shard.sim.stats());
+        }
+        results
+    }
+
+    /// Convenience for a single job: replays and returns its cells.
+    pub fn run_one(
+        &self,
+        trace: &FrozenTrace,
+        configs: Vec<CacheConfig>,
+        num_cpus: usize,
+        filter: StreamFilter,
+    ) -> Vec<SweepCell> {
+        self.run(trace, &[SweepJob::new(configs, num_cpus, filter)])
+            .pop()
+            .expect("one job in, one result out")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::SweepSink;
+    use codelayout_vm::TraceBuffer;
+
+    /// A small mixed user/kernel multi-CPU trace.
+    fn test_trace() -> FrozenTrace {
+        let mut buf = TraceBuffer::new();
+        let mut x: u64 = 0x9E3779B97F4A7C15;
+        for i in 0..20_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let kernel = x.is_multiple_of(5);
+            let base = if kernel { 0x8000_0000 } else { 0x40_0000 };
+            buf.fetch(FetchRecord {
+                addr: (base + x % (64 * 1024)) & !3,
+                cpu: (i % 3) as u8,
+                pid: (i % 7) as u8,
+                kernel,
+            });
+        }
+        buf.freeze()
+    }
+
+    fn serial(trace: &FrozenTrace, job: &SweepJob) -> Vec<SweepCell> {
+        let mut sink = SweepSink::new(job.configs.clone(), job.num_cpus, job.filter);
+        trace.replay(&mut sink);
+        sink.results()
+    }
+
+    #[test]
+    fn matches_serial_for_any_thread_count() {
+        let trace = test_trace();
+        let job = SweepJob::new(SweepSink::fig4_grid(2), 3, StreamFilter::All);
+        let expected = serial(&trace, &job);
+        for threads in [1, 2, 5, 64] {
+            let got = ParallelSweep::new(threads).run(&trace, std::slice::from_ref(&job));
+            assert_eq!(got[0], expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn multi_job_results_keep_job_order_and_filters() {
+        let trace = test_trace();
+        let jobs = vec![
+            SweepJob::new(SweepSink::fig4_grid(1), 2, StreamFilter::UserOnly),
+            SweepJob::new(SweepSink::fig4_grid(4), 1, StreamFilter::KernelOnly),
+            SweepJob::new(vec![CacheConfig::new(1024, 64, 2)], 3, StreamFilter::All),
+        ];
+        let got = ParallelSweep::new(7).run(&trace, &jobs);
+        assert_eq!(got.len(), 3);
+        for (j, job) in jobs.iter().enumerate() {
+            assert_eq!(got[j], serial(&trace, job), "job {j}");
+        }
+        // Filters actually differ: user + kernel accesses = combined.
+        let user: u64 = got[0][0].stats.accesses;
+        let kernel: u64 = got[1][0].stats.accesses;
+        let all: u64 = got[2][0].stats.accesses;
+        assert!(user > 0 && kernel > 0);
+        assert_eq!(user + kernel, all);
+    }
+
+    #[test]
+    fn more_threads_than_shards_is_fine() {
+        let trace = test_trace();
+        let job = SweepJob::new(vec![CacheConfig::new(512, 64, 1)], 1, StreamFilter::All);
+        let got = ParallelSweep::new(1000).run(&trace, std::slice::from_ref(&job));
+        assert_eq!(got[0], serial(&trace, &job));
+    }
+
+    #[test]
+    fn empty_trace_and_empty_jobs() {
+        let empty = TraceBuffer::new().freeze();
+        let job = SweepJob::new(SweepSink::fig4_grid(1), 2, StreamFilter::All);
+        let got = ParallelSweep::new(4).run(&empty, &[job]);
+        assert_eq!(got[0].len(), 25);
+        assert!(got[0].iter().all(|c| c.stats.accesses == 0));
+        let none = ParallelSweep::new(4).run(&test_trace(), &[]);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn run_one_unwraps_single_job() {
+        let trace = test_trace();
+        let cells =
+            ParallelSweep::new(2).run_one(&trace, SweepSink::fig4_grid(1), 2, StreamFilter::All);
+        let job = SweepJob::new(SweepSink::fig4_grid(1), 2, StreamFilter::All);
+        assert_eq!(cells, serial(&trace, &job));
+    }
+}

@@ -71,15 +71,7 @@ impl SweepSink {
             .map(|(i, &config)| {
                 let mut stats = CacheStats::default();
                 for sim in &self.sims[i] {
-                    let s = sim.stats();
-                    stats.accesses += s.accesses;
-                    stats.misses += s.misses;
-                    for k in 0..2 {
-                        stats.misses_by_class[k] += s.misses_by_class[k];
-                        for v in 0..3 {
-                            stats.displaced[k][v] += s.displaced[k][v];
-                        }
-                    }
+                    stats.merge(sim.stats());
                 }
                 SweepCell { config, stats }
             })
@@ -130,7 +122,7 @@ mod tests {
     }
 
     #[test]
-    fn per_cpu_caches_are_independent(){
+    fn per_cpu_caches_are_independent() {
         let cfg = CacheConfig::new(128, 64, 1);
         let mut s = SweepSink::new(vec![cfg], 2, StreamFilter::All);
         // Same address on both CPUs: each CPU cold-misses once.

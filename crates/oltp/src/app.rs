@@ -246,7 +246,8 @@ pub fn gen_app(sga: &SgaLayout, sc: &Scenario) -> AppSpec {
     pb.define_proc(p.exec_dispatch, gen_dispatch(&p.exec, p.error))
         .unwrap();
     pb.define_proc(p.stats, gen_stats(sga)).unwrap();
-    pb.define_proc(p.checkpoint, gen_checkpoint(&p, sga)).unwrap();
+    pb.define_proc(p.checkpoint, gen_checkpoint(&p, sga))
+        .unwrap();
     for i in 0..v {
         let body = gen_parse_variant(&p, sc, &mut rng, i);
         pb.define_proc(p.parse[i], body).unwrap();
@@ -256,16 +257,19 @@ pub fn gen_app(sga: &SgaLayout, sc: &Scenario) -> AppSpec {
     for (i, &l) in p.lex.iter().enumerate() {
         pb.define_proc(l, gen_lex(&mut rng, i)).unwrap();
     }
-    pb.define_proc(p.btree_lookup, gen_btree_lookup(&p)).unwrap();
+    pb.define_proc(p.btree_lookup, gen_btree_lookup(&p))
+        .unwrap();
     pb.define_proc(p.buf_fix, gen_buf_fix(&p, sga)).unwrap();
     pb.define_proc(p.buf_evict, gen_buf_evict(sga)).unwrap();
-    pb.define_proc(p.lock_acquire, gen_lock_acquire(&p)).unwrap();
+    pb.define_proc(p.lock_acquire, gen_lock_acquire(&p))
+        .unwrap();
     pb.define_proc(p.lock_release, gen_lock_release()).unwrap();
     pb.define_proc(p.backoff, gen_backoff()).unwrap();
     pb.define_proc(p.upd_account, gen_upd_account(&p)).unwrap();
     pb.define_proc(p.upd_teller, gen_upd_simple(0)).unwrap();
     pb.define_proc(p.upd_branch, gen_upd_branch()).unwrap();
-    pb.define_proc(p.insert_hist, gen_insert_hist(&p, sga)).unwrap();
+    pb.define_proc(p.insert_hist, gen_insert_hist(&p, sga))
+        .unwrap();
     pb.define_proc(p.log_append, gen_log_append(&p)).unwrap();
     pb.define_proc(p.rand, gen_rand()).unwrap();
     pb.define_proc(p.checksum, gen_checksum()).unwrap();
@@ -315,10 +319,17 @@ fn gen_main(p: &Procs, sc: &Scenario) -> ProcBuilder {
     // Statement type: Zipf-distributed via the shared frequency table.
     f.call(p.rand);
     f.bin_imm(BinOp::And, S_VARIANT, A1, 255);
-    f.bin_imm(BinOp::Add, S_VARIANT, S_VARIANT, words::VARIANT_TABLE as i64);
+    f.bin_imm(
+        BinOp::Add,
+        S_VARIANT,
+        S_VARIANT,
+        words::VARIANT_TABLE as i64,
+    );
     f.load(S_VARIANT, S_VARIANT, 0, MemSpace::Shared);
     let _ = v;
-    f.mov(A1, S_SERIAL).mov(A2, S_VARIANT).call(p.parse_dispatch);
+    f.mov(A1, S_SERIAL)
+        .mov(A2, S_VARIANT)
+        .call(p.parse_dispatch);
     f.mov(A1, S_SERIAL).mov(A2, S_VARIANT).call(p.exec_dispatch);
     f.mov(A1, S_SERIAL).call(p.txn_commit);
     f.syscall(SYS_REPLY);
@@ -462,7 +473,10 @@ fn gen_checkpoint(p: &Procs, sga: &SgaLayout) -> ProcBuilder {
 /// Appends generator-chosen filler to the current block and returns the
 /// register holding a bounded pseudo-input value.
 fn filler_work(f: &mut ProcBuilder, rng: &mut StdRng, sc: &Scenario, scratch: Reg) {
-    f.work(scratch, rng.gen_range(sc.scale.work_min..=sc.scale.work_max));
+    f.work(
+        scratch,
+        rng.gen_range(sc.scale.work_min..=sc.scale.work_max),
+    );
 }
 
 /// Emits a chain of generated hot blocks with branches, helper calls and
@@ -784,7 +798,14 @@ fn gen_buf_fix(p: &Procs, sga: &SgaLayout) -> ProcBuilder {
     f.store(U3, A2, 0, MemSpace::Shared);
     f.imm(A3, 1);
     f.imm(A4, 0);
-    f.atomic_rmw(BinOp::Add, A4, A4, words::BUF_MISSES as i32, A3, MemSpace::Shared);
+    f.atomic_rmw(
+        BinOp::Add,
+        A4,
+        A4,
+        words::BUF_MISSES as i32,
+        A3,
+        MemSpace::Shared,
+    );
     f.mov(A1, U1);
     f.call(p.buf_evict);
     f.ret();
@@ -908,7 +929,14 @@ fn gen_insert_hist(p: &Procs, sga: &SgaLayout) -> ProcBuilder {
     let overflow = f.new_block();
     f.select(entry);
     f.imm(U0, 0).imm(U1, 1);
-    f.atomic_rmw(BinOp::Add, U2, U0, words::HIST_NEXT as i32, U1, MemSpace::Shared);
+    f.atomic_rmw(
+        BinOp::Add,
+        U2,
+        U0,
+        words::HIST_NEXT as i32,
+        U1,
+        MemSpace::Shared,
+    );
     f.branch(
         Cond::Lt,
         U2,

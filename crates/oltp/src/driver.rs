@@ -97,12 +97,8 @@ pub fn build_study(scenario: &Scenario) -> Study {
     let app = gen_app(&sga, scenario);
     let kernel = gen_kernel(&sga, &scenario.scale, scenario.seed);
     let base_image = Arc::new(
-        link(
-            &app.program,
-            &Layout::natural(&app.program),
-            APP_TEXT_BASE,
-        )
-        .expect("baseline app links"),
+        link(&app.program, &Layout::natural(&app.program), APP_TEXT_BASE)
+            .expect("baseline app links"),
     );
     let base_kernel_image = Arc::new(
         link(
@@ -125,8 +121,11 @@ pub fn build_study(scenario: &Scenario) -> Study {
     };
 
     // Profiling run: pixified server binaries, `profile_txns` transactions.
-    let (mut machine, sga_loaded) =
-        study.new_machine(&study.base_image, &study.base_kernel_image, scenario.profile_txns);
+    let (mut machine, sga_loaded) = study.new_machine(
+        &study.base_image,
+        &study.base_kernel_image,
+        scenario.profile_txns,
+    );
     study.sga = sga_loaded;
     let mut hook = PairHook(
         PixieCollector::user(study.app.program.blocks.len()),
@@ -144,7 +143,11 @@ pub fn build_study(scenario: &Scenario) -> Study {
             "profiling run exceeded instruction ceiling"
         );
     }
-    assert!(report.faults.is_empty(), "profiling faults: {:?}", report.faults);
+    assert!(
+        report.faults.is_empty(),
+        "profiling faults: {:?}",
+        report.faults
+    );
     let inv = study.sga.read_invariants(&machine);
     assert!(inv.consistent(), "profiling run inconsistent: {inv:?}");
     study.profile = hook.0.into_profile();
@@ -236,8 +239,7 @@ impl Study {
     /// Links a kernel image for an optimization set using the kernel
     /// profile (the paper's "optimize the operating system" experiment).
     pub fn kernel_image(&self, set: OptimizationSet) -> Arc<Image> {
-        let layout =
-            LayoutPipeline::new(&self.kernel.program, &self.kernel_profile).build(set);
+        let layout = LayoutPipeline::new(&self.kernel.program, &self.kernel_profile).build(set);
         Arc::new(
             link(&self.kernel.program, &layout, KERNEL_TEXT_BASE)
                 .expect("optimized kernel layouts are valid"),

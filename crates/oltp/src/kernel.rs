@@ -85,24 +85,29 @@ pub fn gen_kernel(sga: &SgaLayout, scale: &CodeScale, seed: u64) -> KernelSpec {
         .map(|i| pb.declare_proc(format!("k_dead_{i}")))
         .collect();
 
-    pb.define_proc(receive, gen_receive(account, &rx_paths)).unwrap();
+    pb.define_proc(receive, gen_receive(account, &rx_paths))
+        .unwrap();
     pb.define_proc(log_write, gen_log_write(sga, account, &fs_paths))
         .unwrap();
     pb.define_proc(reply, gen_reply()).unwrap();
-    pb.define_proc(sched, gen_sched(queue_scan, &sched_paths)).unwrap();
+    pb.define_proc(sched, gen_sched(queue_scan, &sched_paths))
+        .unwrap();
     pb.define_proc(account, gen_account()).unwrap();
     pb.define_proc(queue_scan, gen_queue_scan()).unwrap();
     for (i, &h) in helpers.iter().enumerate() {
         pb.define_proc(h, gen_k_helper(&mut rng, i)).unwrap();
     }
     for &p in rx_paths.iter() {
-        pb.define_proc(p, gen_k_path(&mut rng, 10, &helpers)).unwrap();
+        pb.define_proc(p, gen_k_path(&mut rng, 10, &helpers))
+            .unwrap();
     }
     for &p in fs_paths.iter() {
-        pb.define_proc(p, gen_k_path(&mut rng, 12, &helpers)).unwrap();
+        pb.define_proc(p, gen_k_path(&mut rng, 12, &helpers))
+            .unwrap();
     }
     for &p in sched_paths.iter() {
-        pb.define_proc(p, gen_k_path(&mut rng, 7, &helpers)).unwrap();
+        pb.define_proc(p, gen_k_path(&mut rng, 7, &helpers))
+            .unwrap();
     }
     for &d in &dead {
         pb.define_proc(d, gen_dead(&mut rng, scale.dead_blocks))
@@ -176,7 +181,14 @@ fn gen_receive(account: ProcId, rx_paths: &[ProcId]) -> ProcBuilder {
     let arms: Vec<_> = rx_paths.iter().map(|_| f.new_block()).collect();
     f.select(entry);
     f.imm(R8, 0).imm(R9, 1);
-    f.atomic_rmw(BinOp::Add, R0, R8, words::COUNTER as i32, R9, MemSpace::Shared);
+    f.atomic_rmw(
+        BinOp::Add,
+        R0,
+        R8,
+        words::COUNTER as i32,
+        R9,
+        MemSpace::Shared,
+    );
     f.load(R10, R8, words::LIMIT as i32, MemSpace::Shared);
     f.branch(Cond::Lt, R0, Operand::Reg(R10), grant, over);
     f.select(grant);
@@ -238,7 +250,14 @@ fn gen_log_write(sga: &SgaLayout, account: ProcId, fs_paths: &[ProcId]) -> ProcB
     f.bin_imm(BinOp::Add, R12, R12, 1);
     f.jump(loop_head);
     f.select(done);
-    f.atomic_rmw(BinOp::Add, R13, R8, words::LOG_TAIL as i32, R11, MemSpace::Shared);
+    f.atomic_rmw(
+        BinOp::Add,
+        R13,
+        R8,
+        words::LOG_TAIL as i32,
+        R11,
+        MemSpace::Shared,
+    );
     f.imm(R14, 0);
     f.store(R14, R8, priv_words::LOG_COUNT as i32, MemSpace::Private);
     // File-system / device path fan, selected by the (old) log tail so

@@ -82,10 +82,7 @@ impl Profile {
     /// Traversal count of a flow edge.
     #[inline]
     pub fn edge_count(&self, from: BlockId, to: BlockId) -> u64 {
-        self.edge_counts
-            .get(&(from.0, to.0))
-            .copied()
-            .unwrap_or(0)
+        self.edge_counts.get(&(from.0, to.0)).copied().unwrap_or(0)
     }
 
     /// Call count from a block into a procedure.
@@ -181,14 +178,14 @@ impl Profile {
         w
     }
 
-    /// Serializes to pretty JSON.
+    /// Serializes to JSON.
     ///
     /// # Errors
     /// Returns an error if the writer fails.
     pub fn save<W: io::Write>(&self, mut w: W) -> Result<(), ProfileError> {
         // HashMap keys must be strings in JSON; use a stable on-disk form.
         let disk = DiskProfile::from(self);
-        serde_json::to_writer(&mut w, &disk)?;
+        serde_json::to_writer(&mut w, &disk.to_value())?;
         Ok(())
     }
 
@@ -197,18 +194,74 @@ impl Profile {
     /// # Errors
     /// Returns an error if the reader fails or the JSON is malformed.
     pub fn load<R: io::Read>(r: R) -> Result<Self, ProfileError> {
-        let disk: DiskProfile = serde_json::from_reader(r)?;
+        let value = serde_json::from_reader(r)?;
+        let disk = DiskProfile::from_value(&value)?;
         Ok(disk.into())
     }
 }
 
 /// On-disk representation with vector-encoded maps (JSON-friendly and
-/// deterministic when sorted).
-#[derive(Serialize, Deserialize)]
+/// deterministic when sorted). Converted to and from `serde_json`
+/// values explicitly so the wire format is spelled out in one place.
 struct DiskProfile {
     block_counts: Vec<u64>,
     edges: Vec<(u32, u32, u64)>,
     calls: Vec<(u32, u32, u64)>,
+}
+
+impl DiskProfile {
+    fn to_value(&self) -> serde_json::Value {
+        let triples = |ts: &[(u32, u32, u64)]| {
+            serde_json::Value::Array(
+                ts.iter()
+                    .map(|&(a, b, c)| serde_json::json!([a, b, c]))
+                    .collect(),
+            )
+        };
+        serde_json::json!({
+            "block_counts": self.block_counts.clone(),
+            "edges": triples(&self.edges),
+            "calls": triples(&self.calls),
+        })
+    }
+
+    fn from_value(v: &serde_json::Value) -> Result<Self, serde_json::Error> {
+        let bad = |what: &str| serde_json::Error::new(format!("profile JSON: {what}"));
+        let arr = |key: &str| {
+            v.get(key)
+                .as_array()
+                .ok_or_else(|| bad(&format!("`{key}` must be an array")))
+        };
+        let block_counts = arr("block_counts")?
+            .iter()
+            .map(|x| x.as_u64().ok_or_else(|| bad("block count must be a u64")))
+            .collect::<Result<Vec<u64>, _>>()?;
+        let triples = |key: &str| {
+            arr(key)?
+                .iter()
+                .map(|e| {
+                    let t = e
+                        .as_array()
+                        .filter(|t| t.len() == 3)
+                        .ok_or_else(|| bad(&format!("`{key}` entries must be [u32, u32, u64]")))?;
+                    let small = |i: usize| {
+                        t[i].as_u64()
+                            .and_then(|x| u32::try_from(x).ok())
+                            .ok_or_else(|| bad(&format!("`{key}` id out of u32 range")))
+                    };
+                    let c = t[2]
+                        .as_u64()
+                        .ok_or_else(|| bad(&format!("`{key}` count must be a u64")))?;
+                    Ok((small(0)?, small(1)?, c))
+                })
+                .collect::<Result<Vec<(u32, u32, u64)>, serde_json::Error>>()
+        };
+        Ok(DiskProfile {
+            block_counts,
+            edges: triples("edges")?,
+            calls: triples("calls")?,
+        })
+    }
 }
 
 impl From<&Profile> for DiskProfile {

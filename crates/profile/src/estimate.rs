@@ -77,9 +77,7 @@ fn dedup_successors(term: &Terminator) -> Vec<BlockId> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use codelayout_ir::{
-        Cond, Operand, ProcBuilder, ProgramBuilder, Reg,
-    };
+    use codelayout_ir::{Cond, Operand, ProcBuilder, ProgramBuilder, Reg};
 
     fn branchy_program() -> Program {
         let mut pb = ProgramBuilder::new("e");

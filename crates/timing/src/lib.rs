@@ -161,10 +161,7 @@ mod tests {
         // 3000 * 12 + 2000 * 80
         assert_eq!(b.dstall, 3_000 * 12 + 2_000 * 80);
         assert_eq!(b.itlb_stall, 100 * 40);
-        assert_eq!(
-            b.total(),
-            b.busy + b.istall + b.dstall + b.itlb_stall
-        );
+        assert_eq!(b.total(), b.busy + b.istall + b.dstall + b.itlb_stall);
     }
 
     #[test]

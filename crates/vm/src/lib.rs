@@ -43,10 +43,14 @@
 mod hook;
 mod machine;
 mod sink;
+mod trace;
 
 pub use hook::{ExecHook, NullHook, PairHook};
 pub use machine::{Fault, Machine, MachineConfig, RunReport, SyscallDef};
-pub use sink::{CountingSink, DataRecord, FetchRecord, NullSink, RecordingSink, TeeSink, TraceSink};
+pub use sink::{
+    CountingSink, DataRecord, FetchRecord, NullSink, RecordingSink, TeeSink, TraceSink,
+};
+pub use trace::{FrozenTrace, TraceBuffer, MAX_TRACE_ADDR};
 
 /// Base byte address of application text segments.
 pub const APP_TEXT_BASE: u64 = 0x0040_0000;

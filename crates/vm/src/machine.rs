@@ -2,9 +2,7 @@
 
 use crate::hook::{ExecHook, NullHook};
 use crate::sink::{DataRecord, FetchRecord, TraceSink};
-use crate::{
-    checksum_words, PRIVATE_DATA_BASE, PRIVATE_DATA_STRIDE, SHARED_DATA_BASE,
-};
+use crate::{checksum_words, PRIVATE_DATA_BASE, PRIVATE_DATA_STRIDE, SHARED_DATA_BASE};
 use codelayout_ir::{BlockId, Image, LInstr, MemSpace, Operand, ProcId, Reg};
 use std::sync::Arc;
 
@@ -555,8 +553,7 @@ impl Machine {
                     offset,
                     space,
                 } => {
-                    let idx =
-                        (p.regs[base.index() & 31].wrapping_add(*offset as i64)) as usize;
+                    let idx = (p.regs[base.index() & 31].wrapping_add(*offset as i64)) as usize;
                     let (val, addr) = match space {
                         MemSpace::Private => {
                             let i = idx & priv_mask;
@@ -582,8 +579,7 @@ impl Machine {
                     offset,
                     space,
                 } => {
-                    let idx =
-                        (p.regs[base.index() & 31].wrapping_add(*offset as i64)) as usize;
+                    let idx = (p.regs[base.index() & 31].wrapping_add(*offset as i64)) as usize;
                     let val = p.regs[src.index() & 31];
                     let addr = match space {
                         MemSpace::Private => {
@@ -613,8 +609,7 @@ impl Machine {
                     src,
                     space,
                 } => {
-                    let idx =
-                        (p.regs[base.index() & 31].wrapping_add(*offset as i64)) as usize;
+                    let idx = (p.regs[base.index() & 31].wrapping_add(*offset as i64)) as usize;
                     let rhs = p.regs[src.index() & 31];
                     let addr = match space {
                         MemSpace::Private => {
@@ -703,8 +698,7 @@ impl Machine {
                     if kmode {
                         match p.kstack.pop() {
                             Some(r) => {
-                                let kimg =
-                                    kernel.as_deref().expect("kernel mode without kernel");
+                                let kimg = kernel.as_deref().expect("kernel mode without kernel");
                                 p.kpc = r;
                                 let nb = kimg.block_of[r as usize];
                                 if kimg.block_start[nb.index()] == r {

@@ -2,8 +2,8 @@
 
 use codelayout_ir::link::link;
 use codelayout_ir::{
-    BinOp, BlockId, Cond, Layout, MemSpace, Operand, ProcBuilder, ProcId, Program,
-    ProgramBuilder, Reg,
+    BinOp, BlockId, Cond, Layout, MemSpace, Operand, ProcBuilder, ProcId, Program, ProgramBuilder,
+    Reg,
 };
 use codelayout_vm::{
     CountingSink, ExecHook, Machine, MachineConfig, NullSink, RecordingSink, SyscallDef,
@@ -524,7 +524,10 @@ fn chunked_driving_never_starves_a_lock_holder() {
         if m.live_processes() == 0 {
             break;
         }
-        assert!(total < 80_000_000, "machine livelocked under chunked driving");
+        assert!(
+            total < 80_000_000,
+            "machine livelocked under chunked driving"
+        );
     }
     assert_eq!(m.live_processes(), 0, "all processes must finish");
     assert_eq!(m.shared_word(0), 8 * n); // lock protected the counter

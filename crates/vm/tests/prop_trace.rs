@@ -1,0 +1,119 @@
+//! Property tests for the compact trace buffer: record → freeze →
+//! replay must reproduce the exact event sequence, deterministically.
+
+use codelayout_vm::{
+    DataRecord, FetchRecord, RecordingSink, TraceBuffer, TraceSink, MAX_TRACE_ADDR,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random interleaving of fetch and data events exercising the full
+/// packed-field ranges (45-bit addresses, 8-bit cpu/pid, all flags).
+fn random_events(seed: u64, len: usize) -> (Vec<FetchRecord>, Vec<DataRecord>, Vec<bool>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut fetches = Vec::new();
+    let mut data = Vec::new();
+    // `order[i]` = true for a fetch, false for a data event.
+    let mut order = Vec::with_capacity(len);
+    for _ in 0..len {
+        let addr = if rng.gen_bool(0.1) {
+            // Hammer the extremes of the 45-bit address field.
+            if rng.gen_bool(0.5) {
+                MAX_TRACE_ADDR
+            } else {
+                0
+            }
+        } else {
+            rng.gen_range(0..=MAX_TRACE_ADDR)
+        };
+        let cpu = rng.gen_range(0u64..256) as u8;
+        let pid = rng.gen_range(0u64..256) as u8;
+        let kernel = rng.gen_bool(0.3);
+        if rng.gen_bool(0.7) {
+            fetches.push(FetchRecord {
+                addr,
+                cpu,
+                pid,
+                kernel,
+            });
+            order.push(true);
+        } else {
+            data.push(DataRecord {
+                addr,
+                cpu,
+                pid,
+                kernel,
+                write: rng.gen_bool(0.4),
+            });
+            order.push(false);
+        }
+    }
+    (fetches, data, order)
+}
+
+fn feed(sink: &mut impl TraceSink, evs: &(Vec<FetchRecord>, Vec<DataRecord>, Vec<bool>)) {
+    let (fetches, data, order) = evs;
+    let (mut fi, mut di) = (0, 0);
+    for &is_fetch in order {
+        if is_fetch {
+            sink.fetch(fetches[fi]);
+            fi += 1;
+        } else {
+            sink.data(data[di]);
+            di += 1;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn replay_reproduces_exact_sequence(seed in 0u64..10_000, len in 0usize..2_000) {
+        let evs = random_events(seed, len);
+        let mut buf = TraceBuffer::new();
+        let mut direct = RecordingSink::default();
+        feed(&mut buf, &evs);
+        feed(&mut direct, &evs);
+
+        prop_assert_eq!(buf.len(), len);
+        let frozen = buf.freeze();
+        let mut replayed = RecordingSink::default();
+        frozen.replay(&mut replayed);
+        prop_assert_eq!(&replayed.fetches, &direct.fetches);
+        prop_assert_eq!(&replayed.data, &direct.data);
+    }
+
+    #[test]
+    fn replaying_twice_is_deterministic(seed in 0u64..10_000) {
+        let evs = random_events(seed, 1_000);
+        let mut buf = TraceBuffer::new();
+        feed(&mut buf, &evs);
+        let frozen = buf.freeze();
+        let (mut a, mut b) = (RecordingSink::default(), RecordingSink::default());
+        frozen.replay(&mut a);
+        frozen.replay(&mut b);
+        prop_assert_eq!(&a.fetches, &b.fetches);
+        prop_assert_eq!(&a.data, &b.data);
+        // And a clone of the frozen trace replays identically too.
+        let mut c = RecordingSink::default();
+        frozen.clone().replay(&mut c);
+        prop_assert_eq!(&a.fetches, &c.fetches);
+    }
+
+    #[test]
+    fn fetch_only_buffer_keeps_the_fetch_subsequence(seed in 0u64..10_000) {
+        let evs = random_events(seed, 1_500);
+        let mut buf = TraceBuffer::fetch_only();
+        let mut direct = RecordingSink::default();
+        feed(&mut buf, &evs);
+        feed(&mut direct, &evs);
+        let frozen = buf.freeze();
+        prop_assert_eq!(frozen.len(), direct.fetches.len());
+        let mut replayed = RecordingSink::default();
+        frozen.replay(&mut replayed);
+        prop_assert_eq!(&replayed.fetches, &direct.fetches);
+        prop_assert!(replayed.data.is_empty());
+    }
+}

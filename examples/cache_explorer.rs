@@ -36,7 +36,10 @@ fn main() {
     out.assert_correct();
 
     println!("layout: {layout}");
-    println!("{:>6} {:>6} {:>6} {:>10} {:>9}", "size", "line", "ways", "misses", "missrate");
+    println!(
+        "{:>6} {:>6} {:>6} {:>10} {:>9}",
+        "size", "line", "ways", "misses", "missrate"
+    );
     for cell in sweep.results() {
         println!(
             "{:>5}K {:>5}B {:>6} {:>10} {:>8.2}%",

@@ -37,9 +37,8 @@ fn main() {
 
     println!("{:>22} {:>9} {:>9} {:>9}", "layout", "16KB", "32KB", "64KB");
     for (name, layout) in layouts {
-        let image = Arc::new(
-            link(&study.app.program, &layout, APP_TEXT_BASE).expect("layout links"),
-        );
+        let image =
+            Arc::new(link(&study.app.program, &layout, APP_TEXT_BASE).expect("layout links"));
         let mut sweep = SweepSink::new(configs.clone(), scenario.num_cpus, StreamFilter::UserOnly);
         let out = study.run_measured(&image, &study.base_kernel_image, &mut sweep);
         out.assert_correct();

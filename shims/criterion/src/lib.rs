@@ -1,0 +1,257 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface `benches/microbench.rs` uses —
+//! [`criterion_group!`]/[`criterion_main!`], [`Criterion::benchmark_group`],
+//! per-group `measurement_time`/`sample_size`/`throughput`, and
+//! [`Bencher::iter`] — backed by a plain wall-clock runner: each
+//! benchmark is warmed up once, then timed for `sample_size` samples,
+//! and the median per-iteration time (plus derived throughput) is
+//! printed. There is no statistical analysis, outlier detection, or
+//! HTML report; the numbers are honest medians, good enough for
+//! eyeballing regressions in an offline environment.
+//!
+//! Like real criterion, passing `--bench` (which `cargo bench` does) is
+//! accepted; a benchmark name filter as the first free argument is
+//! honored with substring matching. `cargo test --benches` runs each
+//! benchmark body exactly once in test mode so the benches stay
+//! compiling and correct.
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation used to derive elements/second from the
+/// measured time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver, one per `criterion_group!`.
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut test_mode = false;
+        // `cargo bench` invokes with `--bench`; `cargo test --benches`
+        // invokes with `--test`. Any other free argument is a name
+        // filter, as with real criterion.
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" => {}
+                "--test" => test_mode = true,
+                s if s.starts_with('-') => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Criterion { filter, test_mode }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            measurement_time: Duration::from_secs(3),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Registers a stand-alone benchmark (group of one).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let mut g = self.benchmark_group(name);
+        g.bench_function("", f);
+        g.finish();
+        self
+    }
+}
+
+/// A group of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    measurement_time: Duration,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target measurement budget (split across samples).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets how many samples to take.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let full = if name.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}/{}", self.name, name)
+        };
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        if self.criterion.test_mode {
+            f(&mut b);
+            println!("test-mode ok: {full}");
+            return self;
+        }
+        // Warm-up pass: also calibrates how many iterations fit in one
+        // sample slot.
+        f(&mut b);
+        let warm = b.elapsed.max(Duration::from_nanos(1));
+        let slot = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters = (slot / warm.as_secs_f64()).clamp(1.0, 1e9) as u64;
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            b.iters = iters;
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            per_iter.push(b.elapsed.as_secs_f64() / iters as f64);
+        }
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter[per_iter.len() / 2];
+        let line = match self.throughput {
+            Some(Throughput::Elements(n)) => format!(
+                "{full}: median {} ({:.3} Melem/s, {} samples x {} iters)",
+                fmt_time(median),
+                n as f64 / median / 1e6,
+                self.sample_size,
+                iters
+            ),
+            Some(Throughput::Bytes(n)) => format!(
+                "{full}: median {} ({:.3} MiB/s, {} samples x {} iters)",
+                fmt_time(median),
+                n as f64 / median / (1024.0 * 1024.0),
+                self.sample_size,
+                iters
+            ),
+            None => format!(
+                "{full}: median {} ({} samples x {} iters)",
+                fmt_time(median),
+                self.sample_size,
+                iters
+            ),
+        };
+        println!("{line}");
+        self
+    }
+
+    /// Ends the group (printing happens eagerly; this is for API
+    /// compatibility).
+    pub fn finish(&mut self) {}
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Handed to each benchmark closure; times the closed-over routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it the calibrated number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Groups benchmark functions under one entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` for a bench binary built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_times_and_filters() {
+        let mut c = Criterion {
+            filter: Some("keep".into()),
+            test_mode: false,
+        };
+        let mut kept = 0u32;
+        let mut skipped = 0u32;
+        {
+            let mut g = c.benchmark_group("grp");
+            g.sample_size(2);
+            g.measurement_time(Duration::from_millis(1));
+            g.throughput(Throughput::Elements(10));
+            g.bench_function("keep_this", |b| b.iter(|| kept += 1));
+            g.bench_function("drop_this", |b| b.iter(|| skipped += 1));
+            g.finish();
+        }
+        assert!(kept > 0, "filtered-in bench must run");
+        assert_eq!(skipped, 0, "filtered-out bench must not run");
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion {
+            filter: None,
+            test_mode: true,
+        };
+        let mut runs = 0u32;
+        c.bench_function("once", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+}

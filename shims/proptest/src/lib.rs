@@ -1,0 +1,260 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset this workspace's property tests use: the
+//! [`proptest!`] block macro with an optional
+//! `#![proptest_config(ProptestConfig::with_cases(N))]` header,
+//! test functions whose arguments are drawn from integer
+//! `Range`/`RangeInclusive` strategies, and the
+//! [`prop_assert!`]/[`prop_assert_eq!`] assertion macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * cases are drawn from a deterministic per-test RNG (seeded from the
+//!   test name), so every run explores the same inputs — there is no
+//!   persistence file and no `PROPTEST_*` env handling;
+//! * there is no shrinking: a failing case reports the exact inputs in
+//!   the panic message instead, which for the pure-integer strategies
+//!   used here is just as actionable.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+/// Runner configuration; only the case count is meaningful.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test function runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed property within a [`proptest!`] body.
+#[derive(Debug)]
+pub struct TestCaseError {
+    msg: String,
+}
+
+impl TestCaseError {
+    /// Wraps a failure message.
+    pub fn new(msg: String) -> Self {
+        TestCaseError { msg }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+/// A source of values for a [`proptest!`] argument.
+pub trait Strategy {
+    /// The value type produced.
+    type Value: fmt::Debug;
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_strategy_for_int_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_int_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Deterministic seed for a test's case stream: FNV-1a over the test
+/// name. All cases of one test share one RNG so inputs are independent
+/// draws, yet every `cargo test` run sees the identical sequence.
+pub fn rng_for_test(name: &str) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+}
+
+/// Declares property tests. See the crate docs for the supported shape.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(config = ($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(config = ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Internal: expands each `#[test] fn name(arg in strategy, ...)` into a
+/// plain test that loops over sampled cases.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($cfg:expr);) => {};
+    (config = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::rng_for_test(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::Strategy::sample(&$strat, &mut __rng);)*
+                let __result: ::core::result::Result<(), $crate::TestCaseError> =
+                    (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                if let ::core::result::Result::Err(__e) = __result {
+                    panic!(
+                        "proptest {} failed at case {}/{}: {}\n  inputs:{}",
+                        stringify!($name),
+                        __case + 1,
+                        __config.cases,
+                        __e,
+                        format!(
+                            concat!("", $(" ", stringify!($arg), " = {:?}"),*),
+                            $($arg),*
+                        ),
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl!(config = ($cfg); $($rest)*);
+    };
+}
+
+/// Fails the current case when `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::new(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::new(format!(
+                "assertion failed: {} ({})",
+                stringify!($cond),
+                format!($($fmt)+),
+            )));
+        }
+    };
+}
+
+/// Fails the current case when the operands differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__left, __right) = (&$a, &$b);
+        if !(*__left == *__right) {
+            return ::core::result::Result::Err($crate::TestCaseError::new(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($a), stringify!($b), __left, __right,
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__left, __right) = (&$a, &$b);
+        if !(*__left == *__right) {
+            return ::core::result::Result::Err($crate::TestCaseError::new(format!(
+                "assertion failed: {} == {} ({})\n  left: {:?}\n right: {:?}",
+                stringify!($a), stringify!($b), format!($($fmt)+), __left, __right,
+            )));
+        }
+    }};
+}
+
+/// Fails the current case when the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__left, __right) = (&$a, &$b);
+        if *__left == *__right {
+            return ::core::result::Result::Err($crate::TestCaseError::new(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($a),
+                stringify!($b),
+                __left,
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(
+            a in 0u64..100,
+            b in -5i32..=5,
+            c in 1usize..2,
+        ) {
+            prop_assert!(a < 100);
+            prop_assert!((-5..=5).contains(&b), "b = {}", b);
+            prop_assert_eq!(c, 1);
+            prop_assert_ne!(a as i64, 1_000);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_compiles(x in 0u8..255) {
+            prop_assert!(x < 255);
+        }
+    }
+
+    #[test]
+    fn rng_is_per_test_deterministic() {
+        use rand::RngCore;
+        let a = crate::rng_for_test("alpha").next_u64();
+        let b = crate::rng_for_test("alpha").next_u64();
+        let c = crate::rng_for_test("beta").next_u64();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,221 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Implements the exact surface this workspace uses — `rngs::StdRng`,
+//! [`SeedableRng::seed_from_u64`], [`Rng::gen_range`] over integer
+//! `Range`/`RangeInclusive`, and [`Rng::gen_bool`] — on top of
+//! xoshiro256++ seeded through splitmix64. The generator is fully
+//! deterministic for a given seed, which is what the workload
+//! generators and property tests rely on; it does not match upstream
+//! `StdRng`'s stream (upstream is ChaCha-based), only its API.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level uniform bit source, mirroring `rand_core::RngCore`.
+pub trait RngCore {
+    /// Returns the next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample(self, rng: &mut (impl RngCore + ?Sized)) -> T;
+}
+
+/// High-level convenience methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples uniformly from `range` (half-open or inclusive integer
+    /// ranges).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics when `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p={p} out of range");
+        // 53 uniform mantissa bits -> uniform float in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic xoshiro256++ generator standing in for `rand`'s
+/// `StdRng`.
+#[derive(Debug, Clone)]
+pub struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+impl SeedableRng for Xoshiro256PlusPlus {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Xoshiro256PlusPlus { s }
+    }
+}
+
+impl RngCore for Xoshiro256PlusPlus {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Named RNGs, mirroring `rand::rngs`.
+pub mod rngs {
+    /// The workspace's standard deterministic generator.
+    pub type StdRng = super::Xoshiro256PlusPlus;
+}
+
+/// Integer types uniformly sampleable by [`Rng::gen_range`].
+/// Widening through i128 handles every primitive width (including
+/// u64/i64 full-range spans) with one rejection-sampling core.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Lossless widening.
+    fn to_i128(self) -> i128;
+    /// Narrowing back; the value is always in the source range.
+    fn from_i128(v: i128) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn to_i128(self) -> i128 { self as i128 }
+            fn from_i128(v: i128) -> $t { v as $t }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// Generic over T (like upstream rand) so that `gen_range(0..4)` infers
+// the literal's type from how the result is used.
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample(self, rng: &mut (impl RngCore + ?Sized)) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::from_i128(sample_span(
+            rng,
+            self.start.to_i128(),
+            self.end.to_i128() - 1,
+        ))
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample(self, rng: &mut (impl RngCore + ?Sized)) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range: empty range");
+        T::from_i128(sample_span(rng, lo.to_i128(), hi.to_i128()))
+    }
+}
+
+/// Uniform draw from the inclusive span `[lo, hi]` via rejection
+/// sampling on 64-bit words (the span never exceeds 2^64 values for
+/// primitive integer ranges).
+fn sample_span(rng: &mut (impl RngCore + ?Sized), lo: i128, hi: i128) -> i128 {
+    let span = (hi - lo + 1) as u128;
+    debug_assert!(span <= 1 << 64);
+    if span == 0 || span == 1 << 64 {
+        // Full 64-bit span: every word is a valid sample.
+        return lo + rng.next_u64() as i128;
+    }
+    let span = span as u64;
+    // Largest multiple of `span` that fits in a u64; rejecting words
+    // above it removes modulo bias.
+    let zone = u64::MAX - (u64::MAX % span + 1) % span;
+    loop {
+        let word = rng.next_u64();
+        if word <= zone {
+            return lo + (word % span) as i128;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(-5i32..=5);
+            assert!((-5..=5).contains(&w));
+            let x = rng.gen_range(0usize..1);
+            assert_eq!(x, 0);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_span() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 8 buckets should be hit");
+    }
+
+    #[test]
+    fn gen_bool_edges_and_rate() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert!(!rng.gen_bool(0.0));
+            assert!(rng.gen_bool(1.0));
+        }
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "p=0.25 gave {hits}/10000");
+    }
+}

@@ -1,0 +1,22 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no crates.io access, so this shim replaces
+//! the real `serde` with the minimal surface the workspace actually
+//! uses: the `Serialize`/`Deserialize` *names* — as marker traits and as
+//! derive macros. All real serialization in the workspace goes through
+//! the `serde_json` shim's explicit [`Value`]-construction API; nothing
+//! dispatches through these traits, so they carry no methods.
+//!
+//! If a future change needs reflective serialization, either extend the
+//! `serde_json` shim with explicit conversions (preferred, keeps the
+//! dependency surface auditable) or vendor the real serde.
+//!
+//! [`Value`]: https://docs.rs/serde_json/latest/serde_json/enum.Value.html
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize {}

@@ -1,0 +1,63 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! This workspace builds in a hermetic environment with no crates.io
+//! access, so the real `serde` stack is replaced by local shims (see
+//! `shims/README.md`). Nothing in the workspace performs reflective
+//! serialization through serde — all JSON is produced and consumed
+//! explicitly through the `serde_json` shim's `Value` type — so the
+//! derive macros only need to satisfy the `#[derive(Serialize,
+//! Deserialize)]` attributes that remain on public types. Each derive
+//! expands to an empty marker-trait impl.
+//!
+//! The parser is deliberately tiny: it scans the item's top-level tokens
+//! for the `struct`/`enum` keyword and takes the following identifier as
+//! the type name. Generic derived types are not supported (none exist in
+//! this workspace) and cause a compile-time panic rather than silently
+//! producing a wrong impl.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name (and rejects generics) from a derive input.
+fn type_name(input: TokenStream) -> String {
+    let mut iter = input.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                let name = match iter.next() {
+                    Some(TokenTree::Ident(name)) => name.to_string(),
+                    other => panic!("serde shim derive: expected type name, found {other:?}"),
+                };
+                if let Some(TokenTree::Punct(p)) = iter.peek() {
+                    if p.as_char() == '<' {
+                        panic!(
+                            "serde shim derive: generic type `{name}` is not supported; \
+                             write the impl by hand"
+                        );
+                    }
+                }
+                return name;
+            }
+        }
+    }
+    panic!("serde shim derive: no struct/enum found in input");
+}
+
+fn marker_impl(input: TokenStream, trait_name: &str) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::{trait_name} for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Derives the shim's empty `Serialize` marker trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Serialize")
+}
+
+/// Derives the shim's empty `Deserialize` marker trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Deserialize")
+}

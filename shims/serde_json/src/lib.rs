@@ -1,0 +1,896 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Unlike the `serde` shim (which is a pure marker), this crate is a
+//! small but *real* JSON implementation: an insertion-ordered
+//! [`Value`]/[`Map`] model, a [`json!`] macro, a serializer
+//! ([`to_string`], [`to_string_pretty`], [`to_writer`]) and a strict
+//! recursive-descent parser ([`from_str`], [`from_reader`]). The
+//! experiment harness writes every figure through it and the golden
+//! regression tests parse the checked-in snapshots back, so printing
+//! and parsing must round-trip exactly:
+//!
+//! * integers stay integers ([`Number`] keeps i64/u64/f64 apart, and
+//!   floats always print with a `.` or exponent so they re-parse as
+//!   floats);
+//! * object key order is insertion order, preserved through parse.
+//!
+//! Non-finite floats are rejected at serialization time, matching
+//! serde_json.
+
+use std::fmt;
+use std::io;
+
+/// Error type for serialization and parsing failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Wraps a message; also usable by callers decoding a [`Value`]
+    /// into their own structures (the moral equivalent of
+    /// `serde::de::Error::custom`).
+    pub fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A JSON number: integer representations are kept exact.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// Negative integers (and any value built from a signed negative).
+    I64(i64),
+    /// Non-negative integers.
+    U64(u64),
+    /// Floating-point values (always finite once serialized).
+    F64(f64),
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        use Number::*;
+        match (*self, *other) {
+            (I64(a), I64(b)) => a == b,
+            (U64(a), U64(b)) => a == b,
+            (F64(a), F64(b)) => a == b,
+            (I64(a), U64(b)) | (U64(b), I64(a)) => a >= 0 && a as u64 == b,
+            // Integer and float representations are distinct on purpose:
+            // printing keeps them apart, so equality does too.
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Number::I64(v) => write!(f, "{v}"),
+            Number::U64(v) => write!(f, "{v}"),
+            Number::F64(v) => {
+                let s = format!("{v}");
+                if s.contains('.') || s.contains('e') || s.contains('E') {
+                    f.write_str(&s)
+                } else {
+                    // Keep the float-ness visible so parsing round-trips.
+                    write!(f, "{s}.0")
+                }
+            }
+        }
+    }
+}
+
+/// An insertion-ordered string → [`Value`] map (JSON object).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// Creates an empty object.
+    pub fn new() -> Self {
+        Map::default()
+    }
+
+    /// Inserts a key, replacing (in place) any existing entry.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Looks a key up.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Whether a key is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the object has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Keys in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = &String> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+}
+
+impl FromIterator<(String, Value)> for Map {
+    fn from_iter<T: IntoIterator<Item = (String, Value)>>(iter: T) -> Self {
+        let mut m = Map::new();
+        for (k, v) in iter {
+            m.insert(k, v);
+        }
+        m
+    }
+}
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number (see [`Number`]).
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object with insertion-ordered keys.
+    Object(Map),
+}
+
+impl Value {
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a u64, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::U64(v)) => Some(*v),
+            Value::Number(Number::I64(v)) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as an i64, if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::I64(v)) => Some(*v),
+            Value::Number(Number::U64(v)) if *v <= i64::MAX as u64 => Some(*v as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as an f64 (integers convert).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::F64(v)) => Some(*v),
+            Value::Number(Number::I64(v)) => Some(*v as f64),
+            Value::Number(Number::U64(v)) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The value as an object, if it is one.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Indexes into objects by key; returns [`Value::Null`] when absent
+    /// or when `self` is not an object.
+    pub fn get(&self, key: &str) -> &Value {
+        const NULL: Value = Value::Null;
+        match self {
+            Value::Object(m) => m.get(key).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+// ---- conversions ----------------------------------------------------------
+
+macro_rules! from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value { Value::Number(Number::U64(v as u64)) }
+        }
+        impl From<&$t> for Value {
+            fn from(v: &$t) -> Value { Value::from(*v) }
+        }
+    )*};
+}
+
+macro_rules! from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                if v >= 0 {
+                    Value::Number(Number::U64(v as u64))
+                } else {
+                    Value::Number(Number::I64(v as i64))
+                }
+            }
+        }
+        impl From<&$t> for Value {
+            fn from(v: &$t) -> Value { Value::from(*v) }
+        }
+    )*};
+}
+
+from_unsigned!(u8, u16, u32, u64, usize);
+from_signed!(i8, i16, i32, i64, isize);
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Number(Number::F64(v))
+    }
+}
+
+impl From<&f64> for Value {
+    fn from(v: &f64) -> Value {
+        Value::from(*v)
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::Number(Number::F64(v as f64))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&bool> for Value {
+    fn from(v: &bool) -> Value {
+        Value::Bool(*v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<&&str> for Value {
+    fn from(v: &&str) -> Value {
+        Value::String((*v).to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl From<&String> for Value {
+    fn from(v: &String) -> Value {
+        Value::String(v.clone())
+    }
+}
+
+impl From<Map> for Value {
+    fn from(m: Map) -> Value {
+        Value::Object(m)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Clone + Into<Value>> From<&Vec<T>> for Value {
+    fn from(v: &Vec<T>) -> Value {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl<T: Clone + Into<Value>> From<&[T]> for Value {
+    fn from(v: &[T]) -> Value {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value>, const N: usize> From<[T; N]> for Value {
+    fn from(v: [T; N]) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Clone + Into<Value>, const N: usize> From<&[T; N]> for Value {
+    fn from(v: &[T; N]) -> Value {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Value {
+        match v {
+            Some(x) => x.into(),
+            None => Value::Null,
+        }
+    }
+}
+
+// ---- serialization --------------------------------------------------------
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(out: &mut String, v: &Value, pretty: bool, depth: usize) -> Result<(), Error> {
+    let indent = |out: &mut String, d: usize| {
+        if pretty {
+            out.push('\n');
+            for _ in 0..d {
+                out.push_str("  ");
+            }
+        }
+    };
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => {
+            if let Number::F64(f) = n {
+                if !f.is_finite() {
+                    return Err(Error::new("non-finite float cannot be serialized"));
+                }
+            }
+            out.push_str(&n.to_string());
+        }
+        Value::String(s) => escape_into(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+            } else {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    indent(out, depth + 1);
+                    write_value(out, item, pretty, depth + 1)?;
+                }
+                indent(out, depth);
+                out.push(']');
+            }
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+            } else {
+                out.push('{');
+                for (i, (k, val)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    indent(out, depth + 1);
+                    escape_into(out, k);
+                    out.push(':');
+                    if pretty {
+                        out.push(' ');
+                    }
+                    write_value(out, val, pretty, depth + 1)?;
+                }
+                indent(out, depth);
+                out.push('}');
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Serializes compactly.
+///
+/// # Errors
+/// Fails on non-finite floats.
+pub fn to_string(v: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, v, false, 0)?;
+    Ok(out)
+}
+
+/// Serializes with two-space indentation.
+///
+/// # Errors
+/// Fails on non-finite floats.
+pub fn to_string_pretty(v: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, v, true, 0)?;
+    Ok(out)
+}
+
+/// Serializes compactly into a writer.
+///
+/// # Errors
+/// Fails on non-finite floats or writer errors.
+pub fn to_writer<W: io::Write>(mut w: W, v: &Value) -> Result<(), Error> {
+    let s = to_string(v)?;
+    w.write_all(s.as_bytes())
+        .map_err(|e| Error::new(format!("write failed: {e}")))
+}
+
+// ---- parsing --------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> Error {
+        Error::new(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8, what: &str) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(what))
+        }
+    }
+
+    fn eat_lit(&mut self, lit: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.eat_lit("null", Value::Null),
+            Some(b't') => self.eat_lit("true", Value::Bool(true)),
+            Some(b'f') => self.eat_lit("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-') | Some(b'0'..=b'9') => self.parse_number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.eat(b'"', "expected '\"'")?;
+        let mut out = String::new();
+        loop {
+            let b = self.peek().ok_or_else(|| self.err("unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let e = self.peek().ok_or_else(|| self.err("bad escape"))?;
+                    self.pos += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.err("short \\u escape"))?;
+                            let s =
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?;
+                            let cp = u32::from_str_radix(s, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not produced by this
+                            // crate's serializer; reject them.
+                            let c =
+                                char::from_u32(cp).ok_or_else(|| self.err("invalid codepoint"))?;
+                            out.push(c);
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Re-decode UTF-8 starting at the byte we consumed.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    let end = start + len;
+                    let s = self
+                        .bytes
+                        .get(start..end)
+                        .and_then(|sl| std::str::from_utf8(sl).ok())
+                        .ok_or_else(|| self.err("invalid utf-8"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("bad number"))?;
+        if is_float {
+            let f: f64 = text.parse().map_err(|_| self.err("bad float"))?;
+            Ok(Value::Number(Number::F64(f)))
+        } else if let Some(stripped) = text.strip_prefix('-') {
+            let _ = stripped;
+            let i: i64 = text.parse().map_err(|_| self.err("integer overflow"))?;
+            Ok(Value::Number(Number::I64(i)))
+        } else {
+            let u: u64 = text.parse().map_err(|_| self.err("integer overflow"))?;
+            Ok(Value::Number(Number::U64(u)))
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.eat(b'[', "expected '['")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.eat(b'{', "expected '{'")?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.eat(b':', "expected ':'")?;
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+/// Parses a JSON document.
+///
+/// # Errors
+/// Fails on malformed JSON or trailing garbage.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser::new(s);
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(v)
+}
+
+/// Reads a full JSON document from a reader.
+///
+/// # Errors
+/// Fails on I/O errors or malformed JSON.
+pub fn from_reader<R: io::Read>(mut r: R) -> Result<Value, Error> {
+    let mut s = String::new();
+    r.read_to_string(&mut s)
+        .map_err(|e| Error::new(format!("read failed: {e}")))?;
+    from_str(&s)
+}
+
+// ---- json! macro ----------------------------------------------------------
+
+/// Builds a [`Value`] from JSON-ish syntax: object literals with string
+/// keys, array literals, `null`, and arbitrary Rust expressions
+/// convertible via `Into<Value>`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => {{
+        #[allow(clippy::vec_init_then_push)]
+        let items = {
+            let mut items: Vec<$crate::Value> = Vec::new();
+            $crate::json_array_internal!(items, $($tt)*);
+            items
+        };
+        $crate::Value::Array(items)
+    }};
+    ({ $($tt:tt)* }) => {{
+        let mut map = $crate::Map::new();
+        $crate::json_object_internal!(map, $($tt)*);
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+/// Internal: munches `key: value` pairs of [`json!`] object bodies.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_internal {
+    ($map:ident $(,)?) => {};
+    ($map:ident, $key:literal : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $map.insert($key.to_string(), $crate::json!({ $($inner)* }));
+        $crate::json_object_internal!($map $(, $($rest)*)?);
+    };
+    ($map:ident, $key:literal : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $map.insert($key.to_string(), $crate::json!([ $($inner)* ]));
+        $crate::json_object_internal!($map $(, $($rest)*)?);
+    };
+    ($map:ident, $key:literal : null $(, $($rest:tt)*)?) => {
+        $map.insert($key.to_string(), $crate::Value::Null);
+        $crate::json_object_internal!($map $(, $($rest)*)?);
+    };
+    ($map:ident, $key:literal : $value:expr $(, $($rest:tt)*)?) => {
+        $map.insert($key.to_string(), $crate::Value::from($value));
+        $crate::json_object_internal!($map $(, $($rest)*)?);
+    };
+}
+
+/// Internal: munches elements of [`json!`] array bodies.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array_internal {
+    ($items:ident $(,)?) => {};
+    ($items:ident, $($tt:tt)*) => { $crate::json_array_internal!($items $($tt)*); };
+    ($items:ident { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $items.push($crate::json!({ $($inner)* }));
+        $crate::json_array_internal!($items $(, $($rest)*)?);
+    };
+    ($items:ident [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $items.push($crate::json!([ $($inner)* ]));
+        $crate::json_array_internal!($items $(, $($rest)*)?);
+    };
+    ($items:ident null $(, $($rest:tt)*)?) => {
+        $items.push($crate::Value::Null);
+        $crate::json_array_internal!($items $(, $($rest)*)?);
+    };
+    ($items:ident $value:expr $(, $($rest:tt)*)?) => {
+        $items.push($crate::Value::from($value));
+        $crate::json_array_internal!($items $(, $($rest)*)?);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_prints() {
+        let v = json!({
+            "a": 1u64,
+            "b": [1u64, 2u64],
+            "c": {"nested": true},
+            "s": "hi",
+            "f": 1.0,
+        });
+        assert_eq!(
+            to_string(&v).unwrap(),
+            r#"{"a":1,"b":[1,2],"c":{"nested":true},"s":"hi","f":1.0}"#
+        );
+    }
+
+    #[test]
+    fn pretty_round_trips() {
+        let v = json!({
+            "grid": [{"size_kb": 32u64, "misses": 797u64}],
+            "ratio": 35.5,
+            "neg": -3i64,
+            "label": "64KB/128B/2-way",
+            "none": null,
+        });
+        let s = to_string_pretty(&v).unwrap();
+        let back = from_str(&s).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn floats_stay_floats() {
+        let v = json!(100.0);
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, "100.0");
+        assert_eq!(from_str(&s).unwrap(), v);
+        // And integers stay integers.
+        assert_eq!(from_str("100").unwrap(), json!(100u64));
+        assert_ne!(from_str("100").unwrap(), v);
+    }
+
+    #[test]
+    fn integer_cross_sign_equality() {
+        assert_eq!(from_str("5").unwrap(), Value::from(5i64));
+        assert_eq!(from_str("-5").unwrap(), Value::from(-5i64));
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let v = Value::from("a\"b\\c\nd\te\u{1}f");
+        let s = to_string(&v).unwrap();
+        assert_eq!(from_str(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn map_preserves_insertion_order() {
+        let mut m = Map::new();
+        m.insert("z".into(), json!(1u64));
+        m.insert("a".into(), json!(2u64));
+        let keys: Vec<_> = m.keys().cloned().collect();
+        assert_eq!(keys, vec!["z", "a"]);
+        let s = to_string(&Value::Object(m)).unwrap();
+        assert_eq!(s, r#"{"z":1,"a":2}"#);
+        let Value::Object(back) = from_str(&s).unwrap() else {
+            panic!("not an object");
+        };
+        let keys: Vec<_> = back.keys().cloned().collect();
+        assert_eq!(keys, vec!["z", "a"]);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str("{").is_err());
+        assert!(from_str("[1,]").is_err());
+        assert!(from_str("1 2").is_err());
+        assert!(to_string(&json!(f64::NAN)).is_err());
+    }
+
+    #[test]
+    fn nested_arrays_from_fixed_arrays() {
+        let displaced: [[u64; 3]; 2] = [[1, 2, 3], [4, 5, 6]];
+        let v = json!({ "displaced": displaced });
+        assert_eq!(to_string(&v).unwrap(), r#"{"displaced":[[1,2,3],[4,5,6]]}"#);
+    }
+}

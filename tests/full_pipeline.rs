@@ -17,7 +17,10 @@ fn misses_at(study: &codelayout::oltp::Study, set: OptimizationSet, kb: u64) -> 
     let mut sink = TeeSink(&mut sweep, &mut seq);
     let out = study.run_measured(&image, &study.base_kernel_image, &mut sink);
     out.assert_correct();
-    (sweep.results()[0].stats.misses, seq.finish().average_length())
+    (
+        sweep.results()[0].stats.misses,
+        seq.finish().average_length(),
+    )
 }
 
 #[test]
