@@ -1,0 +1,75 @@
+//! `layout_lint` — static layout-quality gate.
+//!
+//! Builds the selected scenario's study, lays out both its programs under
+//! every `OptimizationSet::paper_series()` configuration, proves each
+//! linked image semantically equivalent to its source program (translation
+//! validation), and runs the layout lints. Exits nonzero when any
+//! deny-level finding is present, so CI can gate on it.
+//!
+//! ```text
+//! layout_lint [--scenario quick|sim|hw]... [--format text|json]
+//! ```
+//!
+//! With no `--scenario` the `quick` scenario is used. `--format json`
+//! prints one stable JSON document (the same shape the golden test
+//! snapshots) instead of the human-readable report.
+
+use codelayout_bench::lint::{cells_to_json, has_deny, lint_study, render_cells_text};
+use codelayout_oltp::{build_study, Scenario};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!("usage: layout_lint [--scenario quick|sim|hw]... [--format text|json]");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut scenarios: Vec<(String, Scenario)> = Vec::new();
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scenario" => {
+                let name = args.next().unwrap_or_else(|| usage());
+                let sc = match name.as_str() {
+                    "quick" => Scenario::quick(),
+                    "sim" => Scenario::paper_sim(),
+                    "hw" => Scenario::paper_hw(),
+                    _ => usage(),
+                };
+                scenarios.push((name, sc));
+            }
+            "--format" => match args.next().as_deref() {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                _ => usage(),
+            },
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    if scenarios.is_empty() {
+        scenarios.push(("quick".into(), Scenario::quick()));
+    }
+
+    let mut denied = false;
+    for (name, sc) in &scenarios {
+        let study = build_study(sc);
+        let cells = lint_study(&study);
+        if json {
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&cells_to_json(name, &cells)).expect("render json")
+            );
+        } else {
+            print!("{}", render_cells_text(name, &cells));
+        }
+        denied |= has_deny(&cells);
+    }
+    if denied {
+        eprintln!("layout_lint: deny-level findings present");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod lint;
 
 use codelayout_core::OptimizationSet;
 use codelayout_ir::Image;

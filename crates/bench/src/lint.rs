@@ -1,0 +1,138 @@
+//! Shared driver for the `layout_lint` binary and the golden lint test.
+//!
+//! Both consumers need the identical matrix — every
+//! [`OptimizationSet::paper_series`] layout of the scenario's application
+//! *and* kernel program, validated and linted — so the matrix runner and
+//! its JSON rendering live here rather than in the binary.
+
+use codelayout_analysis::{
+    analyze_layout, validate_translation, LintConfig, LintReport, Severity, TranslationReport,
+};
+use codelayout_core::{LayoutPipeline, OptimizationSet};
+use codelayout_ir::link::link;
+use codelayout_oltp::Study;
+use codelayout_vm::{APP_TEXT_BASE, KERNEL_TEXT_BASE};
+use serde_json::{json, Value};
+
+/// Lint outcome for one (layout, program) cell of the matrix.
+#[derive(Debug)]
+pub struct LintCell {
+    /// Paper-series layout label (`base` … `all`).
+    pub layout: &'static str,
+    /// Which program was laid out: `app` or `kernel`.
+    pub target: &'static str,
+    /// Translation-validation statistics; `None` when validation failed,
+    /// in which case `report` carries the `L000` deny describing why.
+    pub translation: Option<TranslationReport>,
+    /// Layout-quality diagnostics.
+    pub report: LintReport,
+}
+
+/// Runs the full paper-series × {app, kernel} lint matrix on a prepared
+/// study.
+pub fn lint_study(study: &Study) -> Vec<LintCell> {
+    let targets: [(
+        &'static str,
+        &codelayout_ir::Program,
+        &codelayout_profile::Profile,
+        u64,
+    ); 2] = [
+        ("app", &study.app.program, &study.profile, APP_TEXT_BASE),
+        (
+            "kernel",
+            &study.kernel.program,
+            &study.kernel_profile,
+            KERNEL_TEXT_BASE,
+        ),
+    ];
+    let mut cells = Vec::new();
+    for (name, set) in OptimizationSet::paper_series() {
+        for &(target, program, profile, base) in &targets {
+            let layout = LayoutPipeline::new(program, profile).build(set);
+            let image = link(program, &layout, base).expect("pipeline layouts link");
+            let translation = validate_translation(program, &layout, &image).ok();
+            let report = analyze_layout(program, profile, &layout, &image, &LintConfig::new(set));
+            cells.push(LintCell {
+                layout: name,
+                target,
+                translation,
+                report,
+            });
+        }
+    }
+    cells
+}
+
+/// Total findings at `sev` across the matrix.
+pub fn count(cells: &[LintCell], sev: Severity) -> usize {
+    cells.iter().map(|c| c.report.count(sev)).sum()
+}
+
+/// Whether any cell carries a deny-level finding.
+pub fn has_deny(cells: &[LintCell]) -> bool {
+    cells.iter().any(|c| c.report.has_deny())
+}
+
+/// Renders the matrix as the stable JSON document consumed by CI and the
+/// golden test.
+pub fn cells_to_json(scenario: &str, cells: &[LintCell]) -> Value {
+    let rendered: Vec<Value> = cells
+        .iter()
+        .map(|c| {
+            let translation = match &c.translation {
+                Some(t) => json!({
+                    "blocks": t.blocks,
+                    "body_instrs": t.body_instrs,
+                    "edges": t.edges,
+                    "calls": t.calls,
+                    "fallthroughs": t.fallthroughs,
+                    "inverted_branches": t.inverted_branches,
+                    "split_branches": t.split_branches,
+                    "reachable_blocks": t.reachable_blocks,
+                }),
+                None => Value::Null,
+            };
+            json!({
+                "layout": c.layout,
+                "target": c.target,
+                "translation": translation,
+                "lints": c.report.to_json(),
+            })
+        })
+        .collect();
+    json!({
+        "tool": "layout_lint",
+        "scenario": scenario,
+        "cells": rendered,
+        "summary": {
+            "deny": count(cells, Severity::Deny),
+            "warn": count(cells, Severity::Warn),
+            "info": count(cells, Severity::Info),
+        },
+    })
+}
+
+/// Renders the matrix as a human-readable report.
+pub fn render_cells_text(scenario: &str, cells: &[LintCell]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("layout_lint: scenario `{scenario}`\n"));
+    for c in cells {
+        out.push_str(&format!("\n== {} / {} ==\n", c.layout, c.target));
+        match &c.translation {
+            Some(t) => out.push_str(&format!(
+                "translation ok: {} blocks, {} edges, {} calls, \
+                 {} fallthroughs, {} inverted, {} split\n",
+                t.blocks, t.edges, t.calls, t.fallthroughs, t.inverted_branches, t.split_branches,
+            )),
+            None => out.push_str("translation FAILED (see L000 below)\n"),
+        }
+        out.push_str(&c.report.render_text());
+    }
+    out.push_str(&format!(
+        "\ntotal: {} deny, {} warn, {} info\n",
+        count(cells, Severity::Deny),
+        count(cells, Severity::Warn),
+        count(cells, Severity::Info),
+    ));
+    out
+}

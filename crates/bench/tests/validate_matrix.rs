@@ -1,0 +1,33 @@
+//! Translation validation must accept every `paper_series` layout of
+//! every bundled scenario's application *and* kernel program — the
+//! acceptance gate for the whole layout pipeline.
+
+use codelayout_bench::lint::lint_study;
+use codelayout_oltp::{build_study, Scenario};
+
+#[test]
+fn every_paper_layout_on_every_bundled_scenario_validates() {
+    let scenarios = [
+        ("quick", Scenario::quick()),
+        ("sim", Scenario::paper_sim()),
+        ("hw", Scenario::paper_hw()),
+    ];
+    for (name, sc) in scenarios {
+        let study = build_study(&sc);
+        for cell in lint_study(&study) {
+            assert!(
+                cell.translation.is_some(),
+                "{name}: `{}` {} image failed translation validation",
+                cell.layout,
+                cell.target
+            );
+            assert!(
+                !cell.report.has_deny(),
+                "{name}: `{}` {} has deny-level findings:\n{}",
+                cell.layout,
+                cell.target,
+                cell.report.render_text()
+            );
+        }
+    }
+}

@@ -138,7 +138,26 @@ impl<'a> LayoutPipeline<'a> {
     }
 
     /// Builds the final layout for an optimization set.
+    ///
+    /// Every constructed layout is checked with
+    /// [`codelayout_ir::verify_layout`]; under `debug_assertions` the
+    /// pipeline's positional conventions are additionally checked with
+    /// [`codelayout_ir::verify_layout_placement`].
+    ///
+    /// # Panics
+    /// Panics if the constructed layout fails verification — that is always
+    /// a bug in the optimization stages, never a property of the input.
     pub fn build(&self, set: OptimizationSet) -> Layout {
+        let layout = self.build_unchecked(set);
+        codelayout_ir::verify_layout(self.program, &layout)
+            .unwrap_or_else(|e| panic!("pipeline produced an invalid `{set}` layout: {e}"));
+        #[cfg(debug_assertions)]
+        codelayout_ir::verify_layout_placement(self.program, &layout, set.split)
+            .unwrap_or_else(|e| panic!("pipeline violated `{set}` placement conventions: {e}"));
+        layout
+    }
+
+    fn build_unchecked(&self, set: OptimizationSet) -> Layout {
         let order: Vec<BlockId> = if set.split {
             let segs = self.segments(set.chain);
             let seg_order: Vec<usize> = if set.porder {

@@ -68,4 +68,4 @@ pub use ids::{BlockId, LocalBlock, ProcId, Reg, NUM_REGS};
 pub use image::{Image, LInstr, INSTR_BYTES};
 pub use instr::{BinOp, Cond, Instr, MemSpace, Operand};
 pub use program::{BasicBlock, Layout, Procedure, Program, ProgramStats, Terminator};
-pub use verify::verify_layout;
+pub use verify::{verify_layout, verify_layout_placement};

@@ -170,6 +170,42 @@ pub fn link_with_stats(
     debug_assert_eq!(code.len(), total);
     stats.instrs = total;
 
+    // Debug-build self-check: every lowered control transfer must land
+    // exactly on a block start (the deeper semantic proof lives in
+    // `codelayout-analysis`, which cannot be used here without a cycle).
+    #[cfg(debug_assertions)]
+    {
+        let is_start = {
+            let mut s = vec![false; total + 1];
+            for &st in &block_start {
+                s[st as usize] = true;
+            }
+            s
+        };
+        for (i, ins) in code.iter().enumerate() {
+            let targets: &[u32] = match ins {
+                LInstr::Br { target } | LInstr::BrCond { target, .. } => {
+                    core::slice::from_ref(target)
+                }
+                LInstr::Call { target, .. } => core::slice::from_ref(target),
+                LInstr::JmpTbl { table, default, .. } => {
+                    debug_assert!(
+                        is_start[*default as usize],
+                        "jump-table default at instr {i} targets mid-block {default}"
+                    );
+                    table
+                }
+                _ => &[],
+            };
+            for &t in targets {
+                debug_assert!(
+                    is_start[t as usize],
+                    "transfer at instr {i} targets mid-block {t}"
+                );
+            }
+        }
+    }
+
     let owner = program.owner_of_blocks();
     let entry = proc_entry[program.entry.index()];
     Ok((

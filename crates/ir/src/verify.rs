@@ -45,7 +45,7 @@ pub fn verify_program(program: &Program) -> Result<(), IrError> {
         return Err(IrError::BlockOwnership(BlockId(i as u32)));
     }
 
-    for (bi, b) in program.blocks.iter().enumerate() {
+    for b in &program.blocks {
         for t in b.term.successors() {
             if t.index() >= nblocks {
                 return Err(IrError::UnknownBlock(t));
@@ -59,15 +59,21 @@ pub fn verify_program(program: &Program) -> Result<(), IrError> {
                 }
             }
         }
-        let _ = bi;
     }
     Ok(())
 }
 
-/// Validates that a layout is a permutation of all program blocks.
+/// Validates that a layout is a permutation of all program blocks, each of
+/// which is owned by a procedure.
+///
+/// Any permutation is *semantically* linkable — the linker materializes
+/// whatever branches the order requires — so this check is deliberately
+/// order-agnostic; positional conventions of the optimization pipeline are
+/// checked separately by [`verify_layout_placement`].
 ///
 /// # Errors
-/// Returns [`IrError::BadLayout`] on missing, duplicated or unknown blocks.
+/// Returns [`IrError::BadLayout`] on missing, duplicated, unknown or
+/// unowned blocks.
 pub fn verify_layout(program: &Program, layout: &Layout) -> Result<(), IrError> {
     let n = program.blocks.len();
     if layout.order.len() != n {
@@ -77,6 +83,7 @@ pub fn verify_layout(program: &Program, layout: &Layout) -> Result<(), IrError> 
             n
         )));
     }
+    let owner = program.owner_of_blocks();
     let mut seen = vec![false; n];
     for &b in &layout.order {
         let i = b.index();
@@ -86,7 +93,80 @@ pub fn verify_layout(program: &Program, layout: &Layout) -> Result<(), IrError> 
         if seen[i] {
             return Err(IrError::BadLayout(format!("duplicated block {b}")));
         }
+        if owner[i] == ProcId(u32::MAX) {
+            return Err(IrError::BadLayout(format!(
+                "block {b} is not owned by any procedure"
+            )));
+        }
         seen[i] = true;
+    }
+    Ok(())
+}
+
+/// Validates the placement conventions the layout pipeline guarantees, on
+/// top of [`verify_layout`]'s permutation check.
+///
+/// Without fine-grain splitting (`split == false`) every procedure is an
+/// indivisible placement unit: its blocks must form exactly one contiguous
+/// run in the layout, so no procedure interleaves another, and the run
+/// containing the entry block is necessarily the procedure's first (the
+/// entry block itself may sit mid-run: chaining legitimately places a hot
+/// predecessor in front of it).
+///
+/// With splitting (`split == true`) a procedure's segments may land
+/// anywhere, so contiguity is not required; instead, each run of
+/// consecutive same-procedure blocks must end at a legal segment boundary.
+/// The fine-grain splitter cuts only after unconditional transfers, leaving
+/// at most one trailing segment per procedure that ends in a conditional
+/// branch — so a procedure whose placed runs end in *two or more*
+/// conditional branches cannot have come from the splitter.
+///
+/// # Errors
+/// Returns [`IrError::BadLayout`] describing the violated convention.
+pub fn verify_layout_placement(
+    program: &Program,
+    layout: &Layout,
+    split: bool,
+) -> Result<(), IrError> {
+    verify_layout(program, layout)?;
+    let owner = program.owner_of_blocks();
+    let nprocs = program.procs.len();
+
+    // Maximal runs of same-procedure blocks, in layout order.
+    let mut runs_of: Vec<u32> = vec![0; nprocs];
+    let mut cond_tails: Vec<u32> = vec![0; nprocs];
+    let mut i = 0;
+    while i < layout.order.len() {
+        let p = owner[layout.order[i].index()];
+        let mut last = layout.order[i];
+        let mut j = i + 1;
+        while j < layout.order.len() && owner[layout.order[j].index()] == p {
+            last = layout.order[j];
+            j += 1;
+        }
+        runs_of[p.index()] += 1;
+        if !program.block(last).term.is_unconditional() {
+            cond_tails[p.index()] += 1;
+        }
+        i = j;
+    }
+
+    for (pi, proc) in program.procs.iter().enumerate() {
+        let pid = ProcId(pi as u32);
+        if !split && runs_of[pi] > 1 {
+            return Err(IrError::BadLayout(format!(
+                "procedure {pid} (`{}`) is split into {} runs although splitting is disabled",
+                proc.name, runs_of[pi]
+            )));
+        }
+        if split && cond_tails[pi] > 1 {
+            return Err(IrError::BadLayout(format!(
+                "procedure {pid} (`{}`) has {} placed runs ending in a conditional branch; \
+                 the fine-grain splitter cuts only at unconditional transfers, leaving at \
+                 most one",
+                proc.name, cond_tails[pi]
+            )));
+        }
     }
     Ok(())
 }
@@ -175,5 +255,89 @@ mod tests {
             }
         )
         .is_err());
+    }
+
+    #[test]
+    fn layout_with_unowned_block_fails() {
+        let mut p = prog_one_block(Terminator::Halt);
+        p.blocks.push(BasicBlock::new(vec![], Terminator::Halt));
+        // Block 1 exists but no procedure owns it.
+        let l = Layout {
+            order: vec![BlockId(0), BlockId(1)],
+        };
+        let err = verify_layout(&p, &l).unwrap_err();
+        assert!(matches!(err, IrError::BadLayout(ref m) if m.contains("not owned")));
+    }
+
+    /// Two procedures of two blocks each: p0 = {b0 -> b1}, p1 = {b2 -> b3}.
+    fn prog_two_procs() -> Program {
+        Program {
+            name: "v".into(),
+            blocks: vec![
+                BasicBlock::new(vec![], Terminator::Jump(BlockId(1))),
+                BasicBlock::new(vec![], Terminator::Halt),
+                BasicBlock::new(vec![], Terminator::Jump(BlockId(3))),
+                BasicBlock::new(vec![], Terminator::Return),
+            ],
+            procs: vec![
+                Procedure {
+                    name: "main".into(),
+                    blocks: vec![BlockId(0), BlockId(1)],
+                    entry: BlockId(0),
+                },
+                Procedure {
+                    name: "f".into(),
+                    blocks: vec![BlockId(2), BlockId(3)],
+                    entry: BlockId(2),
+                },
+            ],
+            entry: ProcId(0),
+        }
+    }
+
+    #[test]
+    fn placement_requires_contiguous_procs_without_splitting() {
+        let p = prog_two_procs();
+        assert!(verify_layout_placement(&p, &Layout::natural(&p), false).is_ok());
+        // Reordering whole procedures is fine.
+        let swapped = Layout {
+            order: vec![BlockId(2), BlockId(3), BlockId(0), BlockId(1)],
+        };
+        assert!(verify_layout_placement(&p, &swapped, false).is_ok());
+        // Interleaving the two procedures is not.
+        let interleaved = Layout {
+            order: vec![BlockId(0), BlockId(2), BlockId(1), BlockId(3)],
+        };
+        let err = verify_layout_placement(&p, &interleaved, false).unwrap_err();
+        assert!(matches!(err, IrError::BadLayout(ref m) if m.contains("split into 2 runs")));
+        // ...unless splitting is enabled (both stray runs end unconditionally).
+        assert!(verify_layout_placement(&p, &interleaved, true).is_ok());
+    }
+
+    #[test]
+    fn placement_rejects_multiple_conditional_run_tails_under_splitting() {
+        let mut p = prog_two_procs();
+        // Make both of p0's blocks end in conditional branches (legal CFG:
+        // both arms in-range), so any layout separating them leaves two
+        // runs of p0 ending conditionally.
+        let cond = |t: u32, e: u32| Terminator::Branch {
+            cond: crate::instr::Cond::Eq,
+            reg: Reg(0),
+            rhs: crate::instr::Operand::Imm(0),
+            then_: BlockId(t),
+            else_: BlockId(e),
+        };
+        p.blocks[0].term = cond(1, 1);
+        p.blocks[1].term = cond(0, 0);
+        let interleaved = Layout {
+            order: vec![BlockId(0), BlockId(2), BlockId(1), BlockId(3)],
+        };
+        let err = verify_layout_placement(&p, &interleaved, true).unwrap_err();
+        assert!(
+            matches!(err, IrError::BadLayout(ref m) if m.contains("conditional branch")),
+            "unexpected error: {err:?}"
+        );
+        // Contiguous placement keeps a single (trailing) conditional run.
+        assert!(verify_layout_placement(&p, &Layout::natural(&p), true).is_ok());
     }
 }

@@ -229,21 +229,29 @@ impl Study {
     }
 
     /// Links the application image for an optimization set.
+    ///
+    /// Debug builds additionally run translation validation on the linked
+    /// image, proving the layout preserved the program's control flow.
     pub fn image(&self, set: OptimizationSet) -> Arc<Image> {
-        Arc::new(
-            link(&self.app.program, &self.layout(set), APP_TEXT_BASE)
-                .expect("optimized layouts are valid permutations"),
-        )
+        let layout = self.layout(set);
+        let image = link(&self.app.program, &layout, APP_TEXT_BASE)
+            .expect("optimized layouts are valid permutations");
+        #[cfg(debug_assertions)]
+        codelayout_analysis::validate_translation(&self.app.program, &layout, &image)
+            .unwrap_or_else(|e| panic!("`{set}` app image failed translation validation: {e}"));
+        Arc::new(image)
     }
 
     /// Links a kernel image for an optimization set using the kernel
     /// profile (the paper's "optimize the operating system" experiment).
     pub fn kernel_image(&self, set: OptimizationSet) -> Arc<Image> {
         let layout = LayoutPipeline::new(&self.kernel.program, &self.kernel_profile).build(set);
-        Arc::new(
-            link(&self.kernel.program, &layout, KERNEL_TEXT_BASE)
-                .expect("optimized kernel layouts are valid"),
-        )
+        let image = link(&self.kernel.program, &layout, KERNEL_TEXT_BASE)
+            .expect("optimized kernel layouts are valid");
+        #[cfg(debug_assertions)]
+        codelayout_analysis::validate_translation(&self.kernel.program, &layout, &image)
+            .unwrap_or_else(|e| panic!("`{set}` kernel image failed translation validation: {e}"));
+        Arc::new(image)
     }
 
     /// Runs warm-up transactions (trace discarded), then streams the
