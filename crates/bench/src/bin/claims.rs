@@ -3,7 +3,5 @@
 //! gain).
 
 fn main() {
-    let mut h = codelayout_bench::Harness::from_env();
-    let v = codelayout_bench::figures::claims(&mut h);
-    h.save_json("claims", &v);
+    codelayout_bench::figure_main("claims", codelayout_bench::figures::claims);
 }

@@ -3,7 +3,5 @@
 //! Scenario via `CODELAYOUT_SCENARIO` (quick|sim|hw; default sim).
 
 fn main() {
-    let mut h = codelayout_bench::Harness::from_env();
-    let v = codelayout_bench::figures::fig03(&mut h);
-    h.save_json("fig03", &v);
+    codelayout_bench::figure_main("fig03", codelayout_bench::figures::fig03);
 }

@@ -3,7 +3,5 @@
 //! Scenario via `CODELAYOUT_SCENARIO` (quick|sim|hw; default sim).
 
 fn main() {
-    let mut h = codelayout_bench::Harness::from_env();
-    let v = codelayout_bench::figures::fig10(&mut h);
-    h.save_json("fig10", &v);
+    codelayout_bench::figure_main("fig10", codelayout_bench::figures::fig10);
 }

@@ -3,7 +3,5 @@
 //! Scenario via `CODELAYOUT_SCENARIO` (quick|sim|hw; default sim).
 
 fn main() {
-    let mut h = codelayout_bench::Harness::from_env();
-    let v = codelayout_bench::figures::fig13(&mut h);
-    h.save_json("fig13", &v);
+    codelayout_bench::figure_main("fig13", codelayout_bench::figures::fig13);
 }

@@ -3,12 +3,15 @@
 //! 1-processor hardware runs (override with `CODELAYOUT_SCENARIO`).
 
 fn main() {
-    let sc = match std::env::var("CODELAYOUT_SCENARIO").as_deref() {
-        Ok("quick") => codelayout_oltp::Scenario::quick(),
-        Ok("sim") => codelayout_oltp::Scenario::paper_sim(),
-        _ => codelayout_oltp::Scenario::paper_hw(),
+    let (label, sc) = match std::env::var("CODELAYOUT_SCENARIO").as_deref() {
+        Ok("quick") => ("quick", codelayout_oltp::Scenario::quick()),
+        Ok("sim") => ("sim", codelayout_oltp::Scenario::paper_sim()),
+        _ => ("hw", codelayout_oltp::Scenario::paper_hw()),
     };
-    let mut h = codelayout_bench::Harness::new(&sc);
+    let root = codelayout_obs::span("fig15");
+    let mut h = codelayout_bench::Harness::with_label(&sc, label);
     let v = codelayout_bench::figures::fig15(&mut h);
     h.save_json("fig15", &v);
+    root.finish();
+    codelayout_bench::finish_run("fig15", &h);
 }

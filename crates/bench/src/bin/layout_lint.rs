@@ -12,10 +12,16 @@
 //!
 //! With no `--scenario` the `quick` scenario is used. `--format json`
 //! prints one stable JSON document (the same shape the golden test
-//! snapshots) instead of the human-readable report.
+//! snapshots) instead of the human-readable report. In either format
+//! the per-code summary is merged into the scenario's run manifest
+//! (`results/<scenario>/manifest.json`), creating a minimal manifest
+//! when none exists.
 
-use codelayout_bench::lint::{cells_to_json, has_deny, lint_study, render_cells_text};
+use codelayout_bench::lint::{
+    cells_to_json, has_deny, lint_study, render_cells_text, summary_json,
+};
 use codelayout_oltp::{build_study, Scenario};
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ! {
@@ -63,6 +69,19 @@ fn main() -> ExitCode {
             );
         } else {
             print!("{}", render_cells_text(name, &cells));
+        }
+        // Fold the per-code summary into the scenario's run manifest so
+        // one document carries both the figures and the lint gate.
+        let dir = PathBuf::from("results").join(name);
+        match codelayout_obs::manifest::merge_section(
+            &dir,
+            "layout_lint",
+            name,
+            "lint",
+            summary_json(&cells),
+        ) {
+            Ok(path) => eprintln!("lint summary merged into {}", path.display()),
+            Err(e) => eprintln!("warning: could not update manifest: {e}"),
         }
         denied |= has_deny(&cells);
     }

@@ -1,17 +1,20 @@
 //! Runs the entire evaluation: every figure plus the in-text claims,
 //! sharing workload runs between figures, then the Figure 15 timing study
-//! on the single-processor scenario. Writes `results/*.json`.
+//! on the single-processor scenario. Writes `results/*.json` and the run
+//! manifest `results/<scenario>/manifest.json`.
 //!
 //! Scenario for Figures 3–14 via `CODELAYOUT_SCENARIO` (default `sim`,
-//! the paper's 4-CPU simulated system).
+//! the paper's 4-CPU simulated system). `--report` prints the tracer's
+//! phase-tree breakdown after the run; `CODELAYOUT_TRACE_OUT=<file>`
+//! additionally streams every span boundary as JSON lines.
 
-use codelayout_bench::{figures, Harness};
-use std::time::Instant;
+use codelayout_bench::{figures, print_table, Harness};
 
 fn main() {
-    let t0 = Instant::now();
+    let root = codelayout_obs::span("run_all");
+    let study_span = codelayout_obs::span("study_build");
     let mut h = Harness::from_env();
-    eprintln!("[run_all] study ready in {:?}", t0.elapsed());
+    eprintln!("[run_all] study ready in {:?}", study_span.finish());
 
     type FigFn = fn(&mut Harness) -> serde_json::Value;
     let figs: [(&str, FigFn); 13] = [
@@ -30,10 +33,10 @@ fn main() {
         ("claims", figures::claims),
     ];
     for (name, f) in figs {
-        let t = Instant::now();
+        let fig_span = codelayout_obs::span(name);
         let v = f(&mut h);
         h.save_json(name, &v);
-        eprintln!("[run_all] {name} in {:?}", t.elapsed());
+        eprintln!("[run_all] {name} in {:?}", fig_span.finish());
     }
 
     if let Some(t) = h.sweep_timing() {
@@ -51,14 +54,67 @@ fn main() {
 
     // Figure 15 on the single-processor scenario (the paper's hardware
     // execution-time runs are 1-processor).
-    let t = Instant::now();
-    let hw = match std::env::var("CODELAYOUT_SCENARIO").as_deref() {
-        Ok("quick") => codelayout_oltp::Scenario::quick(),
-        _ => codelayout_oltp::Scenario::paper_hw(),
+    let fig15_span = codelayout_obs::span("fig15");
+    let (label15, hw) = match std::env::var("CODELAYOUT_SCENARIO").as_deref() {
+        Ok("quick") => ("quick", codelayout_oltp::Scenario::quick()),
+        _ => ("hw", codelayout_oltp::Scenario::paper_hw()),
     };
-    let mut h15 = Harness::new(&hw);
+    let mut h15 = Harness::with_label(&hw, label15);
     let v = figures::fig15(&mut h15);
     h15.save_json("fig15", &v);
-    eprintln!("[run_all] fig15 in {:?}", t.elapsed());
-    eprintln!("[run_all] total {:?}", t0.elapsed());
+    eprintln!("[run_all] fig15 in {:?}", fig15_span.finish());
+    let total = root.finish();
+    eprintln!("[run_all] total {total:?}");
+
+    print_throughput_table();
+
+    // One manifest for the whole evaluation, covering both harnesses'
+    // outputs (fig15 ran on its own single-processor study).
+    let mut b = codelayout_obs::manifest::ManifestBuilder::new("run_all", h.scenario_label());
+    b.config(h.config_json());
+    b.section("fig15_config", h15.config_json());
+    b.phases(codelayout_obs::tracer(), "run_all");
+    b.metrics(codelayout_obs::metrics());
+    for (name, digest) in h.output_digests().iter().chain(h15.output_digests()) {
+        b.output(name, digest.clone());
+    }
+    match b.write(&h.manifest_dir()) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write manifest: {e}"),
+    }
+    if codelayout_bench::report_requested() {
+        print!("{}", codelayout_obs::tracer().render_report());
+    }
+}
+
+/// Per-layout, per-job replay throughput from the metrics registry (the
+/// `replay.<layout>.<job>.insts_per_sec` gauges `Harness::measure`
+/// records for every sweep it replays).
+fn print_throughput_table() {
+    let snapshot = codelayout_obs::metrics().snapshot();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (name, value) in &snapshot.gauges {
+        let Some(rest) = name.strip_prefix("replay.") else {
+            continue;
+        };
+        let Some(rest) = rest.strip_suffix(".insts_per_sec") else {
+            continue;
+        };
+        let (layout, job) = match rest.split_once('.') {
+            Some((layout, job)) => (layout, job),
+            None => (rest, "(all jobs)"),
+        };
+        rows.push(vec![
+            layout.to_string(),
+            job.to_string(),
+            format!("{:.1}", value / 1e6),
+        ]);
+    }
+    if !rows.is_empty() {
+        print_table(
+            "replay throughput (M insts/sec)",
+            &["layout", "job", "Minsts/s"],
+            &rows,
+        );
+    }
 }

@@ -45,7 +45,6 @@ use codelayout_vm::{DataRecord, FetchRecord, TraceBuffer, TraceSink};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Cache sizes (KB) used across the paper's sweeps.
 pub const SIZES_KB: [u64; 5] = [32, 64, 128, 256, 512];
@@ -203,23 +202,46 @@ pub struct Harness {
     pub study: Study,
     runs: HashMap<String, LayoutData>,
     out_dir: PathBuf,
+    scenario_label: String,
     sweeper: ParallelSweep,
     sweep_timing: Option<SweepTiming>,
+    output_digests: Vec<(String, String)>,
 }
 
 impl Harness {
     /// Builds the study for a scenario. The results directory defaults to
     /// `results/` under the current directory (created on demand). The
     /// sweep worker count honors `CODELAYOUT_THREADS`, defaulting to the
-    /// host's available parallelism.
+    /// host's available parallelism. The scenario label (used for the run
+    /// manifest's `results/<scenario>/` directory) defaults to the
+    /// `CODELAYOUT_SCENARIO` selection; use [`Harness::with_label`] when
+    /// the scenario was chosen some other way.
     pub fn new(scenario: &Scenario) -> Self {
+        Self::with_label(scenario, scenario_label_from_env())
+    }
+
+    /// Like [`Harness::new`] with an explicit scenario label.
+    pub fn with_label(scenario: &Scenario, label: &str) -> Self {
         Harness {
             study: build_study(scenario),
             runs: HashMap::new(),
             out_dir: PathBuf::from("results"),
+            scenario_label: label.to_string(),
             sweeper: ParallelSweep::from_env(),
             sweep_timing: None,
+            output_digests: Vec::new(),
         }
+    }
+
+    /// The scenario label used for the manifest directory.
+    pub fn scenario_label(&self) -> &str {
+        &self.scenario_label
+    }
+
+    /// FNV-1a digests of every JSON result this harness has written, in
+    /// write order, as `(file name, digest)` pairs.
+    pub fn output_digests(&self) -> &[(String, String)] {
+        &self.output_digests
     }
 
     /// Timing of the first fully-instrumented layout's grid sweeps:
@@ -290,6 +312,7 @@ impl Harness {
     }
 
     fn measure(&mut self, name: &str, full: bool) -> LayoutData {
+        let _measure_span = codelayout_obs::span("measure");
         let image = self.image_for(name);
         let num_cpus = self.study.scenario.num_cpus;
         let mut sink = CompositeSink::new(num_cpus, full);
@@ -321,16 +344,20 @@ impl Harness {
                 StreamFilter::KernelOnly,
             ));
         }
-        let start = Instant::now();
+        // Phase timers (not ad-hoc `Instant` pairs) time both replays, so
+        // the speedup `run_all` reports is exactly what the phase tree and
+        // the run manifest show for the same work.
+        let replay_span = codelayout_obs::span("replay");
         let mut grids = self.sweeper.run(&trace, &jobs);
-        let parallel_secs = start.elapsed().as_secs_f64();
+        let parallel_secs = replay_span.finish().as_secs_f64();
+        self.record_replay_metrics(name, &sink, &jobs, &trace, parallel_secs);
         if full && self.sweep_timing.is_none() {
             // Once per evaluation: replay the identical jobs on one
             // thread, both as the speedup baseline and as a standing
             // serial-equivalence check.
-            let start = Instant::now();
+            let serial_span = codelayout_obs::span("serial_replay");
             let serial = ParallelSweep::new(1).run(&trace, &jobs);
-            let serial_secs = start.elapsed().as_secs_f64();
+            let serial_secs = serial_span.finish().as_secs_f64();
             assert_eq!(
                 serial, grids,
                 "parallel sweep diverged from single-thread replay"
@@ -380,14 +407,137 @@ impl Harness {
         }
     }
 
-    /// Writes a figure's JSON result under the results directory.
-    pub fn save_json(&self, name: &str, value: &serde_json::Value) {
+    /// Per-job replay throughput gauges for one measured layout. Job
+    /// labels follow the fixed job order [`Harness::measure`] builds:
+    /// the user size sweep always runs; fully-instrumented layouts add
+    /// the direct-mapped grid and the combined/kernel size sweeps.
+    fn record_replay_metrics(
+        &self,
+        name: &str,
+        sink: &CompositeSink,
+        jobs: &[SweepJob],
+        trace: &codelayout_vm::FrozenTrace,
+        parallel_secs: f64,
+    ) {
+        const JOB_LABELS: [&str; 4] = ["sizes4w_user", "dm_user", "sizes4w_all", "sizes4w_kernel"];
+        let m = codelayout_obs::metrics();
+        let secs = parallel_secs.max(1e-9);
+        m.gauge_set(
+            &format!("replay.{name}.insts_per_sec"),
+            trace.len() as f64 / secs,
+        );
+        for (j, job) in jobs.iter().enumerate() {
+            let label = JOB_LABELS.get(j).copied().unwrap_or("extra");
+            let events = match job.filter {
+                StreamFilter::UserOnly => sink.user_fetches,
+                StreamFilter::KernelOnly => sink.kernel_fetches,
+                StreamFilter::All => sink.user_fetches + sink.kernel_fetches,
+            };
+            m.gauge_set(
+                &format!("replay.{name}.{label}.insts_per_sec"),
+                events as f64 / secs,
+            );
+            m.gauge_set(
+                &format!("replay.{name}.{label}.shards"),
+                (job.configs.len() * job.num_cpus) as f64,
+            );
+        }
+    }
+
+    /// Writes a figure's JSON result under the results directory and
+    /// records its digest for the run manifest.
+    pub fn save_json(&mut self, name: &str, value: &serde_json::Value) {
+        let _span = codelayout_obs::span("save");
         let _ = std::fs::create_dir_all(&self.out_dir);
         let path = self.out_dir.join(format!("{name}.json"));
-        match std::fs::write(&path, serde_json::to_string_pretty(value).expect("json")) {
+        let text = serde_json::to_string_pretty(value).expect("json");
+        self.output_digests.push((
+            format!("{name}.json"),
+            codelayout_obs::manifest::digest_hex(text.as_bytes()),
+        ));
+        match std::fs::write(&path, text) {
             Ok(()) => eprintln!("wrote {}", path.display()),
             Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
         }
+    }
+
+    /// The manifest directory for this harness:
+    /// `results/<scenario label>/`.
+    pub fn manifest_dir(&self) -> PathBuf {
+        self.out_dir.join(&self.scenario_label)
+    }
+
+    /// The scenario parameters recorded in the run manifest.
+    pub fn config_json(&self) -> serde_json::Value {
+        let sc = &self.study.scenario;
+        serde_json::json!({
+            "scenario": self.scenario_label.clone(),
+            "num_cpus": sc.num_cpus as u64,
+            "processes_per_cpu": sc.processes_per_cpu as u64,
+            "profile_txns": sc.profile_txns,
+            "warmup_txns": sc.warmup_txns,
+            "measure_txns": sc.measure_txns,
+            "seed": sc.seed,
+            "sweep_threads": self.sweeper.threads() as u64,
+        })
+    }
+
+    /// Writes `results/<scenario>/manifest.json` for a finished run whose
+    /// root span was named `tool`: config, phase tree (the `tool` span
+    /// must already be closed), metrics snapshot, and the digests of
+    /// every JSON result this harness wrote. Returns the manifest path.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn write_manifest(&self, tool: &str) -> std::io::Result<PathBuf> {
+        let mut b = codelayout_obs::manifest::ManifestBuilder::new(tool, &self.scenario_label);
+        b.config(self.config_json());
+        b.phases(codelayout_obs::tracer(), tool);
+        b.metrics(codelayout_obs::metrics());
+        for (name, digest) in &self.output_digests {
+            b.output(name, digest.clone());
+        }
+        b.write(&self.manifest_dir())
+    }
+}
+
+/// True when `--report` was passed on the command line; figure binaries
+/// print the tracer's phase-tree report when set.
+pub fn report_requested() -> bool {
+    std::env::args().any(|a| a == "--report")
+}
+
+/// Shared entry point for the single-figure binaries: runs `f` on the
+/// env-selected scenario under a root span named `tool`, saves the
+/// figure JSON, writes the run manifest, and honors `--report`.
+pub fn figure_main(tool: &str, f: fn(&mut Harness) -> serde_json::Value) {
+    let root = codelayout_obs::span(tool);
+    let mut h = Harness::from_env();
+    let v = f(&mut h);
+    h.save_json(tool, &v);
+    root.finish();
+    finish_run(tool, &h);
+}
+
+/// Writes the manifest for a finished run (root span `tool` already
+/// closed) and prints the phase report when `--report` was passed.
+pub fn finish_run(tool: &str, h: &Harness) {
+    match h.write_manifest(tool) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write manifest: {e}"),
+    }
+    if report_requested() {
+        print!("{}", codelayout_obs::tracer().render_report());
+    }
+}
+
+/// The scenario label selected by `CODELAYOUT_SCENARIO`
+/// (`quick` / `sim` / `hw`, default `sim`).
+pub fn scenario_label_from_env() -> &'static str {
+    match std::env::var("CODELAYOUT_SCENARIO").as_deref() {
+        Ok("quick") => "quick",
+        Ok("hw") => "hw",
+        _ => "sim",
     }
 }
 

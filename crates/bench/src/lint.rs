@@ -73,6 +73,32 @@ pub fn has_deny(cells: &[LintCell]) -> bool {
     cells.iter().any(|c| c.report.has_deny())
 }
 
+/// The matrix summary that flows into the run manifest: severity totals
+/// plus per-code (`L000`…) finding counts. Truncated findings (dropped
+/// past the per-code cap) are counted too, so the totals reflect what
+/// the analysis *found*, not what it chose to print.
+pub fn summary_json(cells: &[LintCell]) -> Value {
+    let mut by_code: std::collections::BTreeMap<&'static str, u64> = Default::default();
+    for c in cells {
+        for d in &c.report.diagnostics {
+            *by_code.entry(d.code).or_insert(0) += 1;
+        }
+        for &(code, dropped) in &c.report.truncated {
+            *by_code.entry(code).or_insert(0) += dropped as u64;
+        }
+    }
+    let mut codes = serde_json::Map::new();
+    for (code, n) in by_code {
+        codes.insert(code.to_string(), serde_json::Value::from(n));
+    }
+    json!({
+        "deny": count(cells, Severity::Deny) as u64,
+        "warn": count(cells, Severity::Warn) as u64,
+        "info": count(cells, Severity::Info) as u64,
+        "codes": serde_json::Value::Object(codes),
+    })
+}
+
 /// Renders the matrix as the stable JSON document consumed by CI and the
 /// golden test.
 pub fn cells_to_json(scenario: &str, cells: &[LintCell]) -> Value {

@@ -1,0 +1,91 @@
+//! Golden run-manifest schema test: a miniature instrumented run (study
+//! build + Figure 4 + result save) on the fixed-seed `quick` scenario
+//! must produce a manifest whose *shape* — section layout, phase-tree
+//! structure, metric names, output file names — matches the checked-in
+//! snapshot exactly.
+//!
+//! Volatile values (wall times, git revision, host parallelism, metric
+//! values, output digests) are masked with
+//! [`codelayout_obs::manifest::mask_volatile`] before comparison, so
+//! the snapshot pins the schema without pinning wall-clock noise. The
+//! test also enforces the phase-coverage acceptance bar: the spans
+//! under the root must account for at least 95% of the run's wall time.
+//!
+//! # Updating the snapshot
+//!
+//! ```text
+//! CODELAYOUT_UPDATE_GOLDEN=1 cargo test -p codelayout-bench --test golden_manifest
+//! ```
+//!
+//! then review the diff of `tests/golden/manifest_quick.json` in the
+//! same commit.
+//!
+//! This file holds exactly one test: it snapshots the *global* tracer
+//! and metrics registry, so it must not share a process with tests that
+//! record their own spans.
+
+use codelayout_bench::{figures, Harness};
+use codelayout_obs::manifest::{mask_volatile, validate_manifest};
+use codelayout_oltp::Scenario;
+use serde_json::Value;
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/manifest_quick.json"
+);
+const UPDATE_ENV: &str = "CODELAYOUT_UPDATE_GOLDEN";
+
+#[test]
+fn manifest_quick_schema_matches_golden_snapshot() {
+    // The harness writes results/ relative to the working directory;
+    // keep test artifacts out of the source tree.
+    let scratch = std::env::temp_dir().join(format!("codelayout-golden-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).expect("create scratch dir");
+    std::env::set_current_dir(&scratch).expect("enter scratch dir");
+
+    let root = codelayout_obs::span("golden_run");
+    let mut h = Harness::with_label(&Scenario::quick(), "quick");
+    let fig = figures::fig04(&mut h);
+    h.save_json("fig04", &fig);
+    root.finish();
+
+    let path = h.write_manifest("golden_run").expect("write manifest");
+    let raw = std::fs::read_to_string(&path).expect("read manifest back");
+    let manifest: Value = serde_json::from_str(&raw).expect("manifest parses");
+    validate_manifest(&manifest).expect("manifest validates against the schema");
+
+    // Acceptance bar: the phase tree accounts for ≥95% of the wall time.
+    let coverage = manifest
+        .get("phase_coverage_pct")
+        .as_f64()
+        .expect("coverage present");
+    assert!(
+        coverage >= 95.0,
+        "phase coverage {coverage:.2}% < 95% — untracked wall time in the run"
+    );
+
+    let got = mask_volatile(&manifest);
+
+    if std::env::var(UPDATE_ENV).as_deref() == Ok("1") {
+        let mut text = serde_json::to_string_pretty(&got).expect("serialize snapshot");
+        text.push('\n');
+        std::fs::write(GOLDEN_PATH, text).expect("write golden snapshot");
+        eprintln!("updated {GOLDEN_PATH}");
+        return;
+    }
+
+    let raw = std::fs::read_to_string(GOLDEN_PATH).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {GOLDEN_PATH}: {e}\n\
+             regenerate with {UPDATE_ENV}=1 cargo test -p codelayout-bench --test golden_manifest"
+        )
+    });
+    let want: Value = serde_json::from_str(&raw).expect("parse golden snapshot");
+    assert_eq!(
+        got, want,
+        "masked run manifest diverged from tests/golden/manifest_quick.json.\n\
+         If this schema change is intentional, regenerate the snapshot with\n\
+         {UPDATE_ENV}=1 cargo test -p codelayout-bench --test golden_manifest\n\
+         and review the JSON diff in the same commit."
+    );
+}

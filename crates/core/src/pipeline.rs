@@ -120,7 +120,13 @@ impl<'a> LayoutPipeline<'a> {
     /// Per-procedure block orders after the (optional) chaining stage.
     pub fn block_orders(&self, chain: bool) -> Vec<Vec<BlockId>> {
         if chain {
-            chain_all(self.program, self.profile)
+            let _span = codelayout_obs::span("chain");
+            let orders = chain_all(self.program, self.profile);
+            codelayout_obs::metrics().add(
+                "layout.blocks_chained",
+                orders.iter().map(Vec::len).sum::<usize>() as u64,
+            );
+            orders
         } else {
             self.program
                 .procs
@@ -134,7 +140,10 @@ impl<'a> LayoutPipeline<'a> {
     /// splitting.
     pub fn segments(&self, chain: bool) -> Vec<Segment> {
         let orders = self.block_orders(chain);
-        split_all(self.program, self.profile, &orders)
+        let _span = codelayout_obs::span("split");
+        let segs = split_all(self.program, self.profile, &orders);
+        codelayout_obs::metrics().add("layout.segments", segs.len() as u64);
+        segs
     }
 
     /// Builds the final layout for an optimization set.
@@ -148,12 +157,16 @@ impl<'a> LayoutPipeline<'a> {
     /// Panics if the constructed layout fails verification — that is always
     /// a bug in the optimization stages, never a property of the input.
     pub fn build(&self, set: OptimizationSet) -> Layout {
+        let _span = codelayout_obs::span("layout");
+        codelayout_obs::metrics().add("layout.builds", 1);
         let layout = self.build_unchecked(set);
+        let verify_span = codelayout_obs::span("verify");
         codelayout_ir::verify_layout(self.program, &layout)
             .unwrap_or_else(|e| panic!("pipeline produced an invalid `{set}` layout: {e}"));
         #[cfg(debug_assertions)]
         codelayout_ir::verify_layout_placement(self.program, &layout, set.split)
             .unwrap_or_else(|e| panic!("pipeline violated `{set}` placement conventions: {e}"));
+        verify_span.finish();
         layout
     }
 
@@ -161,6 +174,7 @@ impl<'a> LayoutPipeline<'a> {
         let order: Vec<BlockId> = if set.split {
             let segs = self.segments(set.chain);
             let seg_order: Vec<usize> = if set.porder {
+                let _span = codelayout_obs::span("porder");
                 let edges = segment_edges(self.program, self.profile, &segs);
                 pettis_hansen_order(segs.len(), edges)
                     .into_iter()
@@ -180,6 +194,7 @@ impl<'a> LayoutPipeline<'a> {
         } else {
             let orders = self.block_orders(set.chain);
             let proc_order: Vec<u32> = if set.porder {
+                let _span = codelayout_obs::span("porder");
                 let w = self.profile.proc_call_weights(self.program);
                 pettis_hansen_order(
                     self.program.procs.len(),

@@ -50,6 +50,7 @@ pub fn link_with_stats(
     layout: &Layout,
     base: u64,
 ) -> Result<(Image, LinkStats), IrError> {
+    let _span = codelayout_obs::span("link");
     verify_layout(program, layout)?;
 
     let nblocks = program.blocks.len();
@@ -205,6 +206,14 @@ pub fn link_with_stats(
             }
         }
     }
+
+    let m = codelayout_obs::metrics();
+    m.add("link.images", 1);
+    m.add("link.instrs", stats.instrs as u64);
+    m.add("link.uncond_branches", stats.uncond_branches as u64);
+    m.add("link.fallthroughs", stats.fallthroughs as u64);
+    m.add("link.inverted_branches", stats.inverted_branches as u64);
+    m.add("link.split_cond_branches", stats.split_cond_branches as u64);
 
     let owner = program.owner_of_blocks();
     let entry = proc_entry[program.entry.index()];

@@ -153,6 +153,7 @@ impl ParallelSweep {
     /// over CPUs — the exact shape [`crate::SweepSink::results`]
     /// returns).
     pub fn run(&self, trace: &FrozenTrace, jobs: &[SweepJob]) -> Vec<Vec<SweepCell>> {
+        let _sweep_span = codelayout_obs::span("sweep");
         // Round-robin the shards over workers so each worker carries a
         // similar mix of small and large configurations.
         let total: usize = jobs.iter().map(SweepJob::shard_count).sum();
@@ -178,20 +179,47 @@ impl ParallelSweep {
             }
         }
 
+        let m = codelayout_obs::metrics();
+        m.add("sweep.runs", 1);
+        m.add("sweep.jobs", jobs.len() as u64);
+        m.add("sweep.shards", total as u64);
+        m.gauge_set("sweep.workers", num_workers as f64);
+
+        // Workers time themselves into a private lock-free shard
+        // (queue wait = spawn-to-start latency, plus replay duration)
+        // which is merged into the global registry at join time; the
+        // per-event replay path stays untouched.
+        let enqueue_ns = codelayout_obs::now_ns();
         let finished: Vec<Shard> = std::thread::scope(|s| {
             let handles: Vec<_> = workers
                 .into_iter()
                 .map(|mut w| {
                     let trace = trace.clone();
                     s.spawn(move || {
+                        let _worker_span = codelayout_obs::span("sweep_worker");
+                        let start_ns = codelayout_obs::now_ns();
                         trace.replay(&mut w);
-                        w.shards
+                        let mut shard = codelayout_obs::MetricsShard::new();
+                        shard.observe(
+                            "sweep.queue_wait_us",
+                            start_ns.saturating_sub(enqueue_ns) / 1_000,
+                        );
+                        shard.observe(
+                            "sweep.worker_us",
+                            codelayout_obs::now_ns().saturating_sub(start_ns) / 1_000,
+                        );
+                        shard.add("sweep.events_replayed", trace.len() as u64);
+                        (w.shards, shard)
                     })
                 })
                 .collect();
             handles
                 .into_iter()
-                .flat_map(|h| h.join().expect("sweep worker panicked"))
+                .flat_map(|h| {
+                    let (shards, metrics_shard) = h.join().expect("sweep worker panicked");
+                    m.merge_shard(&metrics_shard);
+                    shards
+                })
                 .collect()
         });
 

@@ -84,6 +84,8 @@ pub struct Study {
 /// faults or breaks the TPC-B invariants — all of which indicate a bug, not
 /// an environmental condition.
 pub fn build_study(scenario: &Scenario) -> Study {
+    let _span = codelayout_obs::span("study");
+    let gen_span = codelayout_obs::span("generate");
     let max_txns = scenario
         .profile_txns
         .max(scenario.warmup_txns + scenario.measure_txns) as usize;
@@ -119,8 +121,10 @@ pub fn build_study(scenario: &Scenario) -> Study {
         base_image,
         base_kernel_image,
     };
+    gen_span.finish();
 
     // Profiling run: pixified server binaries, `profile_txns` transactions.
+    let profile_span = codelayout_obs::span("profile_run");
     let (mut machine, sga_loaded) = study.new_machine(
         &study.base_image,
         &study.base_kernel_image,
@@ -152,6 +156,10 @@ pub fn build_study(scenario: &Scenario) -> Study {
     assert!(inv.consistent(), "profiling run inconsistent: {inv:?}");
     study.profile = hook.0.into_profile();
     study.kernel_profile = hook.1.into_profile();
+    let m = codelayout_obs::metrics();
+    m.add("study.builds", 1);
+    m.add("study.profile_instructions", report.instructions);
+    profile_span.finish();
     study
 }
 
@@ -262,6 +270,7 @@ impl Study {
         kernel_image: &Arc<Image>,
         sink: &mut S,
     ) -> RunOutcome {
+        let _span = codelayout_obs::span("measured_run");
         let total = self.scenario.warmup_txns + self.scenario.measure_txns;
         let (mut m, sga) = self.new_machine(app_image, kernel_image, total);
 
@@ -269,6 +278,7 @@ impl Study {
         // before measurement; here the sink simply isn't attached yet. The
         // polling chunk is small so measurement starts close to the warmup
         // boundary.
+        let warmup_span = codelayout_obs::span("warmup");
         if self.scenario.warmup_txns > 0 {
             const WARMUP_CHUNK: u64 = 4_096;
             while (m.shared_word(words::COUNTER) as u64) < self.scenario.warmup_txns {
@@ -281,6 +291,9 @@ impl Study {
             }
         }
 
+        warmup_span.finish();
+
+        let run_span = codelayout_obs::span("run");
         let mut report = RunReport::default();
         while m.live_processes() > 0 {
             let r = m.run(sink, CHUNK);
@@ -290,6 +303,10 @@ impl Study {
                 "measured run exceeded instruction ceiling"
             );
         }
+        run_span.finish();
+        let metrics = codelayout_obs::metrics();
+        metrics.add("run.measured_runs", 1);
+        metrics.add("run.instructions", report.instructions);
         let invariants = sga.read_invariants(&m);
         let per_process_txns = (0..m.num_processes())
             .map(|pid| m.emitted(pid).last().copied().unwrap_or(0))

@@ -94,6 +94,10 @@ impl TraceBuffer {
 
     /// Seals the buffer into an immutable, `Arc`-shared trace.
     pub fn freeze(self) -> FrozenTrace {
+        let m = codelayout_obs::metrics();
+        m.add("trace.frozen", 1);
+        m.add("trace.events", self.events.len() as u64);
+        m.add("trace.bytes", self.size_bytes() as u64);
         FrozenTrace {
             events: Arc::from(self.events),
         }
