@@ -6,7 +6,7 @@ use codelayout_core::{chain_all, pettis_hansen_order, LayoutPipeline, Optimizati
 use codelayout_ir::link::link;
 use codelayout_ir::testgen::{random_program, GenConfig};
 use codelayout_ir::Layout;
-use codelayout_memsim::{AccessClass, CacheConfig, ICacheSim, StreamFilter, SweepSink};
+use codelayout_memsim::{AccessClass, CacheConfig, ICacheSim, SweepSink, SweepSpec};
 use codelayout_oltp::{build_study, Scenario};
 use codelayout_vm::{FetchRecord, Machine, MachineConfig, NullSink, TraceSink, APP_TEXT_BASE};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
@@ -79,12 +79,40 @@ fn bench_caches(c: &mut Criterion) {
         })
     });
     g.bench_function("sweep25_1M_accesses", |b| {
+        let spec = SweepSpec::paper_grid(1);
         b.iter(|| {
-            let mut sweep = SweepSink::new(SweepSink::fig4_grid(1), 1, StreamFilter::All);
+            let mut sweep = SweepSink::from_spec(&spec);
             for r in &trace {
                 sweep.fetch(*r);
             }
             sweep.results().len()
+        })
+    });
+    g.bench_function("stack25_1M_accesses", |b| {
+        let configs = SweepSpec::paper_grid(1).configs();
+        let mut lines: Vec<u32> = configs.iter().map(|c| c.line_bytes).collect();
+        lines.sort_unstable();
+        lines.dedup();
+        b.iter(|| {
+            let mut profs: Vec<codelayout_memsim::StackDistanceSim> = lines
+                .iter()
+                .map(|&line| {
+                    codelayout_memsim::StackDistanceSim::new(
+                        line,
+                        configs
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, c)| c.line_bytes == line)
+                            .map(|(i, c)| (i, *c)),
+                    )
+                })
+                .collect();
+            for r in &trace {
+                for p in &mut profs {
+                    p.access(r.addr, AccessClass::User);
+                }
+            }
+            profs.len()
         })
     });
     g.finish();

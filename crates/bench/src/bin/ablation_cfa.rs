@@ -5,7 +5,7 @@
 
 use codelayout_core::{cfa_layout, OptimizationSet};
 use codelayout_ir::link::link;
-use codelayout_memsim::{CacheConfig, StreamFilter, SweepSink};
+use codelayout_memsim::{CacheConfig, StreamFilter, SweepSink, SweepSpec};
 use codelayout_oltp::build_study;
 use codelayout_vm::APP_TEXT_BASE;
 use std::sync::Arc;
@@ -14,9 +14,15 @@ fn main() {
     let sc = codelayout_bench::scenario_from_env();
     let study = build_study(&sc);
     let cache = CacheConfig::new(64 * 1024, 128, 2);
+    let spec = SweepSpec::grid()
+        .size_kb(64)
+        .line_b(128)
+        .ways(2)
+        .cpus(sc.num_cpus)
+        .filter(StreamFilter::UserOnly);
 
     let run = |image: &Arc<codelayout_ir::Image>| -> u64 {
-        let mut sweep = SweepSink::new(vec![cache], sc.num_cpus, StreamFilter::UserOnly);
+        let mut sweep = SweepSink::from_spec(&spec);
         let out = study.run_measured(image, &study.base_kernel_image, &mut sweep);
         out.assert_correct();
         sweep.results()[0].stats.misses

@@ -5,7 +5,7 @@
 
 use codelayout_core::{hot_cold_layout, OptimizationSet};
 use codelayout_ir::link::link;
-use codelayout_memsim::{CacheConfig, StreamFilter, SweepSink};
+use codelayout_memsim::{StreamFilter, SweepSink, SweepSpec};
 use codelayout_oltp::build_study;
 use codelayout_vm::APP_TEXT_BASE;
 use std::sync::Arc;
@@ -13,13 +13,15 @@ use std::sync::Arc;
 fn main() {
     let sc = codelayout_bench::scenario_from_env();
     let study = build_study(&sc);
-    let configs: Vec<CacheConfig> = [32u64, 64, 128]
-        .iter()
-        .map(|&k| CacheConfig::new(k * 1024, 128, 4))
-        .collect();
+    let spec = SweepSpec::grid()
+        .sizes_kb(&[32, 64, 128])
+        .line_b(128)
+        .ways(4)
+        .cpus(sc.num_cpus)
+        .filter(StreamFilter::UserOnly);
 
     let run = |image: &Arc<codelayout_ir::Image>| -> Vec<u64> {
-        let mut sweep = SweepSink::new(configs.clone(), sc.num_cpus, StreamFilter::UserOnly);
+        let mut sweep = SweepSink::from_spec(&spec);
         let out = study.run_measured(image, &study.base_kernel_image, &mut sweep);
         out.assert_correct();
         sweep.results().iter().map(|c| c.stats.misses).collect()

@@ -5,7 +5,7 @@
 
 use codelayout_core::{LayoutPipeline, OptimizationSet};
 use codelayout_ir::link::link;
-use codelayout_memsim::{CacheConfig, StreamFilter, SweepSink};
+use codelayout_memsim::{CacheConfig, StreamFilter, SweepSink, SweepSpec};
 use codelayout_oltp::build_study;
 use codelayout_profile::{estimate_edges_from_blocks, SampledCollector};
 use codelayout_vm::{NullSink, APP_TEXT_BASE};
@@ -15,9 +15,15 @@ fn main() {
     let sc = codelayout_bench::scenario_from_env();
     let study = build_study(&sc);
     let cache = CacheConfig::new(64 * 1024, 128, 2);
+    let spec = SweepSpec::grid()
+        .size_kb(64)
+        .line_b(128)
+        .ways(2)
+        .cpus(sc.num_cpus)
+        .filter(StreamFilter::UserOnly);
 
     let run = |image: &Arc<codelayout_ir::Image>| -> u64 {
-        let mut sweep = SweepSink::new(vec![cache], sc.num_cpus, StreamFilter::UserOnly);
+        let mut sweep = SweepSink::from_spec(&spec);
         let out = study.run_measured(image, &study.base_kernel_image, &mut sweep);
         out.assert_correct();
         sweep.results()[0].stats.misses

@@ -1,0 +1,125 @@
+//! `bench_smoke`: the CI engine benchmark. Records the quick scenario's
+//! fetch stream once per fully-instrumented layout, replays it through
+//! the full sweep-job set on **both** grid-replay engines — the
+//! single-pass stack-distance profiler and the direct
+//! per-configuration simulator — asserts the two produce bit-identical
+//! cells, and writes `BENCH_pr5.json` with best-of-N replay throughput
+//! for each engine so the speedup is tracked as a CI artifact.
+
+use codelayout_core::OptimizationSet;
+use codelayout_memsim::{ParallelSweep, StreamFilter, SweepEngine, SweepSpec, LINES_B, SIZES_KB};
+use codelayout_oltp::{build_study, Scenario};
+use codelayout_vm::TraceBuffer;
+use std::time::Instant;
+
+/// Interleaved best-of-N rounds per engine; cancels warm-up noise.
+const ROUNDS: usize = 3;
+
+fn main() {
+    let threads = codelayout_bench::run_env().sweep_threads();
+    let sc = Scenario::quick();
+    let study = build_study(&sc);
+    let num_cpus = sc.num_cpus;
+
+    // The same job set `Harness::measure` replays for a
+    // fully-instrumented layout: user size sweep, direct-mapped grid,
+    // combined and kernel size sweeps.
+    let sizes_4w = |filter: StreamFilter| {
+        SweepSpec::grid()
+            .sizes_kb(&SIZES_KB)
+            .line_b(128)
+            .ways(4)
+            .cpus(num_cpus)
+            .filter(filter)
+    };
+    let jobs = vec![
+        sizes_4w(StreamFilter::UserOnly),
+        SweepSpec::grid()
+            .sizes_kb(&SIZES_KB)
+            .lines_b(&LINES_B)
+            .ways(1)
+            .cpus(num_cpus)
+            .filter(StreamFilter::UserOnly),
+        sizes_4w(StreamFilter::All),
+        sizes_4w(StreamFilter::KernelOnly),
+    ];
+    let shards: usize = jobs.iter().map(SweepSpec::shard_count).sum();
+
+    let stack = ParallelSweep::new(threads).with_engine(SweepEngine::Stack);
+    let direct = ParallelSweep::new(threads).with_engine(SweepEngine::Direct);
+
+    let mut layouts = serde_json::Map::new();
+    let mut min_speedup = f64::INFINITY;
+    for (name, set) in [
+        ("base", OptimizationSet::BASE),
+        ("all", OptimizationSet::ALL),
+    ] {
+        let image = study.image(set);
+        let mut buf = TraceBuffer::fetch_only();
+        study
+            .run_measured(&image, &study.base_kernel_image, &mut buf)
+            .assert_correct();
+        let trace = buf.freeze();
+        let events = trace.len() as u64;
+
+        // Equivalence first: the stack engine must be bit-identical to
+        // the direct oracle on the full job set.
+        let want = direct.run(&trace, &jobs);
+        let got = stack.run(&trace, &jobs);
+        assert_eq!(
+            got, want,
+            "stack-distance sweep diverged from the direct engine on layout {name}"
+        );
+
+        let mut stack_best = f64::INFINITY;
+        let mut direct_best = f64::INFINITY;
+        for _ in 0..ROUNDS {
+            let t = Instant::now();
+            let r = stack.run(&trace, &jobs);
+            stack_best = stack_best.min(t.elapsed().as_secs_f64());
+            assert_eq!(r, want);
+
+            let t = Instant::now();
+            let r = direct.run(&trace, &jobs);
+            direct_best = direct_best.min(t.elapsed().as_secs_f64());
+            assert_eq!(r, want);
+        }
+
+        let speedup = direct_best / stack_best.max(1e-12);
+        min_speedup = min_speedup.min(speedup);
+        eprintln!(
+            "[bench_smoke] {name}: {events} events x {shards} direct shards on {threads} threads: \
+             stack {:.4}s ({:.1} M evt/s) vs direct {:.4}s ({:.1} M evt/s) — {speedup:.2}x",
+            stack_best,
+            events as f64 / stack_best / 1e6,
+            direct_best,
+            events as f64 / direct_best / 1e6,
+        );
+        layouts.insert(
+            name.to_string(),
+            serde_json::json!({
+                "events": events,
+                "stack_secs": stack_best,
+                "direct_secs": direct_best,
+                "stack_minsts_per_sec": events as f64 / stack_best / 1e6,
+                "direct_minsts_per_sec": events as f64 / direct_best / 1e6,
+                "speedup": speedup,
+            }),
+        );
+    }
+
+    let out = serde_json::json!({
+        "benchmark": "sweep_engine_smoke",
+        "scenario": "quick",
+        "threads": threads as u64,
+        "rounds": ROUNDS as u64,
+        "direct_shards": shards as u64,
+        "equivalent": true,
+        "min_speedup": min_speedup,
+        "layouts": layouts,
+    });
+    let mut text = serde_json::to_string_pretty(&out).expect("serialize benchmark");
+    text.push('\n');
+    std::fs::write("BENCH_pr5.json", text).expect("write BENCH_pr5.json");
+    eprintln!("[bench_smoke] wrote BENCH_pr5.json (min speedup {min_speedup:.2}x)");
+}

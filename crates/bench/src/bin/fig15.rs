@@ -1,11 +1,11 @@
 //! Reproduces the paper's Figure 15 (execution time on two machine
 //! models). Uses the single-processor scenario, matching the paper's
-//! 1-processor hardware runs (override with `CODELAYOUT_SCENARIO`).
+//! 1-processor hardware runs (`CODELAYOUT_SCENARIO=quick` shrinks it
+//! to the CI workload).
 
 fn main() {
-    let (label, sc) = match std::env::var("CODELAYOUT_SCENARIO").as_deref() {
-        Ok("quick") => ("quick", codelayout_oltp::Scenario::quick()),
-        Ok("sim") => ("sim", codelayout_oltp::Scenario::paper_sim()),
+    let (label, sc) = match codelayout_bench::run_env().scenario {
+        codelayout_bench::ScenarioSel::Quick => ("quick", codelayout_oltp::Scenario::quick()),
         _ => ("hw", codelayout_oltp::Scenario::paper_hw()),
     };
     let root = codelayout_obs::span("fig15");

@@ -4,7 +4,7 @@
 //! Usage: `probe [quick|sim|hw]`
 
 use codelayout_core::OptimizationSet;
-use codelayout_memsim::{CacheConfig, FootprintCounter, SequenceProfiler, StreamFilter, SweepSink};
+use codelayout_memsim::{FootprintCounter, SequenceProfiler, StreamFilter, SweepSink, SweepSpec};
 use codelayout_oltp::{build_study, Scenario};
 use codelayout_vm::TeeSink;
 use std::time::Instant;
@@ -43,15 +43,16 @@ fn main() {
         eprintln!("  {:>12} {}", per_proc[i], study.app.program.procs[i].name);
     }
 
-    let sizes_kb = [32u64, 64, 128, 256, 512];
+    let spec = SweepSpec::grid()
+        .sizes_kb(&codelayout_memsim::SIZES_KB)
+        .line_b(128)
+        .ways(4)
+        .cpus(sc.num_cpus)
+        .filter(StreamFilter::UserOnly);
     for (name, set) in OptimizationSet::paper_series() {
         let t = Instant::now();
         let img = study.image(set);
-        let configs: Vec<CacheConfig> = sizes_kb
-            .iter()
-            .map(|&k| CacheConfig::new(k * 1024, 128, 4))
-            .collect();
-        let mut sweep = SweepSink::new(configs, sc.num_cpus, StreamFilter::UserOnly);
+        let mut sweep = SweepSink::from_spec(&spec);
         let mut seq = SequenceProfiler::new(StreamFilter::UserOnly);
         let mut fp = FootprintCounter::new(128, StreamFilter::UserOnly);
         let mut sink = TeeSink(&mut sweep, TeeSink(&mut seq, &mut fp));

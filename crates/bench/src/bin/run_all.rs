@@ -41,13 +41,13 @@ fn main() {
 
     if let Some(t) = h.sweep_timing() {
         eprintln!(
-            "[run_all] grid sweep replay: {} shards x {} events on {} threads: \
-             {:.3}s parallel vs {:.3}s single-thread ({:.2}x speedup)",
+            "[run_all] grid sweep replay: {} direct shards x {} events on {} threads: \
+             {:.3}s stack-distance vs {:.3}s direct ({:.2}x engine speedup)",
             t.shards,
             t.events,
             t.threads,
-            t.parallel_secs,
-            t.serial_secs,
+            t.stack_secs,
+            t.direct_secs,
             t.speedup()
         );
     }
@@ -55,8 +55,8 @@ fn main() {
     // Figure 15 on the single-processor scenario (the paper's hardware
     // execution-time runs are 1-processor).
     let fig15_span = codelayout_obs::span("fig15");
-    let (label15, hw) = match std::env::var("CODELAYOUT_SCENARIO").as_deref() {
-        Ok("quick") => ("quick", codelayout_oltp::Scenario::quick()),
+    let (label15, hw) = match codelayout_bench::run_env().scenario {
+        codelayout_bench::ScenarioSel::Quick => ("quick", codelayout_oltp::Scenario::quick()),
         _ => ("hw", codelayout_oltp::Scenario::paper_hw()),
     };
     let mut h15 = Harness::with_label(&hw, label15);

@@ -20,12 +20,17 @@
 //! The cache-grid sweeps — the direct-mapped line-size grid (Fig. 4/5)
 //! and the 128-byte 4-way size sweeps for user/kernel/combined streams
 //! (Figs. 6, 7, 12, 13) — then *replay* the frozen trace through a
-//! [`ParallelSweep`], sharding the (configuration, CPU) simulators over
-//! worker threads. Replay results are bit-identical to simulating
-//! during the live run; the worker count honors `CODELAYOUT_THREADS`.
-//! The first fully-instrumented layout also times a single-thread
-//! replay of the same grids, so `run_all` can report the measured sweep
-//! speedup (see [`Harness::sweep_timing`]).
+//! [`ParallelSweep`]. Every grid is named by a
+//! [`codelayout_memsim::SweepSpec`]; the replay engine is the
+//! single-pass stack-distance profiler by default (one Mattson stack
+//! per line size answers every size × associativity at once), with the
+//! direct per-configuration simulator kept as the equivalence oracle —
+//! both selected by `CODELAYOUT_SWEEP_ENGINE` and bit-identical by
+//! construction. The worker count honors `CODELAYOUT_THREADS`. The
+//! first fully-instrumented layout also replays the identical jobs on
+//! the *other* engine at the same thread count, asserting equality and
+//! timing both, so `run_all` can report the measured engine speedup
+//! (see [`Harness::sweep_timing`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,7 +42,8 @@ use codelayout_core::OptimizationSet;
 use codelayout_ir::Image;
 use codelayout_memsim::{
     CacheConfig, FootprintCounter, HierarchyStats, LocalityCache, LocalityStats, MemoryHierarchy,
-    ParallelSweep, SequenceProfiler, SequenceStats, StreamFilter, SweepCell, SweepJob, SweepSink,
+    ParallelSweep, SequenceProfiler, SequenceStats, StreamFilter, SweepCell, SweepEngine,
+    SweepSpec,
 };
 use codelayout_oltp::{build_study, RunOutcome, Scenario, Study};
 use codelayout_timing::TimingModel;
@@ -46,10 +52,8 @@ use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::Arc;
 
-/// Cache sizes (KB) used across the paper's sweeps.
-pub const SIZES_KB: [u64; 5] = [32, 64, 128, 256, 512];
-/// Line sizes (bytes) of the Figure 4 grid.
-pub const LINES_B: [u32; 5] = [16, 32, 64, 128, 256];
+pub use codelayout_memsim::{run_env, RunEnv, LINES_B, SIZES_KB};
+pub use codelayout_obs::ScenarioSel;
 
 /// The locality-metrics configuration used by Figures 9–11 (and 13):
 /// 128 KB, 128-byte lines, 4-way.
@@ -96,12 +100,15 @@ pub struct LayoutData {
     pub outcome: RunOutcome,
 }
 
-/// The 128 B / 4-way size-sweep grid shared by several figures.
-fn sizes_128_4w() -> Vec<CacheConfig> {
-    SIZES_KB
-        .iter()
-        .map(|&k| CacheConfig::new(k * 1024, 128, 4))
-        .collect()
+/// The 128 B / 4-way size-sweep spec shared by several figures
+/// (Figures 6, 7, 12, 13).
+fn sizes_4w_spec(num_cpus: usize, filter: StreamFilter) -> SweepSpec {
+    SweepSpec::grid()
+        .sizes_kb(&SIZES_KB)
+        .line_b(128)
+        .ways(4)
+        .cpus(num_cpus)
+        .filter(filter)
 }
 
 /// Composite sink for the live pass: streaming collectors that need the
@@ -169,27 +176,29 @@ impl TraceSink for CompositeSink {
     }
 }
 
-/// Wall-clock measurement of one layout's grid sweeps, parallel replay
-/// vs a single-thread replay of the identical jobs.
+/// Wall-clock measurement of one layout's grid sweeps: the
+/// stack-distance engine vs the direct per-configuration engine
+/// replaying the identical jobs at the same thread count (and asserted
+/// bit-identical).
 #[derive(Debug, Clone, Copy)]
 pub struct SweepTiming {
-    /// Worker threads the parallel sweep used.
+    /// Worker threads both replays used.
     pub threads: usize,
     /// Fetch events replayed per sweep pass.
     pub events: u64,
-    /// (configuration, CPU) simulators in the sweep grid.
+    /// (configuration, CPU) simulators the direct engine instantiates.
     pub shards: usize,
-    /// Wall-clock seconds of the parallel replay.
-    pub parallel_secs: f64,
-    /// Wall-clock seconds of the single-thread replay.
-    pub serial_secs: f64,
+    /// Wall-clock seconds of the stack-distance replay.
+    pub stack_secs: f64,
+    /// Wall-clock seconds of the direct replay.
+    pub direct_secs: f64,
 }
 
 impl SweepTiming {
-    /// Measured speedup (single-thread time / parallel time).
+    /// Measured engine speedup (direct time / stack time).
     pub fn speedup(&self) -> f64 {
-        if self.parallel_secs > 0.0 {
-            self.serial_secs / self.parallel_secs
+        if self.stack_secs > 0.0 {
+            self.direct_secs / self.stack_secs
         } else {
             1.0
         }
@@ -326,49 +335,53 @@ impl Harness {
         // threads. Jobs: [user sizes, dm grid, combined sizes, kernel
         // sizes] — the last three only for fully-instrumented layouts.
         let trace = std::mem::take(&mut sink.trace).freeze();
-        let mut jobs = vec![SweepJob::new(
-            sizes_128_4w(),
-            num_cpus,
-            StreamFilter::UserOnly,
-        )];
+        let mut jobs = vec![sizes_4w_spec(num_cpus, StreamFilter::UserOnly)];
         if full {
-            jobs.push(SweepJob::new(
-                SweepSink::fig4_grid(1),
-                num_cpus,
-                StreamFilter::UserOnly,
-            ));
-            jobs.push(SweepJob::new(sizes_128_4w(), num_cpus, StreamFilter::All));
-            jobs.push(SweepJob::new(
-                sizes_128_4w(),
-                num_cpus,
-                StreamFilter::KernelOnly,
-            ));
+            jobs.push(
+                SweepSpec::paper_grid(1)
+                    .cpus(num_cpus)
+                    .filter(StreamFilter::UserOnly),
+            );
+            jobs.push(sizes_4w_spec(num_cpus, StreamFilter::All));
+            jobs.push(sizes_4w_spec(num_cpus, StreamFilter::KernelOnly));
         }
         // Phase timers (not ad-hoc `Instant` pairs) time both replays, so
         // the speedup `run_all` reports is exactly what the phase tree and
         // the run manifest show for the same work.
         let replay_span = codelayout_obs::span("replay");
         let mut grids = self.sweeper.run(&trace, &jobs);
-        let parallel_secs = replay_span.finish().as_secs_f64();
-        self.record_replay_metrics(name, &sink, &jobs, &trace, parallel_secs);
+        let primary_secs = replay_span.finish().as_secs_f64();
+        self.record_replay_metrics(name, &sink, &jobs, &trace, primary_secs);
         if full && self.sweep_timing.is_none() {
-            // Once per evaluation: replay the identical jobs on one
-            // thread, both as the speedup baseline and as a standing
-            // serial-equivalence check.
-            let serial_span = codelayout_obs::span("serial_replay");
-            let serial = ParallelSweep::new(1).run(&trace, &jobs);
-            let serial_secs = serial_span.finish().as_secs_f64();
+            // Once per evaluation: replay the identical jobs on the
+            // *other* engine at the same thread count — a standing
+            // cross-engine equivalence check and the speedup baseline.
+            let other_engine = match self.sweeper.engine() {
+                SweepEngine::Stack => SweepEngine::Direct,
+                SweepEngine::Direct => SweepEngine::Stack,
+            };
+            let other_span = codelayout_obs::span("oracle_replay");
+            let other = ParallelSweep::new(self.sweeper.threads())
+                .with_engine(other_engine)
+                .run(&trace, &jobs);
+            let other_secs = other_span.finish().as_secs_f64();
             assert_eq!(
-                serial, grids,
-                "parallel sweep diverged from single-thread replay"
+                other, grids,
+                "stack-distance sweep diverged from the direct engine"
             );
-            self.sweep_timing = Some(SweepTiming {
+            let (stack_secs, direct_secs) = match self.sweeper.engine() {
+                SweepEngine::Stack => (primary_secs, other_secs),
+                SweepEngine::Direct => (other_secs, primary_secs),
+            };
+            let timing = SweepTiming {
                 threads: self.sweeper.threads(),
                 events: trace.len() as u64,
-                shards: jobs.iter().map(|j| j.configs.len() * j.num_cpus).sum(),
-                parallel_secs,
-                serial_secs,
-            });
+                shards: jobs.iter().map(SweepSpec::shard_count).sum(),
+                stack_secs,
+                direct_secs,
+            };
+            codelayout_obs::metrics().gauge_set("sweep.engine_speedup", timing.speedup());
+            self.sweep_timing = Some(timing);
         }
         let sizes_4w_kernel = if full {
             grids.pop().unwrap()
@@ -415,7 +428,7 @@ impl Harness {
         &self,
         name: &str,
         sink: &CompositeSink,
-        jobs: &[SweepJob],
+        jobs: &[SweepSpec],
         trace: &codelayout_vm::FrozenTrace,
         parallel_secs: f64,
     ) {
@@ -428,7 +441,7 @@ impl Harness {
         );
         for (j, job) in jobs.iter().enumerate() {
             let label = JOB_LABELS.get(j).copied().unwrap_or("extra");
-            let events = match job.filter {
+            let events = match job.stream() {
                 StreamFilter::UserOnly => sink.user_fetches,
                 StreamFilter::KernelOnly => sink.kernel_fetches,
                 StreamFilter::All => sink.user_fetches + sink.kernel_fetches,
@@ -439,7 +452,7 @@ impl Harness {
             );
             m.gauge_set(
                 &format!("replay.{name}.{label}.shards"),
-                (job.configs.len() * job.num_cpus) as f64,
+                job.shard_count() as f64,
             );
         }
     }
@@ -479,6 +492,7 @@ impl Harness {
             "measure_txns": sc.measure_txns,
             "seed": sc.seed,
             "sweep_threads": self.sweeper.threads() as u64,
+            "sweep_engine": self.sweeper.engine().label(),
         })
     }
 
@@ -532,21 +546,18 @@ pub fn finish_run(tool: &str, h: &Harness) {
 }
 
 /// The scenario label selected by `CODELAYOUT_SCENARIO`
-/// (`quick` / `sim` / `hw`, default `sim`).
+/// (`quick` / `sim` / `hw`, default `sim`; see [`RunEnv`]).
 pub fn scenario_label_from_env() -> &'static str {
-    match std::env::var("CODELAYOUT_SCENARIO").as_deref() {
-        Ok("quick") => "quick",
-        Ok("hw") => "hw",
-        _ => "sim",
-    }
+    run_env().scenario.label()
 }
 
-/// Parses `CODELAYOUT_SCENARIO` (`quick` / `sim` / `hw`, default `sim`).
+/// The [`Scenario`] selected by `CODELAYOUT_SCENARIO`
+/// (`quick` / `sim` / `hw`, default `sim`; see [`RunEnv`]).
 pub fn scenario_from_env() -> Scenario {
-    match std::env::var("CODELAYOUT_SCENARIO").as_deref() {
-        Ok("quick") => Scenario::quick(),
-        Ok("hw") => Scenario::paper_hw(),
-        _ => Scenario::paper_sim(),
+    match run_env().scenario {
+        ScenarioSel::Quick => Scenario::quick(),
+        ScenarioSel::Hw => Scenario::paper_hw(),
+        ScenarioSel::Sim => Scenario::paper_sim(),
     }
 }
 

@@ -24,7 +24,7 @@ use codelayout_oltp::Scenario;
 use serde_json::{json, Value};
 
 const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/fig04_quick.json");
-const UPDATE_ENV: &str = "CODELAYOUT_UPDATE_GOLDEN";
+const UPDATE_ENV: &str = codelayout_obs::env::UPDATE_GOLDEN_ENV;
 
 /// Runs the quick scenario and extracts the Fig. 4 grid (user-stream,
 /// direct-mapped size × line sweep) for both fully-instrumented layouts.
@@ -58,7 +58,7 @@ fn measure_fig04_quick() -> Value {
 fn fig04_quick_matches_golden_snapshot() {
     let got = measure_fig04_quick();
 
-    if std::env::var(UPDATE_ENV).as_deref() == Ok("1") {
+    if codelayout_bench::run_env().update_golden {
         let mut text = serde_json::to_string_pretty(&got).expect("serialize snapshot");
         text.push('\n');
         std::fs::write(GOLDEN_PATH, text).expect("write golden snapshot");

@@ -21,14 +21,14 @@ use codelayout_oltp::{build_study, Scenario};
 use serde_json::Value;
 
 const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/lint_quick.json");
-const UPDATE_ENV: &str = "CODELAYOUT_UPDATE_GOLDEN";
+const UPDATE_ENV: &str = codelayout_obs::env::UPDATE_GOLDEN_ENV;
 
 #[test]
 fn lint_quick_matches_golden_snapshot() {
     let study = build_study(&Scenario::quick());
     let got = cells_to_json("quick", &lint_study(&study));
 
-    if std::env::var(UPDATE_ENV).as_deref() == Ok("1") {
+    if codelayout_bench::run_env().update_golden {
         let mut text = serde_json::to_string_pretty(&got).expect("serialize snapshot");
         text.push('\n');
         std::fs::write(GOLDEN_PATH, text).expect("write golden snapshot");

@@ -33,7 +33,7 @@ const GOLDEN_PATH: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
     "/tests/golden/manifest_quick.json"
 );
-const UPDATE_ENV: &str = "CODELAYOUT_UPDATE_GOLDEN";
+const UPDATE_ENV: &str = codelayout_obs::env::UPDATE_GOLDEN_ENV;
 
 #[test]
 fn manifest_quick_schema_matches_golden_snapshot() {
@@ -66,7 +66,7 @@ fn manifest_quick_schema_matches_golden_snapshot() {
 
     let got = mask_volatile(&manifest);
 
-    if std::env::var(UPDATE_ENV).as_deref() == Ok("1") {
+    if codelayout_bench::run_env().update_golden {
         let mut text = serde_json::to_string_pretty(&got).expect("serialize snapshot");
         text.push('\n');
         std::fs::write(GOLDEN_PATH, text).expect("write golden snapshot");

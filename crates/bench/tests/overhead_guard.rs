@@ -17,7 +17,7 @@
 //! enabled flag, so it must not share a process with tests that expect
 //! observability to stay on.
 
-use codelayout_memsim::{ParallelSweep, StreamFilter, SweepJob, SweepSink};
+use codelayout_memsim::{ParallelSweep, StreamFilter, SweepSpec};
 use codelayout_vm::{FetchRecord, FrozenTrace, TraceBuffer, TraceSink};
 use std::time::Instant;
 
@@ -46,12 +46,10 @@ fn test_trace(events: u64) -> FrozenTrace {
 fn instrumented_replay_is_bit_identical_and_within_5pct() {
     let trace = test_trace(400_000);
     let jobs = vec![
-        SweepJob::new(SweepSink::fig4_grid(1), 4, StreamFilter::UserOnly),
-        SweepJob::new(
-            vec![codelayout_memsim::CacheConfig::new(128 * 1024, 128, 4)],
-            4,
-            StreamFilter::All,
-        ),
+        SweepSpec::paper_grid(1)
+            .cpus(4)
+            .filter(StreamFilter::UserOnly),
+        SweepSpec::grid().size_kb(128).line_b(128).ways(4).cpus(4),
     ];
     let sweeper = ParallelSweep::new(2);
 

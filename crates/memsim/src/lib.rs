@@ -8,12 +8,18 @@
 //! * [`ICacheSim`] — set-associative LRU cache with per-line owner tracking
 //!   (application vs kernel) and a displaced-line interference matrix
 //!   (paper Figures 4–7, 12, 13);
+//! * [`SweepSpec`] — the one way to name a sweep grid (sizes × line sizes ×
+//!   ways × CPUs × stream filter), consumed by every sweep engine;
 //! * [`SweepSink`] — fans one trace out to a grid of cache configurations ×
 //!   CPUs in a single pass (Figures 4, 5, 6);
+//! * [`StackDistanceSim`] — single-pass Mattson stack-distance profiler:
+//!   exact per-configuration statistics for every size × associativity at
+//!   one line size, bit-identical to [`ICacheSim`];
 //! * [`ParallelSweep`] — replays a recorded [`codelayout_vm::FrozenTrace`]
-//!   through such grids on scoped worker threads, bit-identical to the
-//!   serial sweep (the record-once/replay-in-parallel path the harness
-//!   uses);
+//!   through [`SweepSpec`] jobs on scoped worker threads, with a choice of
+//!   [`SweepEngine`] (stack-distance by default, direct as the oracle),
+//!   bit-identical to the serial sweep (the record-once/replay-in-parallel
+//!   path the harness uses);
 //! * [`LocalityCache`] — per-line word-use bitmaps, word reuse counters and
 //!   line lifetimes (Figures 9, 10, 11, and the unused-fetch claim);
 //! * [`SequenceProfiler`] — sequential run-length histogram (Figure 8);
@@ -38,14 +44,19 @@ mod itlb;
 mod locality;
 mod parallel;
 mod sequence;
+mod spec;
+mod stack;
 mod sweep;
 
+pub use codelayout_obs::{run_env, RunEnv, SweepEngine};
 pub use config::{CacheConfig, StreamFilter};
 pub use footprint::FootprintCounter;
 pub use hierarchy::{HierarchyConfig, HierarchyStats, MemoryHierarchy};
 pub use icache::{AccessClass, CacheStats, ICacheSim};
 pub use itlb::Itlb;
 pub use locality::{LocalityCache, LocalityStats};
-pub use parallel::{ParallelSweep, SweepJob, THREADS_ENV};
+pub use parallel::ParallelSweep;
 pub use sequence::{SequenceProfiler, SequenceStats};
+pub use spec::{SweepSpec, LINES_B, SIZES_KB};
+pub use stack::StackDistanceSim;
 pub use sweep::{SweepCell, SweepSink};

@@ -6,93 +6,210 @@
 //! layout (direct-mapped user grid, 4-way user/kernel/combined grids),
 //! and the simulators dominate wall-clock time. [`ParallelSweep`] takes
 //! the other half of the record-once/replay-many design: given a
-//! [`FrozenTrace`], it shards every (job, configuration, CPU) simulator
-//! across scoped worker threads. Each worker owns its [`ICacheSim`]s
-//! outright and replays the shared trace with no locks or atomics on
-//! the hot path; per-CPU statistics are merged into per-configuration
-//! cells only at join time.
+//! [`FrozenTrace`] and a list of [`SweepSpec`] jobs, it shards the
+//! simulation across scoped worker threads. Each worker owns its
+//! simulators outright and replays the shared trace with no locks or
+//! atomics on the hot path; per-CPU statistics are merged into
+//! per-configuration cells only at join time.
 //!
-//! Results are **bit-identical** to the serial [`SweepSink`] for any
-//! thread count: a given (configuration, CPU) simulator consumes the
-//! identical filtered subsequence of the trace wherever it runs, and
-//! [`CacheStats::merge`] is commutative `u64` addition.
+//! Two engines implement the same contract ([`SweepEngine`], default
+//! taken from `CODELAYOUT_SWEEP_ENGINE`):
+//!
+//! * **Stack** — one [`StackDistanceSim`] per (job, line size, CPU).
+//!   A single pass over the shard's stream yields exact misses for
+//!   every size × associativity at that line size (Mattson inclusion),
+//!   so per-record cost is O(line sizes), not O(configurations). Two
+//!   replay-loop specializations stack on top: routing is a
+//!   precomputed (kernel flag, CPU) → profiler-list table instead of a
+//!   per-record walk over jobs and filters, and consecutive records
+//!   that repeat the previous one — same line at the *smallest* line
+//!   size in the grid (hence the same line at every larger one), same
+//!   CPU, same kernel flag — collapse to one counter increment,
+//!   flushed in bulk with [`StackDistanceSim::repeat_last`] when the
+//!   run breaks. Instruction streams are mostly sequential (the very
+//!   property the paper's optimizations maximize), so such runs cover
+//!   most of the trace.
+//! * **Direct** — one [`ICacheSim`] per (job, configuration, CPU); the
+//!   straightforward oracle the stack engine is proven against. Its
+//!   replay loop is kept deliberately plain — no batching, no routing
+//!   table — so a divergence between the engines always indicts
+//!   exactly one of them.
+//!
+//! Results are **bit-identical** across engines and thread counts: a
+//! given shard consumes the identical filtered subsequence of the trace
+//! wherever it runs, the stack profiler reproduces [`ICacheSim`]'s
+//! statistics exactly, and [`CacheStats::merge`] is commutative `u64`
+//! addition.
 //!
 //! [`SweepSink`]: crate::SweepSink
 
-use crate::config::{CacheConfig, StreamFilter};
+use crate::config::StreamFilter;
 use crate::icache::{AccessClass, CacheStats, ICacheSim};
+use crate::spec::SweepSpec;
+use crate::stack::StackDistanceSim;
 use crate::sweep::SweepCell;
+use codelayout_obs::SweepEngine;
 use codelayout_vm::{FetchRecord, FrozenTrace, TraceSink};
 
-/// One sweep to run over a trace: a grid of cache configurations,
-/// simulated per CPU, over one filtered stream.
-#[derive(Debug, Clone)]
-pub struct SweepJob {
-    /// Cache configurations to simulate.
-    pub configs: Vec<CacheConfig>,
-    /// Number of simulated CPUs (each gets a private cache per config).
-    pub num_cpus: usize,
-    /// Which fetches this sweep observes.
-    pub filter: StreamFilter,
-}
-
-impl SweepJob {
-    /// Creates a job.
-    ///
-    /// # Panics
-    /// Panics if `num_cpus` is zero.
-    pub fn new(configs: Vec<CacheConfig>, num_cpus: usize, filter: StreamFilter) -> Self {
-        assert!(num_cpus > 0, "need at least one CPU");
-        SweepJob {
-            configs,
-            num_cpus,
-            filter,
-        }
-    }
-
-    fn shard_count(&self) -> usize {
-        self.configs.len() * self.num_cpus
-    }
-}
-
-/// One (job, configuration, CPU) simulator, owned by a single worker.
-struct Shard {
-    job: usize,
+/// One direct-engine unit: a (configuration, CPU) simulator.
+struct DirectShard {
     config_idx: usize,
     cpu: usize,
     sim: ICacheSim,
 }
 
-/// A worker's slice of the grid; a [`TraceSink`] over the replayed
-/// stream. The per-job filter and CPU decimation are re-applied here,
-/// exactly as [`crate::SweepSink::fetch`] applies them live.
-struct ShardWorker<'a> {
-    jobs: &'a [SweepJob],
-    shards: Vec<Shard>,
+/// A direct worker's shards for one job, with the job's filter and CPU
+/// count hoisted so the per-record stream checks run once per job — not
+/// once per shard, as the old per-config loop did.
+struct DirectJob {
+    job: usize,
+    filter: StreamFilter,
+    num_cpus: usize,
+    shards: Vec<DirectShard>,
 }
 
-impl TraceSink for ShardWorker<'_> {
+/// A direct-engine worker: the plain oracle replay loop. Filtering and
+/// CPU decimation match [`crate::SweepSink::fetch`] exactly.
+struct DirectWorker {
+    jobs: Vec<DirectJob>,
+}
+
+impl TraceSink for DirectWorker {
     #[inline]
     fn fetch(&mut self, rec: FetchRecord) {
         let class = AccessClass::from_kernel_flag(rec.kernel);
-        for shard in &mut self.shards {
-            let job = &self.jobs[shard.job];
-            if !job.filter.accepts(rec.kernel) {
+        let rec_cpu = rec.cpu as usize;
+        for dj in &mut self.jobs {
+            if !dj.filter.accepts(rec.kernel) {
                 continue;
             }
-            if (rec.cpu as usize) % job.num_cpus != shard.cpu {
-                continue;
+            // Traces from an N-CPU machine replayed into an N-CPU spec
+            // (the harness invariant) never take the modulo; the branch
+            // predicts perfectly and skips a hardware division per job
+            // per record.
+            let cpu = if rec_cpu < dj.num_cpus {
+                rec_cpu
+            } else {
+                rec_cpu % dj.num_cpus
+            };
+            for shard in &mut dj.shards {
+                if shard.cpu == cpu {
+                    shard.sim.access(rec.addr, class);
+                }
             }
-            shard.sim.access(rec.addr, class);
         }
     }
 }
 
-/// Replays a [`FrozenTrace`] through one or more [`SweepJob`]s on a
-/// pool of scoped threads.
+impl DirectWorker {
+    fn push(&mut self, job: usize, spec: &SweepSpec, shard: DirectShard) {
+        if self.jobs.last().is_none_or(|dj| dj.job != job) {
+            self.jobs.push(DirectJob {
+                job,
+                filter: spec.stream(),
+                num_cpus: spec.num_cpus(),
+                shards: Vec::new(),
+            });
+        }
+        self.jobs
+            .last_mut()
+            .expect("job pushed above")
+            .shards
+            .push(shard);
+    }
+}
+
+/// One stack-engine unit: a (job, line size, CPU) profiler covering
+/// every configuration of that line size in its job, plus the routing
+/// inputs its worker bakes into the dispatch table.
+struct StackShard {
+    job: usize,
+    cpu: usize,
+    filter: StreamFilter,
+    num_cpus: usize,
+    prof: StackDistanceSim,
+}
+
+/// Routing-table width: one entry per (kernel flag, `u8` CPU id).
+const ROUTES: usize = 2 * 256;
+
+/// A stack-engine worker. [`StackWorker::seal`] precomputes, for every
+/// possible (kernel flag, record CPU) pair, the list of profilers that
+/// accept such a record — the per-record work is then one table lookup
+/// and one profiler access per list entry, with same-line runs batched
+/// down to a single counter increment (see the module docs).
+struct StackWorker {
+    shards: Vec<StackShard>,
+    /// `routes[kernel << 8 | cpu]` = indices into `shards`.
+    routes: Vec<Vec<u32>>,
+    /// Right-shift turning an address into a line at the smallest line
+    /// size any shard profiles: equal keys ⇒ equal lines everywhere.
+    batch_shift: u32,
+    /// `(line << 9) | (cpu << 1) | kernel` of the previous record;
+    /// `u64::MAX` (unreachable: trace addresses fit 45 bits) initially.
+    last_key: u64,
+    /// Route index of the in-progress run.
+    last_route: usize,
+    /// Repeat records accumulated since the run's first record.
+    pending: u64,
+}
+
+impl TraceSink for StackWorker {
+    #[inline]
+    fn fetch(&mut self, rec: FetchRecord) {
+        let key =
+            ((rec.addr >> self.batch_shift) << 9) | ((rec.cpu as u64) << 1) | rec.kernel as u64;
+        if key == self.last_key {
+            self.pending += 1;
+            return;
+        }
+        self.flush_repeats();
+        self.last_key = key;
+        self.last_route = (rec.kernel as usize) << 8 | rec.cpu as usize;
+        let class = AccessClass::from_kernel_flag(rec.kernel);
+        let shards = &mut self.shards;
+        for &i in &self.routes[self.last_route] {
+            shards[i as usize].prof.access(rec.addr, class);
+        }
+    }
+}
+
+impl StackWorker {
+    /// Builds the dispatch table; must run after the last shard is
+    /// pushed and before replay.
+    fn seal(&mut self) {
+        self.routes = (0..ROUTES)
+            .map(|r| {
+                let (kernel, rec_cpu) = (r >> 8 != 0, r & 0xFF);
+                self.shards
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| s.filter.accepts(kernel) && rec_cpu % s.num_cpus == s.cpu)
+                    .map(|(i, _)| i as u32)
+                    .collect()
+            })
+            .collect();
+    }
+
+    /// Delivers a batched run of repeat records to the profilers the
+    /// run's first record routed to. Must run once more after replay.
+    fn flush_repeats(&mut self) {
+        let n = std::mem::take(&mut self.pending);
+        if n == 0 {
+            return;
+        }
+        let shards = &mut self.shards;
+        for &i in &self.routes[self.last_route] {
+            shards[i as usize].prof.repeat_last(n);
+        }
+    }
+}
+
+/// Replays a [`FrozenTrace`] through one or more [`SweepSpec`] jobs on
+/// a pool of scoped threads.
 ///
 /// ```
-/// use codelayout_memsim::{ParallelSweep, StreamFilter, SweepJob, SweepSink};
+/// use codelayout_memsim::{ParallelSweep, StreamFilter, SweepEngine, SweepSink, SweepSpec};
 /// use codelayout_vm::{FetchRecord, TraceBuffer, TraceSink};
 ///
 /// let mut buf = TraceBuffer::new();
@@ -101,46 +218,47 @@ impl TraceSink for ShardWorker<'_> {
 /// }
 /// let trace = buf.freeze();
 ///
-/// let grid = SweepSink::fig4_grid(1);
-/// let job = SweepJob::new(grid.clone(), 2, StreamFilter::All);
-/// let parallel = ParallelSweep::new(4).run(&trace, &[job]);
+/// let spec = SweepSpec::paper_grid(1).cpus(2);
+/// let stack = ParallelSweep::new(4).run(&trace, std::slice::from_ref(&spec));
+/// let direct = ParallelSweep::new(4)
+///     .with_engine(SweepEngine::Direct)
+///     .run(&trace, std::slice::from_ref(&spec));
+/// assert_eq!(stack, direct);
 ///
-/// // Bit-identical to the serial sweep.
-/// let mut serial = SweepSink::new(grid, 2, StreamFilter::All);
+/// // Both are bit-identical to the live serial sweep.
+/// let mut serial = SweepSink::from_spec(&spec);
 /// trace.replay(&mut serial);
-/// assert_eq!(parallel[0], serial.results());
+/// assert_eq!(stack[0], serial.results());
 /// ```
 #[derive(Debug, Clone)]
 pub struct ParallelSweep {
     threads: usize,
+    engine: SweepEngine,
 }
-
-/// Environment variable overriding the worker-thread count used by
-/// [`ParallelSweep::from_env`].
-pub const THREADS_ENV: &str = "CODELAYOUT_THREADS";
 
 impl ParallelSweep {
     /// A sweep runner using up to `threads` workers (clamped to ≥ 1; a
-    /// run never spawns more workers than it has shards).
+    /// run never spawns more workers than it has shards) and the
+    /// default stack-distance engine.
     pub fn new(threads: usize) -> Self {
         ParallelSweep {
             threads: threads.max(1),
+            engine: SweepEngine::default(),
         }
     }
 
-    /// Thread count from the `CODELAYOUT_THREADS` environment variable,
-    /// falling back to the host's available parallelism.
+    /// Thread count and engine from the process environment
+    /// (`CODELAYOUT_THREADS`, `CODELAYOUT_SWEEP_ENGINE` — see
+    /// [`codelayout_obs::RunEnv`]).
     pub fn from_env() -> Self {
-        let threads = std::env::var(THREADS_ENV)
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
-            });
-        ParallelSweep::new(threads)
+        let env = codelayout_obs::run_env();
+        ParallelSweep::new(env.sweep_threads()).with_engine(env.sweep_engine)
+    }
+
+    /// Selects the replay engine.
+    pub fn with_engine(mut self, engine: SweepEngine) -> Self {
+        self.engine = engine;
+        self
     }
 
     /// The configured worker count.
@@ -148,86 +266,22 @@ impl ParallelSweep {
         self.threads
     }
 
+    /// The configured replay engine.
+    pub fn engine(&self) -> SweepEngine {
+        self.engine
+    }
+
     /// Replays `trace` through every job, returning one result vector
     /// per job (same order; cells in each job's config order, summed
     /// over CPUs — the exact shape [`crate::SweepSink::results`]
     /// returns).
-    pub fn run(&self, trace: &FrozenTrace, jobs: &[SweepJob]) -> Vec<Vec<SweepCell>> {
+    pub fn run(&self, trace: &FrozenTrace, jobs: &[SweepSpec]) -> Vec<Vec<SweepCell>> {
         let _sweep_span = codelayout_obs::span("sweep");
-        // Round-robin the shards over workers so each worker carries a
-        // similar mix of small and large configurations.
-        let total: usize = jobs.iter().map(SweepJob::shard_count).sum();
-        let num_workers = self.threads.min(total.max(1));
-        let mut workers: Vec<ShardWorker> = (0..num_workers)
-            .map(|_| ShardWorker {
-                jobs,
-                shards: Vec::new(),
-            })
-            .collect();
-        let mut next = 0usize;
-        for (job, j) in jobs.iter().enumerate() {
-            for (config_idx, &config) in j.configs.iter().enumerate() {
-                for cpu in 0..j.num_cpus {
-                    workers[next % num_workers].shards.push(Shard {
-                        job,
-                        config_idx,
-                        cpu,
-                        sim: ICacheSim::new(config),
-                    });
-                    next += 1;
-                }
-            }
-        }
-
-        let m = codelayout_obs::metrics();
-        m.add("sweep.runs", 1);
-        m.add("sweep.jobs", jobs.len() as u64);
-        m.add("sweep.shards", total as u64);
-        m.gauge_set("sweep.workers", num_workers as f64);
-
-        // Workers time themselves into a private lock-free shard
-        // (queue wait = spawn-to-start latency, plus replay duration)
-        // which is merged into the global registry at join time; the
-        // per-event replay path stays untouched.
-        let enqueue_ns = codelayout_obs::now_ns();
-        let finished: Vec<Shard> = std::thread::scope(|s| {
-            let handles: Vec<_> = workers
-                .into_iter()
-                .map(|mut w| {
-                    let trace = trace.clone();
-                    s.spawn(move || {
-                        let _worker_span = codelayout_obs::span("sweep_worker");
-                        let start_ns = codelayout_obs::now_ns();
-                        trace.replay(&mut w);
-                        let mut shard = codelayout_obs::MetricsShard::new();
-                        shard.observe(
-                            "sweep.queue_wait_us",
-                            start_ns.saturating_sub(enqueue_ns) / 1_000,
-                        );
-                        shard.observe(
-                            "sweep.worker_us",
-                            codelayout_obs::now_ns().saturating_sub(start_ns) / 1_000,
-                        );
-                        shard.add("sweep.events_replayed", trace.len() as u64);
-                        (w.shards, shard)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| {
-                    let (shards, metrics_shard) = h.join().expect("sweep worker panicked");
-                    m.merge_shard(&metrics_shard);
-                    shards
-                })
-                .collect()
-        });
-
-        let mut results: Vec<Vec<SweepCell>> = jobs
+        let grids: Vec<Vec<crate::CacheConfig>> = jobs.iter().map(SweepSpec::configs).collect();
+        let mut results: Vec<Vec<SweepCell>> = grids
             .iter()
-            .map(|j| {
-                j.configs
-                    .iter()
+            .map(|grid| {
+                grid.iter()
                     .map(|&config| SweepCell {
                         config,
                         stats: CacheStats::default(),
@@ -235,31 +289,199 @@ impl ParallelSweep {
                     .collect()
             })
             .collect();
-        for shard in finished {
-            results[shard.job][shard.config_idx]
-                .stats
-                .merge(shard.sim.stats());
+        match self.engine {
+            SweepEngine::Direct => self.run_direct(trace, jobs, &grids, &mut results),
+            SweepEngine::Stack => self.run_stack(trace, jobs, &grids, &mut results),
         }
         results
     }
 
-    /// Convenience for a single job: replays and returns its cells.
-    pub fn run_one(
+    fn run_direct(
         &self,
         trace: &FrozenTrace,
-        configs: Vec<CacheConfig>,
-        num_cpus: usize,
-        filter: StreamFilter,
-    ) -> Vec<SweepCell> {
-        self.run(trace, &[SweepJob::new(configs, num_cpus, filter)])
+        jobs: &[SweepSpec],
+        grids: &[Vec<crate::CacheConfig>],
+        results: &mut [Vec<SweepCell>],
+    ) {
+        // Enumerate shards per job, then round-robin them over workers
+        // so each worker carries a similar mix of small and large
+        // simulations. Workers keep their shards grouped by job so the
+        // per-record filter and CPU checks are per job, not per shard.
+        let total: usize = grids
+            .iter()
+            .zip(jobs)
+            .map(|(g, j)| g.len() * j.num_cpus())
+            .sum();
+        let num_workers = self.record_pool(jobs.len(), total);
+        let mut workers: Vec<DirectWorker> = (0..num_workers)
+            .map(|_| DirectWorker { jobs: Vec::new() })
+            .collect();
+        let mut next = 0usize;
+        for (job, (spec, grid)) in jobs.iter().zip(grids).enumerate() {
+            for (config_idx, &config) in grid.iter().enumerate() {
+                for cpu in 0..spec.num_cpus() {
+                    workers[next % num_workers].push(
+                        job,
+                        spec,
+                        DirectShard {
+                            config_idx,
+                            cpu,
+                            sim: ICacheSim::new(config),
+                        },
+                    );
+                    next += 1;
+                }
+            }
+        }
+
+        for worker in replay_pool(trace, workers, |_| {}) {
+            for dj in worker.jobs {
+                let cells = &mut results[dj.job];
+                for shard in dj.shards {
+                    cells[shard.config_idx].stats.merge(shard.sim.stats());
+                }
+            }
+        }
+    }
+
+    fn run_stack(
+        &self,
+        trace: &FrozenTrace,
+        jobs: &[SweepSpec],
+        grids: &[Vec<crate::CacheConfig>],
+        results: &mut [Vec<SweepCell>],
+    ) {
+        let mut shards: Vec<StackShard> = Vec::new();
+        for (job, (spec, grid)) in jobs.iter().zip(grids).enumerate() {
+            let mut lines: Vec<u32> = grid.iter().map(|c| c.line_bytes).collect();
+            lines.sort_unstable();
+            lines.dedup();
+            for line in lines {
+                let group: Vec<(usize, crate::CacheConfig)> = grid
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| c.line_bytes == line)
+                    .map(|(i, &c)| (i, c))
+                    .collect();
+                for cpu in 0..spec.num_cpus() {
+                    shards.push(StackShard {
+                        job,
+                        cpu,
+                        filter: spec.stream(),
+                        num_cpus: spec.num_cpus(),
+                        prof: StackDistanceSim::new(line, group.iter().copied()),
+                    });
+                }
+            }
+        }
+        let batch_shift = shards
+            .iter()
+            .map(|s| s.prof.line_bytes().trailing_zeros())
+            .min()
+            .unwrap_or(0);
+        let num_workers = self.record_pool(jobs.len(), shards.len());
+        let mut workers: Vec<StackWorker> = (0..num_workers)
+            .map(|_| StackWorker {
+                shards: Vec::new(),
+                routes: Vec::new(),
+                batch_shift,
+                last_key: u64::MAX,
+                last_route: 0,
+                pending: 0,
+            })
+            .collect();
+        for (i, shard) in shards.into_iter().enumerate() {
+            workers[i % num_workers].shards.push(shard);
+        }
+        for worker in &mut workers {
+            worker.seal();
+        }
+
+        for worker in replay_pool(trace, workers, StackWorker::flush_repeats) {
+            for shard in worker.shards {
+                let cells = &mut results[shard.job];
+                for (config_idx, stats) in shard.prof.results() {
+                    cells[config_idx].stats.merge(&stats);
+                }
+            }
+        }
+    }
+
+    /// Clamps the pool size to the shard count and records the run's
+    /// shape in the metrics registry.
+    fn record_pool(&self, jobs: usize, shards: usize) -> usize {
+        let num_workers = self.threads.min(shards.max(1));
+        let m = codelayout_obs::metrics();
+        m.add("sweep.runs", 1);
+        m.add("sweep.jobs", jobs as u64);
+        m.add("sweep.shards", shards as u64);
+        m.gauge_set("sweep.workers", num_workers as f64);
+        num_workers
+    }
+
+    /// Convenience for a single job: replays and returns its cells.
+    pub fn run_one(&self, trace: &FrozenTrace, spec: &SweepSpec) -> Vec<SweepCell> {
+        self.run(trace, std::slice::from_ref(spec))
             .pop()
             .expect("one job in, one result out")
     }
 }
 
+/// Replays `trace` into every worker on its own scoped thread, calling
+/// `finish` on each worker after its last record, and hands the workers
+/// back for result collection.
+///
+/// Workers time themselves into a private lock-free shard (queue wait =
+/// spawn-to-start latency, plus replay duration) which is merged into
+/// the global registry at join time; the per-event replay path stays
+/// untouched.
+fn replay_pool<W, F>(trace: &FrozenTrace, workers: Vec<W>, finish: F) -> Vec<W>
+where
+    W: TraceSink + Send,
+    F: Fn(&mut W) + Sync,
+{
+    let m = codelayout_obs::metrics();
+    let enqueue_ns = codelayout_obs::now_ns();
+    let finish = &finish;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = workers
+            .into_iter()
+            .map(|mut w| {
+                let trace = trace.clone();
+                s.spawn(move || {
+                    let _worker_span = codelayout_obs::span("sweep_worker");
+                    let start_ns = codelayout_obs::now_ns();
+                    trace.replay(&mut w);
+                    finish(&mut w);
+                    let mut shard = codelayout_obs::MetricsShard::new();
+                    shard.observe(
+                        "sweep.queue_wait_us",
+                        start_ns.saturating_sub(enqueue_ns) / 1_000,
+                    );
+                    shard.observe(
+                        "sweep.worker_us",
+                        codelayout_obs::now_ns().saturating_sub(start_ns) / 1_000,
+                    );
+                    shard.add("sweep.events_replayed", trace.len() as u64);
+                    (w, shard)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                let (w, metrics_shard) = h.join().expect("sweep worker panicked");
+                m.merge_shard(&metrics_shard);
+                w
+            })
+            .collect()
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::CacheConfig;
     use crate::sweep::SweepSink;
     use codelayout_vm::TraceBuffer;
 
@@ -283,20 +505,34 @@ mod tests {
         buf.freeze()
     }
 
-    fn serial(trace: &FrozenTrace, job: &SweepJob) -> Vec<SweepCell> {
-        let mut sink = SweepSink::new(job.configs.clone(), job.num_cpus, job.filter);
+    fn serial(trace: &FrozenTrace, spec: &SweepSpec) -> Vec<SweepCell> {
+        let mut sink = SweepSink::from_spec(spec);
         trace.replay(&mut sink);
         sink.results()
     }
 
+    fn both_engines(threads: usize) -> [ParallelSweep; 2] {
+        [
+            ParallelSweep::new(threads).with_engine(SweepEngine::Direct),
+            ParallelSweep::new(threads).with_engine(SweepEngine::Stack),
+        ]
+    }
+
     #[test]
-    fn matches_serial_for_any_thread_count() {
+    fn matches_serial_for_any_thread_count_and_engine() {
         let trace = test_trace();
-        let job = SweepJob::new(SweepSink::fig4_grid(2), 3, StreamFilter::All);
-        let expected = serial(&trace, &job);
+        let spec = SweepSpec::paper_grid(2).cpus(3);
+        let expected = serial(&trace, &spec);
         for threads in [1, 2, 5, 64] {
-            let got = ParallelSweep::new(threads).run(&trace, std::slice::from_ref(&job));
-            assert_eq!(got[0], expected, "threads = {threads}");
+            for sweep in both_engines(threads) {
+                let got = sweep.run(&trace, std::slice::from_ref(&spec));
+                assert_eq!(
+                    got[0],
+                    expected,
+                    "threads = {threads}, engine = {}",
+                    sweep.engine().label()
+                );
+            }
         }
     }
 
@@ -304,36 +540,81 @@ mod tests {
     fn multi_job_results_keep_job_order_and_filters() {
         let trace = test_trace();
         let jobs = vec![
-            SweepJob::new(SweepSink::fig4_grid(1), 2, StreamFilter::UserOnly),
-            SweepJob::new(SweepSink::fig4_grid(4), 1, StreamFilter::KernelOnly),
-            SweepJob::new(vec![CacheConfig::new(1024, 64, 2)], 3, StreamFilter::All),
+            SweepSpec::paper_grid(1)
+                .cpus(2)
+                .filter(StreamFilter::UserOnly),
+            SweepSpec::paper_grid(4)
+                .cpus(1)
+                .filter(StreamFilter::KernelOnly),
+            SweepSpec::grid().size_kb(1).line_b(64).ways(2).cpus(3),
         ];
-        let got = ParallelSweep::new(7).run(&trace, &jobs);
-        assert_eq!(got.len(), 3);
-        for (j, job) in jobs.iter().enumerate() {
-            assert_eq!(got[j], serial(&trace, job), "job {j}");
+        for sweep in both_engines(7) {
+            let got = sweep.run(&trace, &jobs);
+            assert_eq!(got.len(), 3);
+            for (j, job) in jobs.iter().enumerate() {
+                assert_eq!(got[j], serial(&trace, job), "job {j}");
+            }
+            // Filters actually differ: user + kernel accesses = combined.
+            let user: u64 = got[0][0].stats.accesses;
+            let kernel: u64 = got[1][0].stats.accesses;
+            let all: u64 = got[2][0].stats.accesses;
+            assert!(user > 0 && kernel > 0);
+            assert_eq!(user + kernel, all);
         }
-        // Filters actually differ: user + kernel accesses = combined.
-        let user: u64 = got[0][0].stats.accesses;
-        let kernel: u64 = got[1][0].stats.accesses;
-        let all: u64 = got[2][0].stats.accesses;
-        assert!(user > 0 && kernel > 0);
-        assert_eq!(user + kernel, all);
+    }
+
+    #[test]
+    fn sequential_run_batching_matches_record_at_a_time() {
+        // Long same-line runs with CPU switches and kernel excursions
+        // mid-run: the batched fast path must flush across every kind
+        // of run break.
+        let mut buf = TraceBuffer::new();
+        for i in 0..4_000u64 {
+            let cpu = (i / 977) % 2;
+            let kernel = i % 271 < 13;
+            buf.fetch(FetchRecord {
+                addr: (if kernel { 0x8000_0000 } else { 0x40_0000 }) + i / 7 * 4,
+                cpu: cpu as u8,
+                pid: 0,
+                kernel,
+            });
+        }
+        let trace = buf.freeze();
+        let jobs = vec![
+            SweepSpec::grid()
+                .size_kb(1)
+                .lines_b(&[16, 64])
+                .ways_each(&[1, 2])
+                .cpus(2),
+            SweepSpec::grid()
+                .size_kb(2)
+                .line_b(32)
+                .cpus(2)
+                .filter(StreamFilter::KernelOnly),
+        ];
+        for threads in [1, 3] {
+            let got = ParallelSweep::new(threads).run(&trace, &jobs);
+            for (j, job) in jobs.iter().enumerate() {
+                assert_eq!(got[j], serial(&trace, job), "threads {threads}, job {j}");
+            }
+        }
     }
 
     #[test]
     fn more_threads_than_shards_is_fine() {
         let trace = test_trace();
-        let job = SweepJob::new(vec![CacheConfig::new(512, 64, 1)], 1, StreamFilter::All);
-        let got = ParallelSweep::new(1000).run(&trace, std::slice::from_ref(&job));
-        assert_eq!(got[0], serial(&trace, &job));
+        let spec = SweepSpec::grid().size_kb(512).line_b(64);
+        for sweep in both_engines(1000) {
+            let got = sweep.run(&trace, std::slice::from_ref(&spec));
+            assert_eq!(got[0], serial(&trace, &spec));
+        }
     }
 
     #[test]
     fn empty_trace_and_empty_jobs() {
         let empty = TraceBuffer::new().freeze();
-        let job = SweepJob::new(SweepSink::fig4_grid(1), 2, StreamFilter::All);
-        let got = ParallelSweep::new(4).run(&empty, &[job]);
+        let spec = SweepSpec::paper_grid(1).cpus(2);
+        let got = ParallelSweep::new(4).run(&empty, std::slice::from_ref(&spec));
         assert_eq!(got[0].len(), 25);
         assert!(got[0].iter().all(|c| c.stats.accesses == 0));
         let none = ParallelSweep::new(4).run(&test_trace(), &[]);
@@ -343,9 +624,25 @@ mod tests {
     #[test]
     fn run_one_unwraps_single_job() {
         let trace = test_trace();
-        let cells =
-            ParallelSweep::new(2).run_one(&trace, SweepSink::fig4_grid(1), 2, StreamFilter::All);
-        let job = SweepJob::new(SweepSink::fig4_grid(1), 2, StreamFilter::All);
-        assert_eq!(cells, serial(&trace, &job));
+        let spec = SweepSpec::paper_grid(1).cpus(2);
+        let cells = ParallelSweep::new(2).run_one(&trace, &spec);
+        assert_eq!(cells, serial(&trace, &spec));
+    }
+
+    #[test]
+    fn engine_selection_defaults_to_stack() {
+        assert_eq!(ParallelSweep::new(2).engine(), SweepEngine::Stack);
+        assert_eq!(
+            ParallelSweep::new(2)
+                .with_engine(SweepEngine::Direct)
+                .engine(),
+            SweepEngine::Direct
+        );
+        let cells_config_order: Vec<CacheConfig> = ParallelSweep::new(1)
+            .run_one(&test_trace(), &SweepSpec::paper_grid(1))
+            .into_iter()
+            .map(|c| c.config)
+            .collect();
+        assert_eq!(cells_config_order, SweepSpec::paper_grid(1).configs());
     }
 }

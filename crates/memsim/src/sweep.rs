@@ -3,10 +3,15 @@
 //! The paper's Figures 4–7 and 12 sweep cache size, line size and
 //! associativity; re-executing the workload per configuration would be
 //! wasteful, so a [`SweepSink`] instantiates one [`ICacheSim`] per
-//! (configuration, CPU) and feeds them all from a single trace.
+//! (configuration, CPU) and feeds them all from a single trace. It is
+//! the *live* collector (attached to a running machine) and the direct
+//! per-configuration oracle that the single-pass stack-distance engine
+//! ([`crate::StackDistanceSim`]) is proven against; grids come from a
+//! [`SweepSpec`].
 
 use crate::config::{CacheConfig, StreamFilter};
 use crate::icache::{AccessClass, CacheStats, ICacheSim};
+use crate::spec::SweepSpec;
 use codelayout_vm::{FetchRecord, TraceSink};
 
 /// Aggregated result of one configuration across CPUs.
@@ -31,36 +36,21 @@ pub struct SweepSink {
 }
 
 impl SweepSink {
-    /// Creates a sweep over `configs` for `num_cpus` CPUs.
-    ///
-    /// # Panics
-    /// Panics if `num_cpus` is zero.
-    pub fn new(configs: Vec<CacheConfig>, num_cpus: usize, filter: StreamFilter) -> Self {
-        assert!(num_cpus > 0, "need at least one CPU");
+    /// Creates the sweep a [`SweepSpec`] describes: one simulator per
+    /// (configuration, CPU) over the spec's filtered stream.
+    pub fn from_spec(spec: &SweepSpec) -> Self {
+        let configs = spec.configs();
+        let num_cpus = spec.num_cpus();
         let sims = configs
             .iter()
             .map(|&c| (0..num_cpus).map(|_| ICacheSim::new(c)).collect())
             .collect();
         SweepSink {
-            filter,
+            filter: spec.stream(),
             num_cpus,
             sims,
             configs,
         }
-    }
-
-    /// The paper's Figure 4 grid: sizes 32..512 KB × line sizes 16..256 B,
-    /// at a given associativity.
-    pub fn fig4_grid(ways: u32) -> Vec<CacheConfig> {
-        let sizes = [32u64, 64, 128, 256, 512].map(|k| k * 1024);
-        let lines = [16u32, 32, 64, 128, 256];
-        let mut v = Vec::new();
-        for &s in &sizes {
-            for &l in &lines {
-                v.push(CacheConfig::new(s, l, ways));
-            }
-        }
-        v
     }
 
     /// Results per configuration, summed over CPUs.
@@ -115,16 +105,17 @@ mod tests {
     }
 
     #[test]
-    fn grid_has_25_cells() {
-        let g = SweepSink::fig4_grid(1);
-        assert_eq!(g.len(), 25);
-        assert!(g.iter().all(|c| c.ways == 1));
+    fn paper_grid_has_25_cells() {
+        let sink = SweepSink::from_spec(&SweepSpec::paper_grid(1));
+        assert_eq!(sink.results().len(), 25);
+        assert!(sink.results().iter().all(|c| c.config.ways == 1));
     }
 
     #[test]
     fn per_cpu_caches_are_independent() {
         let cfg = CacheConfig::new(128, 64, 1);
-        let mut s = SweepSink::new(vec![cfg], 2, StreamFilter::All);
+        let spec = SweepSpec::grid().sizes_bytes(&[128]).line_b(64).cpus(2);
+        let mut s = SweepSink::from_spec(&spec);
         // Same address on both CPUs: each CPU cold-misses once.
         s.fetch(rec(0, 0));
         s.fetch(rec(0, 1));
@@ -138,12 +129,17 @@ mod tests {
 
     #[test]
     fn all_configs_see_every_record() {
-        let cfgs = vec![CacheConfig::new(128, 64, 1), CacheConfig::new(256, 64, 2)];
-        let mut s = SweepSink::new(cfgs, 1, StreamFilter::All);
+        let spec = SweepSpec::grid()
+            .sizes_bytes(&[128, 256])
+            .line_b(64)
+            .ways_each(&[1, 2]);
+        let mut s = SweepSink::from_spec(&spec);
         for i in 0..10 {
             s.fetch(rec(i * 64, 0));
         }
-        for cell in s.results() {
+        let r = s.results();
+        assert_eq!(r.len(), 4);
+        for cell in r {
             assert_eq!(cell.stats.accesses, 10);
         }
     }
@@ -151,8 +147,8 @@ mod tests {
     #[test]
     fn bigger_cache_fewer_or_equal_misses_on_loops() {
         // A loop over 8 lines: fits in 512B cache, thrashes a 128B one.
-        let cfgs = vec![CacheConfig::new(128, 64, 1), CacheConfig::new(512, 64, 1)];
-        let mut s = SweepSink::new(cfgs, 1, StreamFilter::All);
+        let spec = SweepSpec::grid().sizes_bytes(&[128, 512]).line_b(64);
+        let mut s = SweepSink::from_spec(&spec);
         for _ in 0..10 {
             for i in 0..8u64 {
                 s.fetch(rec(i * 64, 0));

@@ -3,7 +3,7 @@
 //! arbitrary random traces (the OLTP-driven equivalence test lives at
 //! the workspace root; this one explores the input space more broadly).
 
-use codelayout_memsim::{ParallelSweep, StreamFilter, SweepJob, SweepSink};
+use codelayout_memsim::{ParallelSweep, StreamFilter, SweepSink, SweepSpec};
 use codelayout_vm::{FetchRecord, TraceBuffer, TraceSink};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -50,12 +50,12 @@ proptest! {
         let trace = buf.freeze();
 
         for filter in [StreamFilter::UserOnly, StreamFilter::KernelOnly, StreamFilter::All] {
-            let mut live = SweepSink::new(SweepSink::fig4_grid(2), cpus as usize, filter);
+            let spec = SweepSpec::paper_grid(2).cpus(cpus as usize).filter(filter);
+            let mut live = SweepSink::from_spec(&spec);
             for &r in &stream {
                 live.fetch(r);
             }
-            let job = SweepJob::new(SweepSink::fig4_grid(2), cpus as usize, filter);
-            let replayed = ParallelSweep::new(threads).run(&trace, &[job]);
+            let replayed = ParallelSweep::new(threads).run(&trace, std::slice::from_ref(&spec));
             prop_assert_eq!(
                 &replayed[0],
                 &live.results(),
@@ -78,11 +78,11 @@ proptest! {
             buf.fetch(r);
         }
         let trace = buf.freeze();
-        let grid = SweepSink::fig4_grid(1);
+        let grid = SweepSpec::paper_grid(1).cpus(2);
         let jobs = vec![
-            SweepJob::new(grid.clone(), 2, StreamFilter::UserOnly),
-            SweepJob::new(grid.clone(), 2, StreamFilter::KernelOnly),
-            SweepJob::new(grid, 2, StreamFilter::All),
+            grid.clone().filter(StreamFilter::UserOnly),
+            grid.clone().filter(StreamFilter::KernelOnly),
+            grid,
         ];
         let res = ParallelSweep::new(threads).run(&trace, &jobs);
         // Misses don't partition in general (the combined cache suffers

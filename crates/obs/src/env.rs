@@ -1,0 +1,195 @@
+//! `RunEnv`: every `CODELAYOUT_*` knob, parsed once.
+//!
+//! Before this module, environment handling was scattered: the sweep
+//! engine read `CODELAYOUT_THREADS`, the tracer read
+//! `CODELAYOUT_TRACE_OUT`, the bench harness matched on
+//! `CODELAYOUT_SCENARIO`, and every golden test re-implemented the
+//! `CODELAYOUT_UPDATE_GOLDEN` check. Each site parsed, defaulted and
+//! documented the knob its own way. [`RunEnv`] is the single source of
+//! truth: one struct, parsed once per process by [`run_env`], consumed
+//! everywhere (and re-exported by `codelayout-memsim` /
+//! `codelayout-bench` so downstream crates need no extra dependency).
+//!
+//! | Variable | Field | Meaning |
+//! |---|---|---|
+//! | `CODELAYOUT_SCENARIO` | [`RunEnv::scenario`] | workload scale: `quick` / `sim` / `hw` (default `sim`) |
+//! | `CODELAYOUT_THREADS` | [`RunEnv::threads`] | sweep worker count (default: available parallelism) |
+//! | `CODELAYOUT_SWEEP_ENGINE` | [`RunEnv::sweep_engine`] | `stack` (default) or `direct` grid-replay engine |
+//! | `CODELAYOUT_TRACE_OUT` | [`RunEnv::trace_out`] | JSON-lines span event log file |
+//! | `CODELAYOUT_UPDATE_GOLDEN` | [`RunEnv::update_golden`] | `1` = rewrite golden snapshots instead of asserting |
+//!
+//! The README's "Environment knobs" table is generated from this list;
+//! keep the two in sync.
+
+use std::sync::OnceLock;
+
+/// Environment variable selecting the workload scenario.
+pub const SCENARIO_ENV: &str = "CODELAYOUT_SCENARIO";
+/// Environment variable overriding the sweep worker-thread count.
+pub const THREADS_ENV: &str = "CODELAYOUT_THREADS";
+/// Environment variable selecting the grid-replay engine.
+pub const SWEEP_ENGINE_ENV: &str = "CODELAYOUT_SWEEP_ENGINE";
+/// Environment variable naming the JSON-lines span event log file.
+pub const TRACE_OUT_ENV: &str = "CODELAYOUT_TRACE_OUT";
+/// Environment variable switching golden tests into rewrite mode.
+pub const UPDATE_GOLDEN_ENV: &str = "CODELAYOUT_UPDATE_GOLDEN";
+
+/// Workload scale selected by `CODELAYOUT_SCENARIO`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioSel {
+    /// Seconds-scale CI workload.
+    Quick,
+    /// The paper's 4-CPU simulated system (default).
+    Sim,
+    /// The paper's single-processor hardware runs.
+    Hw,
+}
+
+impl ScenarioSel {
+    /// The label used for `results/<label>/` manifest directories.
+    pub fn label(self) -> &'static str {
+        match self {
+            ScenarioSel::Quick => "quick",
+            ScenarioSel::Sim => "sim",
+            ScenarioSel::Hw => "hw",
+        }
+    }
+}
+
+/// Grid-replay engine selected by `CODELAYOUT_SWEEP_ENGINE`.
+///
+/// `Stack` is the single-pass Mattson stack-distance engine (one
+/// profiler per line size yields every configuration's exact miss
+/// counts); `Direct` instantiates one LRU simulator per configuration
+/// and survives as the equivalence oracle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SweepEngine {
+    /// One set-associative LRU simulator per (configuration, CPU).
+    Direct,
+    /// One stack-distance profiler per (line size, CPU) (default).
+    #[default]
+    Stack,
+}
+
+impl SweepEngine {
+    /// Stable lowercase name (`"direct"` / `"stack"`), as accepted by
+    /// `CODELAYOUT_SWEEP_ENGINE` and recorded in run manifests.
+    pub fn label(self) -> &'static str {
+        match self {
+            SweepEngine::Direct => "direct",
+            SweepEngine::Stack => "stack",
+        }
+    }
+}
+
+/// Every `CODELAYOUT_*` knob, parsed once per process.
+#[derive(Debug, Clone)]
+pub struct RunEnv {
+    /// Workload scale (`CODELAYOUT_SCENARIO`), default [`ScenarioSel::Sim`].
+    pub scenario: ScenarioSel,
+    /// Sweep worker-thread override (`CODELAYOUT_THREADS`); `None`
+    /// falls back to the host's available parallelism.
+    pub threads: Option<usize>,
+    /// Grid-replay engine (`CODELAYOUT_SWEEP_ENGINE`), default
+    /// [`SweepEngine::Stack`].
+    pub sweep_engine: SweepEngine,
+    /// Span event-log file (`CODELAYOUT_TRACE_OUT`), if any.
+    pub trace_out: Option<String>,
+    /// True when golden tests should rewrite their snapshots
+    /// (`CODELAYOUT_UPDATE_GOLDEN=1`).
+    pub update_golden: bool,
+}
+
+impl RunEnv {
+    /// Parses the current process environment. Unknown values fall back
+    /// to defaults with a warning on stderr (a misspelled knob should
+    /// be visible, not silently ignored).
+    pub fn from_process_env() -> Self {
+        let scenario = match std::env::var(SCENARIO_ENV).as_deref() {
+            Ok("quick") => ScenarioSel::Quick,
+            Ok("hw") => ScenarioSel::Hw,
+            Ok("sim") | Err(_) => ScenarioSel::Sim,
+            Ok(other) => {
+                eprintln!("warning: {SCENARIO_ENV}={other} is not quick/sim/hw; using sim");
+                ScenarioSel::Sim
+            }
+        };
+        let threads = std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0);
+        let sweep_engine = match std::env::var(SWEEP_ENGINE_ENV).as_deref() {
+            Ok("direct") => SweepEngine::Direct,
+            Ok("stack") | Err(_) => SweepEngine::Stack,
+            Ok(other) => {
+                eprintln!("warning: {SWEEP_ENGINE_ENV}={other} is not direct/stack; using stack");
+                SweepEngine::Stack
+            }
+        };
+        let trace_out = std::env::var(TRACE_OUT_ENV).ok().filter(|p| !p.is_empty());
+        let update_golden = std::env::var(UPDATE_GOLDEN_ENV).as_deref() == Ok("1");
+        RunEnv {
+            scenario,
+            threads,
+            sweep_engine,
+            trace_out,
+            update_golden,
+        }
+    }
+
+    /// The sweep worker count: the `CODELAYOUT_THREADS` override, or
+    /// the host's available parallelism.
+    pub fn sweep_threads(&self) -> usize {
+        self.threads.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+    }
+}
+
+static RUN_ENV: OnceLock<RunEnv> = OnceLock::new();
+
+/// The process-global [`RunEnv`], parsed from the environment on first
+/// access and cached for the life of the process.
+pub fn run_env() -> &'static RunEnv {
+    RUN_ENV.get_or_init(RunEnv::from_process_env)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_without_env() {
+        // The test process may carry CODELAYOUT_* from the caller; only
+        // assert the invariants that hold regardless.
+        let env = RunEnv::from_process_env();
+        assert!(env.sweep_threads() >= 1);
+        if env.threads.is_none() {
+            assert_eq!(
+                env.sweep_threads(),
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            );
+        }
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(ScenarioSel::Quick.label(), "quick");
+        assert_eq!(ScenarioSel::Sim.label(), "sim");
+        assert_eq!(ScenarioSel::Hw.label(), "hw");
+        assert_eq!(SweepEngine::Stack.label(), "stack");
+        assert_eq!(SweepEngine::Direct.label(), "direct");
+        assert_eq!(SweepEngine::default(), SweepEngine::Stack);
+    }
+
+    #[test]
+    fn global_handle_is_stable() {
+        let a = run_env() as *const RunEnv;
+        let b = run_env() as *const RunEnv;
+        assert_eq!(a, b);
+    }
+}

@@ -37,14 +37,21 @@
 //! switched off with [`set_enabled`]; the overhead-guard test proves
 //! that replay results are bit-identical either way and that the
 //! instrumented replay loses less than 5% throughput.
+//!
+//! This crate also hosts [`RunEnv`] ([`run_env`]), the single parse of
+//! every `CODELAYOUT_*` environment knob. It lives here (rather than in
+//! `memsim` or `bench`) because `codelayout-obs` is the one crate every
+//! instrumented layer already depends on.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod env;
 pub mod manifest;
 pub mod metrics;
 pub mod span;
 
+pub use env::{run_env, RunEnv, ScenarioSel, SweepEngine};
 pub use metrics::{Histogram, HistogramSnapshot, MetricsShard, MetricsSnapshot, Registry};
 pub use span::{PhaseNode, PhaseStat, Span, Tracer};
 

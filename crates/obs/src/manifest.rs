@@ -103,7 +103,7 @@ impl ManifestBuilder {
             "host".into(),
             json!({
                 "parallelism": parallelism,
-                "threads_env": std::env::var("CODELAYOUT_THREADS").ok(),
+                "threads_env": crate::run_env().threads.map(|n| n.to_string()),
             }),
         );
         map.insert("total_wall_ns".into(), Value::from(0u64));
@@ -316,7 +316,7 @@ fn validate_phase(p: &Value) -> Result<(), String> {
 
 /// Keys whose values are wall-clock noise, environment-dependent, or
 /// content hashes — masked by [`mask_volatile`] wherever they appear.
-pub const VOLATILE_KEYS: [&str; 10] = [
+pub const VOLATILE_KEYS: [&str; 11] = [
     "git",
     "created_unix_ms",
     "wall_ns",
@@ -327,6 +327,7 @@ pub const VOLATILE_KEYS: [&str; 10] = [
     "parallelism",
     "threads_env",
     "sweep_threads",
+    "sweep_engine",
 ];
 
 /// Returns a copy of a manifest with volatile values masked: values of

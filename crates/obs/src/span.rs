@@ -33,8 +33,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
-/// Environment variable naming the JSON-lines span event log file.
-pub const TRACE_OUT_ENV: &str = "CODELAYOUT_TRACE_OUT";
+pub use crate::env::TRACE_OUT_ENV;
 
 thread_local! {
     /// The live span names on this thread, innermost last.
@@ -96,15 +95,13 @@ impl Tracer {
         Ok(())
     }
 
-    /// Initializes the exporter from `CODELAYOUT_TRACE_OUT` when set;
-    /// prints a warning (and records nothing) when the file cannot be
-    /// created.
+    /// Initializes the exporter from [`crate::run_env`]'s
+    /// `CODELAYOUT_TRACE_OUT` when set; prints a warning (and records
+    /// nothing) when the file cannot be created.
     pub fn init_export_from_env(&self) {
-        if let Ok(path) = std::env::var(TRACE_OUT_ENV) {
-            if !path.is_empty() {
-                if let Err(e) = self.init_export(&path) {
-                    eprintln!("warning: cannot open {TRACE_OUT_ENV}={path}: {e}");
-                }
+        if let Some(path) = crate::run_env().trace_out.as_deref() {
+            if let Err(e) = self.init_export(path) {
+                eprintln!("warning: cannot open {TRACE_OUT_ENV}={path}: {e}");
             }
         }
     }

@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --release --example cache_explorer [base|all]`
 
-use codelayout::memsim::{CacheConfig, StreamFilter, SweepSink};
+use codelayout::memsim::{StreamFilter, SweepSink, SweepSpec};
 use codelayout::oltp::{build_study, Scenario};
 use codelayout::opt::OptimizationSet;
 
@@ -22,16 +22,14 @@ fn main() {
     let study = build_study(&scenario);
     let image = study.image(set);
 
-    // A 45-cell grid: sizes × line sizes × associativities, one pass.
-    let mut configs = Vec::new();
-    for &size_kb in &[16u64, 32, 64] {
-        for &line in &[32u32, 64, 128] {
-            for &ways in &[1u32, 2, 4] {
-                configs.push(CacheConfig::new(size_kb * 1024, line, ways));
-            }
-        }
-    }
-    let mut sweep = SweepSink::new(configs, scenario.num_cpus, StreamFilter::UserOnly);
+    // A 27-cell grid: sizes × line sizes × associativities, one pass.
+    let spec = SweepSpec::grid()
+        .sizes_kb(&[16, 32, 64])
+        .lines_b(&[32, 64, 128])
+        .ways_each(&[1, 2, 4])
+        .cpus(scenario.num_cpus)
+        .filter(StreamFilter::UserOnly);
+    let mut sweep = SweepSink::from_spec(&spec);
     let out = study.run_measured(&image, &study.base_kernel_image, &mut sweep);
     out.assert_correct();
 

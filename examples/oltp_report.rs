@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --release --example oltp_report [quick|sim|hw]`
 
-use codelayout::memsim::{CacheConfig, SequenceProfiler, StreamFilter, SweepSink};
+use codelayout::memsim::{SequenceProfiler, StreamFilter, SweepSink, SweepSpec};
 use codelayout::oltp::{build_study, Scenario};
 use codelayout::opt::OptimizationSet;
 use codelayout::vm::TeeSink;
@@ -25,10 +25,12 @@ fn main() {
         stats.body_instrs * 4 / 1024
     );
 
-    let configs: Vec<CacheConfig> = [32u64, 64, 128]
-        .iter()
-        .map(|&k| CacheConfig::new(k * 1024, 128, 4))
-        .collect();
+    let spec = SweepSpec::grid()
+        .sizes_kb(&[32, 64, 128])
+        .line_b(128)
+        .ways(4)
+        .cpus(scenario.num_cpus)
+        .filter(StreamFilter::UserOnly);
 
     println!(
         "\n{:>14} {:>10} {:>10} {:>10} {:>8} {:>9}",
@@ -36,7 +38,7 @@ fn main() {
     );
     for (name, set) in OptimizationSet::paper_series() {
         let image = study.image(set);
-        let mut sweep = SweepSink::new(configs.clone(), scenario.num_cpus, StreamFilter::UserOnly);
+        let mut sweep = SweepSink::from_spec(&spec);
         let mut seq = SequenceProfiler::new(StreamFilter::UserOnly);
         let mut sink = TeeSink(&mut sweep, &mut seq);
         let out = study.run_measured(&image, &study.base_kernel_image, &mut sink);

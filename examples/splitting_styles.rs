@@ -8,7 +8,7 @@
 //! Run with: `cargo run --release --example splitting_styles`
 
 use codelayout::ir::link::link;
-use codelayout::memsim::{CacheConfig, StreamFilter, SweepSink};
+use codelayout::memsim::{StreamFilter, SweepSink, SweepSpec};
 use codelayout::oltp::{build_study, Scenario};
 use codelayout::opt::{cfa_layout, hot_cold_layout, LayoutPipeline, OptimizationSet};
 use codelayout::vm::APP_TEXT_BASE;
@@ -30,16 +30,18 @@ fn main() {
         ("CFA (16KB reserved)", cfa),
     ];
 
-    let configs: Vec<CacheConfig> = [16u64, 32, 64]
-        .iter()
-        .map(|&k| CacheConfig::new(k * 1024, 128, 2))
-        .collect();
+    let spec = SweepSpec::grid()
+        .sizes_kb(&[16, 32, 64])
+        .line_b(128)
+        .ways(2)
+        .cpus(scenario.num_cpus)
+        .filter(StreamFilter::UserOnly);
 
     println!("{:>22} {:>9} {:>9} {:>9}", "layout", "16KB", "32KB", "64KB");
     for (name, layout) in layouts {
         let image =
             Arc::new(link(&study.app.program, &layout, APP_TEXT_BASE).expect("layout links"));
-        let mut sweep = SweepSink::new(configs.clone(), scenario.num_cpus, StreamFilter::UserOnly);
+        let mut sweep = SweepSink::from_spec(&spec);
         let out = study.run_measured(&image, &study.base_kernel_image, &mut sweep);
         out.assert_correct();
         let m: Vec<u64> = sweep.results().iter().map(|c| c.stats.misses).collect();

@@ -1,17 +1,20 @@
 //! End-to-end integration tests across all crates: workload generation,
 //! profiling, layout optimization, simulation and invariant checking.
 
-use codelayout::memsim::{CacheConfig, SequenceProfiler, StreamFilter, SweepSink};
+use codelayout::memsim::{SequenceProfiler, StreamFilter, SweepSink, SweepSpec};
 use codelayout::oltp::{build_study, Scenario};
 use codelayout::opt::OptimizationSet;
 use codelayout::vm::{NullSink, TeeSink};
 
 fn misses_at(study: &codelayout::oltp::Study, set: OptimizationSet, kb: u64) -> (u64, f64) {
     let image = study.image(set);
-    let mut sweep = SweepSink::new(
-        vec![CacheConfig::new(kb * 1024, 128, 2)],
-        study.scenario.num_cpus,
-        StreamFilter::UserOnly,
+    let mut sweep = SweepSink::from_spec(
+        &SweepSpec::grid()
+            .size_kb(kb)
+            .line_b(128)
+            .ways(2)
+            .cpus(study.scenario.num_cpus)
+            .filter(StreamFilter::UserOnly),
     );
     let mut seq = SequenceProfiler::new(StreamFilter::UserOnly);
     let mut sink = TeeSink(&mut sweep, &mut seq);

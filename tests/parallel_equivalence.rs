@@ -1,14 +1,18 @@
-//! Serial-equivalence of the parallel sweep engine.
+//! Serial-equivalence of the parallel sweep engines.
 //!
 //! The contract under test: recording a workload's fetch stream once
 //! and replaying it through [`ParallelSweep`] produces **bit-identical**
 //! statistics to the serial [`SweepSink`]s that observed the live run —
-//! for every paper layout tried, every stream filter, and any worker
-//! thread count. This is the property that lets the experiment harness
-//! swap its live grid simulations for parallel replay without changing
-//! a single figure.
+//! for every paper layout tried, every stream filter, any worker
+//! thread count, and **both** replay engines (the direct
+//! per-configuration simulators and the single-pass stack-distance
+//! profiler). This is the property that lets the experiment harness
+//! swap its live grid simulations for parallel stack-distance replay
+//! without changing a single figure.
 
-use codelayout::memsim::{ParallelSweep, StreamFilter, SweepCell, SweepJob, SweepSink};
+use codelayout::memsim::{
+    ParallelSweep, StreamFilter, SweepCell, SweepEngine, SweepSink, SweepSpec,
+};
 use codelayout::oltp::{build_study, Scenario};
 use codelayout::opt::OptimizationSet;
 use codelayout::vm::{TeeSink, TraceBuffer};
@@ -28,10 +32,14 @@ fn parallel_sweep_is_bit_identical_to_live_serial_sinks() {
     let study = build_study(&scenario);
     let num_cpus = scenario.num_cpus;
 
-    let grids: [(Vec<codelayout::memsim::CacheConfig>, StreamFilter); 3] = [
-        (SweepSink::fig4_grid(1), StreamFilter::UserOnly),
-        (SweepSink::fig4_grid(4), StreamFilter::All),
-        (SweepSink::fig4_grid(2), StreamFilter::KernelOnly),
+    let grids: [SweepSpec; 3] = [
+        SweepSpec::paper_grid(1)
+            .cpus(num_cpus)
+            .filter(StreamFilter::UserOnly),
+        SweepSpec::paper_grid(4).cpus(num_cpus),
+        SweepSpec::paper_grid(2)
+            .cpus(num_cpus)
+            .filter(StreamFilter::KernelOnly),
     ];
 
     let layouts = ["base", "chain", "chain+porder", "all"];
@@ -45,9 +53,9 @@ fn parallel_sweep_is_bit_identical_to_live_serial_sinks() {
 
         // Live pass: serial sweeps observe the run directly while the
         // trace buffer records the same stream.
-        let mut s0 = SweepSink::new(grids[0].0.clone(), num_cpus, grids[0].1);
-        let mut s1 = SweepSink::new(grids[1].0.clone(), num_cpus, grids[1].1);
-        let mut s2 = SweepSink::new(grids[2].0.clone(), num_cpus, grids[2].1);
+        let mut s0 = SweepSink::from_spec(&grids[0]);
+        let mut s1 = SweepSink::from_spec(&grids[1]);
+        let mut s2 = SweepSink::from_spec(&grids[2]);
         let mut tee = TeeSink(
             TraceBuffer::fetch_only(),
             TeeSink(&mut s0, TeeSink(&mut s1, &mut s2)),
@@ -64,20 +72,32 @@ fn parallel_sweep_is_bit_identical_to_live_serial_sinks() {
             "{name}: live sweep saw no misses — scenario too small to test anything"
         );
 
-        let jobs: Vec<SweepJob> = grids
-            .iter()
-            .map(|(configs, filter)| SweepJob::new(configs.clone(), num_cpus, *filter))
-            .collect();
-        for threads in [1usize, 2, 7] {
-            let got = ParallelSweep::new(threads).run(&trace, &jobs);
+        for (threads, engine) in [
+            (1usize, SweepEngine::Direct),
+            (2, SweepEngine::Direct),
+            (7, SweepEngine::Direct),
+            (1, SweepEngine::Stack),
+            (2, SweepEngine::Stack),
+            (7, SweepEngine::Stack),
+        ] {
+            let got = ParallelSweep::new(threads)
+                .with_engine(engine)
+                .run(&trace, &grids);
             // SweepCell's PartialEq covers config and every stats field
             // (accesses, misses, misses_by_class, displaced); compare
             // field-by-field anyway so a failure names the culprit.
             for (g, (got_cells, exp_cells)) in got.iter().zip(expected.iter()).enumerate() {
                 assert_eq!(got_cells.len(), exp_cells.len());
                 for (a, b) in got_cells.iter().zip(exp_cells.iter()) {
-                    assert_eq!(a.config, b.config, "{name} grid {g} threads {threads}");
-                    let ctx = format!("{name} grid {g} config {:?} threads {threads}", a.config);
+                    let eng = engine.label();
+                    assert_eq!(
+                        a.config, b.config,
+                        "{name} grid {g} threads {threads} {eng}"
+                    );
+                    let ctx = format!(
+                        "{name} grid {g} config {:?} threads {threads} engine {eng}",
+                        a.config
+                    );
                     assert_eq!(a.stats.accesses, b.stats.accesses, "accesses: {ctx}");
                     assert_eq!(a.stats.misses, b.stats.misses, "misses: {ctx}");
                     assert_eq!(
@@ -86,7 +106,12 @@ fn parallel_sweep_is_bit_identical_to_live_serial_sinks() {
                     );
                     assert_eq!(a.stats.displaced, b.stats.displaced, "displaced: {ctx}");
                 }
-                assert_eq!(got_cells, exp_cells, "{name} grid {g} threads {threads}");
+                assert_eq!(
+                    got_cells,
+                    exp_cells,
+                    "{name} grid {g} threads {threads} engine {}",
+                    engine.label()
+                );
             }
         }
     }
@@ -102,11 +127,7 @@ fn replaying_the_same_trace_twice_is_deterministic() {
         .run_measured(&image, &study.base_kernel_image, &mut buf)
         .assert_correct();
     let trace = buf.freeze();
-    let jobs = [SweepJob::new(
-        SweepSink::fig4_grid(2),
-        scenario.num_cpus,
-        StreamFilter::All,
-    )];
+    let jobs = [SweepSpec::paper_grid(2).cpus(scenario.num_cpus)];
     let sweeper = ParallelSweep::new(3);
     assert_eq!(sweeper.run(&trace, &jobs), sweeper.run(&trace, &jobs));
 }

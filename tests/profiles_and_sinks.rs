@@ -1,7 +1,7 @@
 //! Cross-crate checks on profiling modes and trace-sink composition.
 
 use codelayout::memsim::{
-    AccessClass, CacheConfig, ICacheSim, MemoryHierarchy, StreamFilter, SweepSink,
+    AccessClass, CacheConfig, ICacheSim, MemoryHierarchy, StreamFilter, SweepSink, SweepSpec,
 };
 use codelayout::oltp::{build_study, Scenario};
 use codelayout::opt::{LayoutPipeline, OptimizationSet};
@@ -17,7 +17,12 @@ fn sweep_agrees_with_single_cache_on_same_trace() {
     out.assert_correct();
 
     let cfg = CacheConfig::new(32 * 1024, 128, 2);
-    let mut sweep = SweepSink::new(vec![cfg], 1, StreamFilter::UserOnly);
+    let spec = SweepSpec::grid()
+        .size_kb(32)
+        .line_b(128)
+        .ways(2)
+        .filter(StreamFilter::UserOnly);
+    let mut sweep = SweepSink::from_spec(&spec);
     let mut single = ICacheSim::new(cfg);
     for r in &rec.fetches {
         sweep.fetch(*r);
@@ -61,9 +66,14 @@ fn sampled_profile_produces_a_working_layout() {
         codelayout::ir::link::link(&study.app.program, &layout, codelayout::vm::APP_TEXT_BASE)
             .unwrap(),
     );
-    let cfg = CacheConfig::new(16 * 1024, 128, 2);
     let run = |img: &std::sync::Arc<codelayout::ir::Image>| {
-        let mut sweep = SweepSink::new(vec![cfg], sc.num_cpus, StreamFilter::UserOnly);
+        let spec = SweepSpec::grid()
+            .size_kb(16)
+            .line_b(128)
+            .ways(2)
+            .cpus(sc.num_cpus)
+            .filter(StreamFilter::UserOnly);
+        let mut sweep = SweepSink::from_spec(&spec);
         let out = study.run_measured(img, &study.base_kernel_image, &mut sweep);
         out.assert_correct();
         (sweep.results()[0].stats.misses, out.invariants)
