@@ -1,19 +1,45 @@
-//! `bench_smoke`: the CI engine benchmark. Records the quick scenario's
-//! fetch stream once per fully-instrumented layout, replays it through
-//! the full sweep-job set on **both** grid-replay engines — the
-//! single-pass stack-distance profiler and the direct
-//! per-configuration simulator — asserts the two produce bit-identical
-//! cells, and writes `BENCH_pr5.json` with best-of-N replay throughput
-//! for each engine so the speedup is tracked as a CI artifact.
+//! `bench_smoke`: the CI engine benchmarks. Two parts, both on the
+//! quick scenario:
+//!
+//! 1. **Grid-replay engines** (`BENCH_pr5.json`): records each
+//!    fully-instrumented layout's fetch stream once, replays it through
+//!    the full sweep-job set on both engines — the single-pass
+//!    stack-distance profiler and the direct per-configuration
+//!    simulator — asserts bit-identical cells, and reports best-of-N
+//!    replay throughput per engine.
+//! 2. **VM execution tiers** (`BENCH_pr6.json`): executes the measured
+//!    workload on both tiers — the block-compiled engine and the
+//!    interpreter oracle — asserts bit-identical instruction traces and
+//!    outcomes, reports best-of-N execution throughput per tier, and
+//!    **exits nonzero if the block engine's execution speedup falls
+//!    below [`MIN_VM_SPEEDUP`]** (the regression floor).
 
 use codelayout_core::OptimizationSet;
 use codelayout_memsim::{ParallelSweep, StreamFilter, SweepEngine, SweepSpec, LINES_B, SIZES_KB};
-use codelayout_oltp::{build_study, Scenario};
-use codelayout_vm::TraceBuffer;
+use codelayout_oltp::{build_study, Scenario, Study};
+use codelayout_vm::{NullSink, TraceBuffer, VmEngine};
 use std::time::Instant;
 
 /// Interleaved best-of-N rounds per engine; cancels warm-up noise.
 const ROUNDS: usize = 3;
+
+/// Extra rounds for the VM tiers: their measured phase is sub-millisecond
+/// on the quick scenario, so best-of-few is too noisy to gate on.
+const VM_ROUNDS: usize = 40;
+
+/// CI gate: minimum acceptable block-engine speedup over the interpreter
+/// on the quick scenario's measured run (pure execution, null sink).
+///
+/// This is a regression floor, not the design target. The block tier was
+/// sized against an interpreter an order of magnitude slower than the
+/// one this repo actually ships: the oracle already pre-resolves
+/// operands and runs at ~140 M inst/s, so on the OLTP mix — where both
+/// tiers are bound by the simulated image's working set, not dispatch —
+/// the compiled tier delivers ~1.1-1.25x end to end (~2x on straight-line
+/// code; see `cargo run --release -p codelayout-vm --example
+/// engine_bench`). The floor guards the win we actually have: a change
+/// that makes the block tier no faster than the oracle fails CI.
+const MIN_VM_SPEEDUP: f64 = 1.05;
 
 fn main() {
     let threads = codelayout_bench::run_env().sweep_threads();
@@ -122,4 +148,135 @@ fn main() {
     text.push('\n');
     std::fs::write("BENCH_pr5.json", text).expect("write BENCH_pr5.json");
     eprintln!("[bench_smoke] wrote BENCH_pr5.json (min speedup {min_speedup:.2}x)");
+
+    vm_engine_bench(&study);
+}
+
+/// Part 2: the VM execution-tier benchmark (`BENCH_pr6.json`).
+fn vm_engine_bench(study: &Study) {
+    let mut layouts = serde_json::Map::new();
+    let mut min_speedup = f64::INFINITY;
+    for (name, set) in [
+        ("base", OptimizationSet::BASE),
+        ("all", OptimizationSet::ALL),
+    ] {
+        let image = study.image(set);
+
+        // Equivalence first: both tiers must produce bit-identical
+        // instruction traces and run outcomes.
+        let mut interp_buf = TraceBuffer::fetch_only();
+        let interp_out = study.run_measured_with(
+            &image,
+            &study.base_kernel_image,
+            &mut interp_buf,
+            VmEngine::Interp,
+        );
+        interp_out.assert_correct();
+        let mut block_buf = TraceBuffer::fetch_only();
+        let block_out = study.run_measured_with(
+            &image,
+            &study.base_kernel_image,
+            &mut block_buf,
+            VmEngine::Block,
+        );
+        block_out.assert_correct();
+        let interp_trace = interp_buf.freeze();
+        let block_trace = block_buf.freeze();
+        let digest = interp_trace.digest();
+        assert_eq!(
+            interp_trace, block_trace,
+            "block engine trace diverged from the interpreter on layout {name}"
+        );
+        assert_eq!(digest, block_trace.digest());
+        assert_eq!(interp_out.report, block_out.report, "reports diverged");
+        assert_eq!(
+            interp_out.per_process_txns, block_out.per_process_txns,
+            "transaction counts diverged"
+        );
+        let instructions = block_out.report.instructions;
+        let events = interp_trace.len();
+
+        // Throughput: best-of-N measured-phase wall time per tier, in
+        // two configurations — a null sink (pure execution) and a
+        // pre-sized fetch-only trace recording (what `Harness::measure`
+        // actually runs).
+        let mut interp_best = f64::INFINITY;
+        let mut block_best = f64::INFINITY;
+        let mut interp_rec_best = f64::INFINITY;
+        let mut block_rec_best = f64::INFINITY;
+        for _ in 0..VM_ROUNDS {
+            for (engine, exec, rec) in [
+                (VmEngine::Interp, &mut interp_best, &mut interp_rec_best),
+                (VmEngine::Block, &mut block_best, &mut block_rec_best),
+            ] {
+                let out = study.run_measured_with(
+                    &image,
+                    &study.base_kernel_image,
+                    &mut NullSink,
+                    engine,
+                );
+                *exec = exec.min(out.run_wall.as_secs_f64());
+                let mut buf = TraceBuffer::fetch_only();
+                buf.reserve(events);
+                let out =
+                    study.run_measured_with(&image, &study.base_kernel_image, &mut buf, engine);
+                *rec = rec.min(out.run_wall.as_secs_f64());
+            }
+        }
+        let speedup = interp_best / block_best.max(1e-12);
+        let rec_speedup = interp_rec_best / block_rec_best.max(1e-12);
+        min_speedup = min_speedup.min(speedup);
+        let cache = study
+            .new_machine_with(&image, &study.base_kernel_image, 0, VmEngine::Block)
+            .0
+            .code_cache_stats()
+            .unwrap_or((0, 0));
+        eprintln!(
+            "[bench_smoke] vm {name}: {instructions} instrs, {} runs ({} KiB cache): \
+             exec block {:.1} vs interp {:.1} M inst/s ({speedup:.2}x); \
+             record block {:.1} vs interp {:.1} M inst/s ({rec_speedup:.2}x)",
+            cache.0,
+            cache.1 / 1024,
+            instructions as f64 / block_best / 1e6,
+            instructions as f64 / interp_best / 1e6,
+            instructions as f64 / block_rec_best / 1e6,
+            instructions as f64 / interp_rec_best / 1e6,
+        );
+        layouts.insert(
+            name.to_string(),
+            serde_json::json!({
+                "instructions": instructions,
+                "trace_events": events as u64,
+                "trace_digest": digest,
+                "interp_secs": interp_best,
+                "block_secs": block_best,
+                "interp_minsts_per_sec": instructions as f64 / interp_best / 1e6,
+                "block_minsts_per_sec": instructions as f64 / block_best / 1e6,
+                "interp_record_minsts_per_sec": instructions as f64 / interp_rec_best / 1e6,
+                "block_record_minsts_per_sec": instructions as f64 / block_rec_best / 1e6,
+                "compiled_runs": cache.0 as u64,
+                "cache_bytes": cache.1 as u64,
+                "speedup": speedup,
+                "record_speedup": rec_speedup,
+            }),
+        );
+    }
+
+    let out = serde_json::json!({
+        "benchmark": "vm_engine_smoke",
+        "scenario": "quick",
+        "rounds": VM_ROUNDS as u64,
+        "equivalent": true,
+        "min_speedup": min_speedup,
+        "min_speedup_gate": MIN_VM_SPEEDUP,
+        "layouts": layouts,
+    });
+    let mut text = serde_json::to_string_pretty(&out).expect("serialize benchmark");
+    text.push('\n');
+    std::fs::write("BENCH_pr6.json", text).expect("write BENCH_pr6.json");
+    eprintln!("[bench_smoke] wrote BENCH_pr6.json (min speedup {min_speedup:.2}x)");
+    assert!(
+        min_speedup >= MIN_VM_SPEEDUP,
+        "block engine speedup {min_speedup:.2}x is below the {MIN_VM_SPEEDUP}x CI gate"
+    );
 }

@@ -51,6 +51,18 @@ fn main() {
             t.speedup()
         );
     }
+    if let Some(t) = h.vm_timing() {
+        eprintln!(
+            "[run_all] vm execution: {} instrs, {} compiled runs ({} KiB cache): \
+             {:.3}s block vs {:.3}s interp ({:.2}x engine speedup)",
+            t.instructions,
+            t.cache.0,
+            t.cache.1 / 1024,
+            t.block_secs,
+            t.interp_secs,
+            t.speedup()
+        );
+    }
 
     // Figure 15 on the single-processor scenario (the paper's hardware
     // execution-time runs are 1-processor).
@@ -115,6 +127,26 @@ fn print_throughput_table() {
             "replay throughput (M insts/sec)",
             &["layout", "job", "Minsts/s"],
             &rows,
+        );
+    }
+
+    // Execution throughput of the measured runs themselves (the
+    // `vm.run.<layout>.insts_per_sec` gauges, on the configured engine).
+    let mut vm_rows: Vec<Vec<String>> = Vec::new();
+    for (name, value) in &snapshot.gauges {
+        let Some(rest) = name.strip_prefix("vm.run.") else {
+            continue;
+        };
+        let Some(layout) = rest.strip_suffix(".insts_per_sec") else {
+            continue;
+        };
+        vm_rows.push(vec![layout.to_string(), format!("{:.1}", value / 1e6)]);
+    }
+    if !vm_rows.is_empty() {
+        print_table(
+            "vm execution throughput (M insts/sec)",
+            &["layout", "Minsts/s"],
+            &vm_rows,
         );
     }
 }

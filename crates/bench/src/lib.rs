@@ -47,7 +47,7 @@ use codelayout_memsim::{
 };
 use codelayout_oltp::{build_study, RunOutcome, Scenario, Study};
 use codelayout_timing::TimingModel;
-use codelayout_vm::{DataRecord, FetchRecord, TraceBuffer, TraceSink};
+use codelayout_vm::{DataRecord, FetchRecord, TraceBuffer, TraceSink, VmEngine};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -174,6 +174,29 @@ impl TraceSink for CompositeSink {
             self.hier_simos.data(rec);
         }
     }
+
+    fn fetch_run(&mut self, first: FetchRecord, n: u64) {
+        // Batch the counters and the trace append; the cache hierarchies
+        // are inherently per-access and see the expanded stream.
+        if first.kernel {
+            self.kernel_fetches += n;
+        } else {
+            self.user_fetches += n;
+        }
+        self.trace.fetch_run(first, n);
+        let mut rec = first;
+        for _ in 0..n {
+            self.hier_21264.fetch(rec);
+            self.hier_21164.fetch(rec);
+            if self.full {
+                self.seq_user.fetch(rec);
+                self.locality.fetch(rec);
+                self.fp.fetch(rec);
+                self.hier_simos.fetch(rec);
+            }
+            rec.addr += codelayout_ir::INSTR_BYTES;
+        }
+    }
 }
 
 /// Wall-clock measurement of one layout's grid sweeps: the
@@ -205,6 +228,43 @@ impl SweepTiming {
     }
 }
 
+/// Wall-clock measurement of one layout's measured run on both VM
+/// execution tiers: the block-compiled engine vs the interpreter
+/// oracle executing the identical workload (asserted to produce a
+/// bit-identical instruction trace and outcome).
+#[derive(Debug, Clone, Copy)]
+pub struct VmTiming {
+    /// Instructions the measured phase executed (identical on both tiers).
+    pub instructions: u64,
+    /// Wall-clock seconds of the measured phase on the interpreter.
+    pub interp_secs: f64,
+    /// Wall-clock seconds of the measured phase on the block engine.
+    pub block_secs: f64,
+    /// Compiled code-cache footprint of the block run: `(runs, bytes)`.
+    pub cache: (usize, usize),
+}
+
+impl VmTiming {
+    /// Measured execution-tier speedup (interpreter time / block time).
+    pub fn speedup(&self) -> f64 {
+        if self.block_secs > 0.0 {
+            self.interp_secs / self.block_secs
+        } else {
+            1.0
+        }
+    }
+
+    /// Instruction throughput of the block engine, instructions/second.
+    pub fn block_ips(&self) -> f64 {
+        self.instructions as f64 / self.block_secs.max(1e-9)
+    }
+
+    /// Instruction throughput of the interpreter, instructions/second.
+    pub fn interp_ips(&self) -> f64 {
+        self.instructions as f64 / self.interp_secs.max(1e-9)
+    }
+}
+
 /// Builds and caches per-layout measurements for one scenario.
 pub struct Harness {
     /// The prepared study (workload + profile).
@@ -214,7 +274,12 @@ pub struct Harness {
     scenario_label: String,
     sweeper: ParallelSweep,
     sweep_timing: Option<SweepTiming>,
+    vm_timing: Option<VmTiming>,
     output_digests: Vec<(String, String)>,
+    /// Largest fetch-event count seen so far; pre-sizes the next
+    /// layout's trace buffer so growth reallocs don't land inside the
+    /// timed measured run.
+    expected_events: usize,
 }
 
 impl Harness {
@@ -238,7 +303,9 @@ impl Harness {
             scenario_label: label.to_string(),
             sweeper: ParallelSweep::from_env(),
             sweep_timing: None,
+            vm_timing: None,
             output_digests: Vec::new(),
+            expected_events: 0,
         }
     }
 
@@ -258,6 +325,14 @@ impl Harness {
     /// `None` until a full layout (`base`/`all`) has been measured.
     pub fn sweep_timing(&self) -> Option<&SweepTiming> {
         self.sweep_timing.as_ref()
+    }
+
+    /// Timing of the first fully-instrumented layout's measured run on
+    /// both VM execution tiers (block-compiled vs interpreter oracle,
+    /// asserted trace-identical). `None` until a full layout has been
+    /// measured.
+    pub fn vm_timing(&self) -> Option<&VmTiming> {
+        self.vm_timing.as_ref()
     }
 
     /// Builds the scenario selected by `CODELAYOUT_SCENARIO`
@@ -325,6 +400,7 @@ impl Harness {
         let image = self.image_for(name);
         let num_cpus = self.study.scenario.num_cpus;
         let mut sink = CompositeSink::new(num_cpus, full);
+        sink.trace.reserve(self.expected_events);
         let outcome = self
             .study
             .run_measured(&image, &self.study.base_kernel_image, &mut sink);
@@ -335,6 +411,14 @@ impl Harness {
         // threads. Jobs: [user sizes, dm grid, combined sizes, kernel
         // sizes] — the last three only for fully-instrumented layouts.
         let trace = std::mem::take(&mut sink.trace).freeze();
+        self.expected_events = self.expected_events.max(trace.len());
+        codelayout_obs::metrics().gauge_set(
+            &format!("vm.run.{name}.insts_per_sec"),
+            outcome.report.instructions as f64 / outcome.run_wall.as_secs_f64().max(1e-9),
+        );
+        if full && self.vm_timing.is_none() {
+            self.vm_oracle_run(name, &image, &trace, &outcome);
+        }
         let mut jobs = vec![sizes_4w_spec(num_cpus, StreamFilter::UserOnly)];
         if full {
             jobs.push(
@@ -420,6 +504,77 @@ impl Harness {
         }
     }
 
+    /// Once per evaluation: re-execute the measured run on the *other*
+    /// VM execution tier (interpreter oracle vs block-compiled) and
+    /// assert the instruction trace and outcome are bit-identical — the
+    /// standing correctness check behind the engine-speedup number.
+    fn vm_oracle_run(
+        &mut self,
+        name: &str,
+        image: &Arc<Image>,
+        trace: &codelayout_vm::FrozenTrace,
+        outcome: &RunOutcome,
+    ) {
+        let engine = self.study.machine_config().engine;
+        let other = match engine {
+            VmEngine::Interp => VmEngine::Block,
+            VmEngine::Block => VmEngine::Interp,
+        };
+        let oracle_span = codelayout_obs::span("oracle_run");
+        let mut oracle_trace = TraceBuffer::fetch_only();
+        oracle_trace.reserve(trace.len());
+        let oracle = self.study.run_measured_with(
+            image,
+            &self.study.base_kernel_image,
+            &mut oracle_trace,
+            other,
+        );
+        oracle_span.finish();
+        oracle.assert_correct();
+        assert_eq!(
+            oracle_trace.freeze(),
+            *trace,
+            "{name}: {} engine diverged from {} engine",
+            other.label(),
+            engine.label(),
+        );
+        assert_eq!(oracle.report, outcome.report, "{name}: reports diverged");
+        assert_eq!(
+            oracle.invariants, outcome.invariants,
+            "{name}: invariants diverged"
+        );
+        assert_eq!(
+            oracle.per_process_txns, outcome.per_process_txns,
+            "{name}: per-process transaction counts diverged"
+        );
+        let (interp_secs, block_secs) = match engine {
+            VmEngine::Block => (
+                oracle.run_wall.as_secs_f64(),
+                outcome.run_wall.as_secs_f64(),
+            ),
+            VmEngine::Interp => (
+                outcome.run_wall.as_secs_f64(),
+                oracle.run_wall.as_secs_f64(),
+            ),
+        };
+        // The code cache still holds this image's compiled form (the
+        // image `Arc` is alive), so a fresh machine reports it cheaply.
+        let cache = self
+            .study
+            .new_machine_with(image, &self.study.base_kernel_image, 0, VmEngine::Block)
+            .0
+            .code_cache_stats()
+            .unwrap_or((0, 0));
+        let timing = VmTiming {
+            instructions: outcome.report.instructions,
+            interp_secs,
+            block_secs,
+            cache,
+        };
+        codelayout_obs::metrics().gauge_set("vm.engine_speedup", timing.speedup());
+        self.vm_timing = Some(timing);
+    }
+
     /// Per-job replay throughput gauges for one measured layout. Job
     /// labels follow the fixed job order [`Harness::measure`] builds:
     /// the user size sweep always runs; fully-instrumented layouts add
@@ -493,6 +648,7 @@ impl Harness {
             "seed": sc.seed,
             "sweep_threads": self.sweeper.threads() as u64,
             "sweep_engine": self.sweeper.engine().label(),
+            "vm_engine": self.study.machine_config().engine.label(),
         })
     }
 

@@ -15,6 +15,7 @@
 //! | `CODELAYOUT_SCENARIO` | [`RunEnv::scenario`] | workload scale: `quick` / `sim` / `hw` (default `sim`) |
 //! | `CODELAYOUT_THREADS` | [`RunEnv::threads`] | sweep worker count (default: available parallelism) |
 //! | `CODELAYOUT_SWEEP_ENGINE` | [`RunEnv::sweep_engine`] | `stack` (default) or `direct` grid-replay engine |
+//! | `CODELAYOUT_VM_ENGINE` | [`RunEnv::vm_engine`] | `block` (default) or `interp` VM execution tier |
 //! | `CODELAYOUT_TRACE_OUT` | [`RunEnv::trace_out`] | JSON-lines span event log file |
 //! | `CODELAYOUT_UPDATE_GOLDEN` | [`RunEnv::update_golden`] | `1` = rewrite golden snapshots instead of asserting |
 //!
@@ -29,6 +30,8 @@ pub const SCENARIO_ENV: &str = "CODELAYOUT_SCENARIO";
 pub const THREADS_ENV: &str = "CODELAYOUT_THREADS";
 /// Environment variable selecting the grid-replay engine.
 pub const SWEEP_ENGINE_ENV: &str = "CODELAYOUT_SWEEP_ENGINE";
+/// Environment variable selecting the VM execution tier.
+pub const VM_ENGINE_ENV: &str = "CODELAYOUT_VM_ENGINE";
 /// Environment variable naming the JSON-lines span event log file.
 pub const TRACE_OUT_ENV: &str = "CODELAYOUT_TRACE_OUT";
 /// Environment variable switching golden tests into rewrite mode.
@@ -82,6 +85,33 @@ impl SweepEngine {
     }
 }
 
+/// VM execution tier selected by `CODELAYOUT_VM_ENGINE`.
+///
+/// `Block` pre-compiles each basic block of a linked image into a flat
+/// superinstruction form and executes whole blocks at a time; `Interp`
+/// is the deliberately-plain one-instruction-at-a-time decoder that
+/// survives as the equivalence oracle (the same discipline as
+/// [`SweepEngine::Direct`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum VmEngine {
+    /// Decode-dispatch interpreter; the oracle.
+    Interp,
+    /// Block-compiled tier with a per-image code cache (default).
+    #[default]
+    Block,
+}
+
+impl VmEngine {
+    /// Stable lowercase name (`"interp"` / `"block"`), as accepted by
+    /// `CODELAYOUT_VM_ENGINE` and recorded in run manifests.
+    pub fn label(self) -> &'static str {
+        match self {
+            VmEngine::Interp => "interp",
+            VmEngine::Block => "block",
+        }
+    }
+}
+
 /// Every `CODELAYOUT_*` knob, parsed once per process.
 #[derive(Debug, Clone)]
 pub struct RunEnv {
@@ -93,6 +123,9 @@ pub struct RunEnv {
     /// Grid-replay engine (`CODELAYOUT_SWEEP_ENGINE`), default
     /// [`SweepEngine::Stack`].
     pub sweep_engine: SweepEngine,
+    /// VM execution tier (`CODELAYOUT_VM_ENGINE`), default
+    /// [`VmEngine::Block`].
+    pub vm_engine: VmEngine,
     /// Span event-log file (`CODELAYOUT_TRACE_OUT`), if any.
     pub trace_out: Option<String>,
     /// True when golden tests should rewrite their snapshots
@@ -126,12 +159,21 @@ impl RunEnv {
                 SweepEngine::Stack
             }
         };
+        let vm_engine = match std::env::var(VM_ENGINE_ENV).as_deref() {
+            Ok("interp") => VmEngine::Interp,
+            Ok("block") | Err(_) => VmEngine::Block,
+            Ok(other) => {
+                eprintln!("warning: {VM_ENGINE_ENV}={other} is not interp/block; using block");
+                VmEngine::Block
+            }
+        };
         let trace_out = std::env::var(TRACE_OUT_ENV).ok().filter(|p| !p.is_empty());
         let update_golden = std::env::var(UPDATE_GOLDEN_ENV).as_deref() == Ok("1");
         RunEnv {
             scenario,
             threads,
             sweep_engine,
+            vm_engine,
             trace_out,
             update_golden,
         }
@@ -184,6 +226,9 @@ mod tests {
         assert_eq!(SweepEngine::Stack.label(), "stack");
         assert_eq!(SweepEngine::Direct.label(), "direct");
         assert_eq!(SweepEngine::default(), SweepEngine::Stack);
+        assert_eq!(VmEngine::Interp.label(), "interp");
+        assert_eq!(VmEngine::Block.label(), "block");
+        assert_eq!(VmEngine::default(), VmEngine::Block);
     }
 
     #[test]

@@ -316,7 +316,7 @@ fn validate_phase(p: &Value) -> Result<(), String> {
 
 /// Keys whose values are wall-clock noise, environment-dependent, or
 /// content hashes — masked by [`mask_volatile`] wherever they appear.
-pub const VOLATILE_KEYS: [&str; 11] = [
+pub const VOLATILE_KEYS: [&str; 12] = [
     "git",
     "created_unix_ms",
     "wall_ns",
@@ -328,6 +328,7 @@ pub const VOLATILE_KEYS: [&str; 11] = [
     "threads_env",
     "sweep_threads",
     "sweep_engine",
+    "vm_engine",
 ];
 
 /// Returns a copy of a manifest with volatile values masked: values of

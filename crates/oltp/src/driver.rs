@@ -16,8 +16,8 @@ use codelayout_ir::link::link;
 use codelayout_ir::{Image, Layout, Reg};
 use codelayout_profile::{PixieCollector, Profile};
 use codelayout_vm::{
-    Machine, MachineConfig, NullSink, PairHook, RunReport, SyscallDef, TraceSink, APP_TEXT_BASE,
-    KERNEL_TEXT_BASE,
+    Machine, MachineConfig, NullSink, PairHook, RunReport, SyscallDef, TraceSink, VmEngine,
+    APP_TEXT_BASE, KERNEL_TEXT_BASE,
 };
 use std::sync::Arc;
 
@@ -36,6 +36,10 @@ pub struct RunOutcome {
     pub invariants: Invariants,
     /// Transactions executed per process (from the `Emit` channel).
     pub per_process_txns: Vec<i64>,
+    /// Host wall-clock time of the measured phase (warmup excluded).
+    /// The only field that may legitimately differ between execution
+    /// tiers; everything else is deterministic.
+    pub run_wall: std::time::Duration,
 }
 
 impl RunOutcome {
@@ -191,7 +195,9 @@ impl Study {
         ]
     }
 
-    /// The machine configuration for this scenario.
+    /// The machine configuration for this scenario. The execution tier
+    /// comes from the process environment (`CODELAYOUT_VM_ENGINE`) via
+    /// [`MachineConfig::default`].
     pub fn machine_config(&self) -> MachineConfig {
         MachineConfig {
             num_cpus: self.scenario.num_cpus,
@@ -201,6 +207,7 @@ impl Study {
             shared_words: self.sga.total_words.next_power_of_two(),
             max_call_depth: 128,
             sched_proc: Some(self.kernel.sched),
+            ..MachineConfig::default()
         }
     }
 
@@ -212,11 +219,31 @@ impl Study {
         kernel_image: &Arc<Image>,
         txn_limit: u64,
     ) -> (Machine, SgaLayout) {
+        self.new_machine_with(
+            app_image,
+            kernel_image,
+            txn_limit,
+            self.machine_config().engine,
+        )
+    }
+
+    /// [`Study::new_machine`] with an explicit execution tier, for
+    /// cross-engine oracle runs that must ignore the environment knob.
+    pub fn new_machine_with(
+        &self,
+        app_image: &Arc<Image>,
+        kernel_image: &Arc<Image>,
+        txn_limit: u64,
+        engine: VmEngine,
+    ) -> (Machine, SgaLayout) {
         let mut m = Machine::with_kernel(
             Arc::clone(app_image),
             Arc::clone(kernel_image),
             self.syscall_table(),
-            self.machine_config(),
+            MachineConfig {
+                engine,
+                ..self.machine_config()
+            },
         );
         let mut sga = self.sga.clone();
         sga.load_database(&mut m, txn_limit as i64);
@@ -270,9 +297,22 @@ impl Study {
         kernel_image: &Arc<Image>,
         sink: &mut S,
     ) -> RunOutcome {
+        self.run_measured_with(app_image, kernel_image, sink, self.machine_config().engine)
+    }
+
+    /// [`Study::run_measured`] on an explicit execution tier. Both tiers
+    /// produce identical traces and outcomes; only [`RunOutcome::run_wall`]
+    /// differs, which is what engine-speedup benchmarks measure.
+    pub fn run_measured_with<S: TraceSink>(
+        &self,
+        app_image: &Arc<Image>,
+        kernel_image: &Arc<Image>,
+        sink: &mut S,
+        engine: VmEngine,
+    ) -> RunOutcome {
         let _span = codelayout_obs::span("measured_run");
         let total = self.scenario.warmup_txns + self.scenario.measure_txns;
-        let (mut m, sga) = self.new_machine(app_image, kernel_image, total);
+        let (mut m, sga) = self.new_machine_with(app_image, kernel_image, total, engine);
 
         // Warm-up phase: caches in the paper's methodology are warmed
         // before measurement; here the sink simply isn't attached yet. The
@@ -294,6 +334,7 @@ impl Study {
         warmup_span.finish();
 
         let run_span = codelayout_obs::span("run");
+        let run_start = std::time::Instant::now();
         let mut report = RunReport::default();
         while m.live_processes() > 0 {
             let r = m.run(sink, CHUNK);
@@ -303,6 +344,7 @@ impl Study {
                 "measured run exceeded instruction ceiling"
             );
         }
+        let run_wall = run_start.elapsed();
         run_span.finish();
         let metrics = codelayout_obs::metrics();
         metrics.add("run.measured_runs", 1);
@@ -315,6 +357,7 @@ impl Study {
             report,
             invariants,
             per_process_txns,
+            run_wall,
         }
     }
 }

@@ -1,0 +1,62 @@
+//! Raw execution-tier throughput on a tight loop, without OLTP
+//! scheduling in the way: `cargo run --release -p codelayout-vm
+//! --example engine_bench`.
+
+use codelayout_ir::link::link;
+use codelayout_ir::{BinOp, Cond, Layout, MemSpace, Operand, ProcBuilder, ProgramBuilder, Reg};
+use codelayout_vm::{Machine, MachineConfig, NullSink, VmEngine, APP_TEXT_BASE};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let mut pb = ProgramBuilder::new("spin");
+    let main = pb.declare_proc("main");
+    let mut f = ProcBuilder::new();
+    let head = f.entry();
+    let body = f.new_block();
+    let done = f.new_block();
+    f.select(head);
+    f.branch(Cond::Gt, Reg(1), Operand::Imm(0), body, done);
+    f.select(body);
+    // A representative mix: ALU chain, a private load+store, a shared rmw.
+    f.imm(Reg(2), 3)
+        .bin(BinOp::Add, Reg(3), Reg(3), Reg(2))
+        .bin_imm(BinOp::Xor, Reg(4), Reg(3), 0x55)
+        .store(Reg(4), Reg(6), 0, MemSpace::Private)
+        .load(Reg(5), Reg(6), 0, MemSpace::Private)
+        .bin(BinOp::Add, Reg(7), Reg(7), Reg(5))
+        .atomic_rmw(BinOp::Add, Reg(8), Reg(0), 16, Reg(2), MemSpace::Shared)
+        .bin_imm(BinOp::Sub, Reg(1), Reg(1), 1);
+    f.jump(head);
+    f.select(done);
+    f.halt();
+    pb.define_proc(main, f).unwrap();
+    let p = pb.finish(main).unwrap();
+    let image = Arc::new(link(&p, &Layout::natural(&p), APP_TEXT_BASE).unwrap());
+
+    let iters: i64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3_000_000);
+    for engine in [VmEngine::Interp, VmEngine::Block] {
+        let mut m = Machine::new(
+            Arc::clone(&image),
+            MachineConfig {
+                engine,
+                quantum: 100_000,
+                ..MachineConfig::default()
+            },
+        );
+        m.set_reg(0, Reg(1), iters);
+        let t = Instant::now();
+        let report = m.run(&mut NullSink, u64::MAX);
+        let secs = t.elapsed().as_secs_f64();
+        println!(
+            "{:>6}: {} instrs in {:.3}s = {:.1} M inst/s",
+            format!("{engine:?}"),
+            report.instructions,
+            secs,
+            report.instructions as f64 / secs / 1e6
+        );
+    }
+}

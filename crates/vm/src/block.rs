@@ -1,0 +1,1166 @@
+//! The block-compiled execution tier.
+//!
+//! A linked [`Image`] is pre-decoded once into a [`CompiledImage`]: for
+//! every basic block, the instructions are lowered to a flat
+//! superinstruction stream ([`COp`]) with operands already masked,
+//! memory space and base pre-selected, immediate offsets pre-widened,
+//! and common pairs fused (`Imm`+`Bin`, `Imm`+`Imm`, `Load`+use).
+//! Block extents are additionally split at **every** control-transfer
+//! instruction (`Call`, `Syscall`, `Br`, `BrCond`, `JmpTbl`, `Ret`,
+//! `Halt`) into **runs** — the linker's extents legitimately contain
+//! internal guard branches, so one block can span several runs — which
+//! makes every resumption point the scheduler, a branch, or a `Ret` can
+//! land on (block entries, branch targets, post-call and post-syscall
+//! continuations) itself a run entry. Fall-through and transfer targets
+//! are resolved to `(pc, BlockId)` pairs at compile time, pending
+//! instruction fetches fold into the next memory op's record, and
+//! straight-line tails are emitted as one batched
+//! [`TraceSink::fetch_run`] call — placed so that data records keep
+//! their exact position in the stream. A non-stopping terminator chains
+//! directly into the successor run while the remaining quantum covers
+//! it, without returning to the dispatch loop.
+//!
+//! **Oracle contract:** executing a run is observationally identical —
+//! same sink records, same hook events, same architectural effects,
+//! same fault points — to executing its instructions one at a time with
+//! [`ExecCtx::step`]. Anything the compiler cannot prove it can
+//! reproduce exactly (a block whose fall-through leaves the text
+//! segment, an unresolvable transfer target) is simply not registered
+//! in the run table, and the engine falls back to `step` for it. The
+//! same fallback executes mid-run entry points (quantum-expiry
+//! resumption, returns landing mid-block), which guarantees exact
+//! equivalence on those paths by construction.
+
+use crate::exec::ExecCtx;
+use crate::hook::ExecHook;
+use crate::machine::{rget, rset, Fault, Machine, RunReport, Stop};
+use crate::sink::{DataRecord, FetchRecord, TraceSink};
+use crate::SHARED_DATA_BASE;
+use codelayout_ir::{BinOp, BlockId, Cond, Image, LInstr, MemSpace, Operand, ProcId, Reg};
+use std::sync::Arc;
+
+/// Sentinel in the run table: this pc is not a run entry.
+const NO_RUN: u32 = u32::MAX;
+
+/// Register-or-immediate operand with the immediate pre-widened.
+#[derive(Debug, Clone, Copy)]
+enum CRhs {
+    R(Reg),
+    I(i64),
+}
+
+#[inline(always)]
+fn crhs(regs: &[i64; 32], r: CRhs) -> i64 {
+    match r {
+        CRhs::R(reg) => rget(regs, reg),
+        CRhs::I(v) => v,
+    }
+}
+
+impl CRhs {
+    fn of(op: Operand) -> CRhs {
+        match op {
+            Operand::Reg(r) => CRhs::R(r),
+            Operand::Imm(v) => CRhs::I(v),
+        }
+    }
+}
+
+/// One pre-decoded superinstruction.
+#[derive(Debug, Clone)]
+enum COp {
+    /// Emit `n` consecutive instruction-fetch records. Placed so the
+    /// sink's fetch/data interleaving matches the interpreter exactly;
+    /// `Nop`s contribute a fetch but no operation.
+    Fetch {
+        n: u32,
+    },
+    Imm {
+        dst: Reg,
+        val: i64,
+    },
+    /// Fused `Imm` + `Imm`.
+    Imm2 {
+        d1: Reg,
+        v1: i64,
+        d2: Reg,
+        v2: i64,
+    },
+    /// Fused `Imm` + `Bin` whose rhs register is the just-written
+    /// immediate destination.
+    ImmBin {
+        imm_dst: Reg,
+        imm: i64,
+        op: BinOp,
+        dst: Reg,
+        lhs: Reg,
+    },
+    Mov {
+        dst: Reg,
+        src: Reg,
+    },
+    BinRR {
+        op: BinOp,
+        dst: Reg,
+        lhs: Reg,
+        rhs: Reg,
+    },
+    BinRI {
+        op: BinOp,
+        dst: Reg,
+        lhs: Reg,
+        imm: i64,
+    },
+    LoadPriv {
+        nf: u32,
+        dst: Reg,
+        base: Reg,
+        off: i64,
+    },
+    LoadShared {
+        nf: u32,
+        dst: Reg,
+        base: Reg,
+        off: i64,
+    },
+    /// Fused load + `Bin` whose lhs is the just-loaded destination.
+    LoadOpPriv {
+        nf: u32,
+        dst: Reg,
+        base: Reg,
+        off: i64,
+        op: BinOp,
+        bdst: Reg,
+        rhs: CRhs,
+    },
+    LoadOpShared {
+        nf: u32,
+        dst: Reg,
+        base: Reg,
+        off: i64,
+        op: BinOp,
+        bdst: Reg,
+        rhs: CRhs,
+    },
+    StorePriv {
+        nf: u32,
+        src: Reg,
+        base: Reg,
+        off: i64,
+    },
+    StoreShared {
+        nf: u32,
+        src: Reg,
+        base: Reg,
+        off: i64,
+    },
+    RmwPriv {
+        nf: u32,
+        op: BinOp,
+        dst: Reg,
+        base: Reg,
+        off: i64,
+        src: Reg,
+    },
+    RmwShared {
+        nf: u32,
+        op: BinOp,
+        dst: Reg,
+        base: Reg,
+        off: i64,
+        src: Reg,
+    },
+    Emit {
+        src: Reg,
+    },
+}
+
+/// How a run ends, with every target pre-resolved to `(pc, block)`.
+#[derive(Debug, Clone)]
+enum CTerm {
+    /// The run's last instruction is a plain body instruction and the
+    /// next pc starts a different block (fall-through edge). Carries no
+    /// instruction of its own.
+    FallThrough {
+        next_pc: u32,
+        next_block: BlockId,
+    },
+    Jump {
+        target: u32,
+        block: BlockId,
+    },
+    Branch {
+        cond: Cond,
+        reg: Reg,
+        rhs: CRhs,
+        taken: u32,
+        taken_block: BlockId,
+        fall: u32,
+        fall_block: BlockId,
+    },
+    JmpTbl {
+        reg: Reg,
+        targets: Box<[(u32, BlockId)]>,
+        default: u32,
+        default_block: BlockId,
+    },
+    Call {
+        callee: ProcId,
+        target: u32,
+        target_block: BlockId,
+        ret_pc: u32,
+    },
+    Syscall {
+        code: u16,
+        ret_pc: u32,
+    },
+    Ret,
+    Halt,
+}
+
+/// A maximal straight-line run: part of one basic block, ending at the
+/// block terminator or at a `Call`/`Syscall`.
+#[derive(Debug, Clone)]
+struct CRun {
+    ops: (u32, u32),
+    /// Byte address of the run's first instruction (base pre-applied).
+    first_addr: u64,
+    /// Instructions this run covers, including a real terminator
+    /// instruction (but not a fall-through, which has none).
+    n_instrs: u32,
+    /// Pc of the terminator instruction. The interpreter leaves the
+    /// process pc pointing at the instruction that stopped it (halt,
+    /// fault, blocking return); stop paths restore this to match.
+    /// Meaningless for a fall-through (which has no terminator).
+    term_pc: u32,
+    block: BlockId,
+    term: CTerm,
+}
+
+/// A fully pre-decoded image: the run table plus the flattened
+/// superinstruction stream. Immutable once built; shared via the
+/// process-wide code cache ([`crate::cache`]).
+#[derive(Debug)]
+pub(crate) struct CompiledImage {
+    /// `run_at[pc]` = run index, or [`NO_RUN`].
+    run_at: Vec<u32>,
+    runs: Vec<CRun>,
+    ops: Vec<COp>,
+    /// Heap bytes held by jump-table targets.
+    table_bytes: usize,
+}
+
+impl CompiledImage {
+    /// Pre-decodes every basic block of `image`.
+    pub(crate) fn compile(image: &Image) -> CompiledImage {
+        let n = image.code.len();
+        let mut out = CompiledImage {
+            run_at: vec![NO_RUN; n],
+            runs: Vec::new(),
+            ops: Vec::new(),
+            table_bytes: 0,
+        };
+        // Blocks occupy contiguous pc ranges; walk the block_of runs.
+        let mut i = 0usize;
+        while i < n {
+            let b = image.block_of[i];
+            let mut j = i + 1;
+            while j < n && image.block_of[j] == b {
+                j += 1;
+            }
+            out.compile_extent(image, i, j, b);
+            i = j;
+        }
+        out
+    }
+
+    /// Number of compiled runs.
+    pub(crate) fn num_runs(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Approximate resident bytes of the compiled form.
+    pub(crate) fn size_bytes(&self) -> usize {
+        self.run_at.len() * std::mem::size_of::<u32>()
+            + self.runs.len() * std::mem::size_of::<CRun>()
+            + self.ops.len() * std::mem::size_of::<COp>()
+            + self.table_bytes
+    }
+
+    #[inline]
+    fn run_index(&self, pc: u32) -> Option<u32> {
+        match self.run_at.get(pc as usize) {
+            Some(&ri) if ri != NO_RUN => Some(ri),
+            _ => None,
+        }
+    }
+
+    /// Compiles one block extent `[s, e)` into runs, splitting at every
+    /// control-transfer instruction — `Call`/`Syscall` continuations and
+    /// the fall-through side of a mid-extent `Br`/`BrCond` are run
+    /// entries of their own. Bails out (leaving the remainder to the
+    /// interpreter) on anything it cannot reproduce exactly.
+    fn compile_extent(&mut self, image: &Image, s: usize, e: usize, b: BlockId) {
+        let code = &image.code;
+        let n = code.len();
+        let resolve = |pc: u32| -> Option<(u32, BlockId)> {
+            ((pc as usize) < n).then(|| (pc, image.block_of[pc as usize]))
+        };
+        let mut run_start = s;
+        for (k, instr) in code.iter().enumerate().take(e).skip(s) {
+            let term = match instr {
+                LInstr::Call { callee, target } => {
+                    let Some((target, target_block)) = resolve(*target) else {
+                        return;
+                    };
+                    CTerm::Call {
+                        callee: *callee,
+                        target,
+                        target_block,
+                        ret_pc: k as u32 + 1,
+                    }
+                }
+                LInstr::Syscall { code: sc } => CTerm::Syscall {
+                    code: *sc,
+                    ret_pc: k as u32 + 1,
+                },
+                LInstr::Br { target } => {
+                    let Some((target, block)) = resolve(*target) else {
+                        return;
+                    };
+                    CTerm::Jump { target, block }
+                }
+                LInstr::BrCond {
+                    cond,
+                    reg,
+                    rhs,
+                    target,
+                } => {
+                    let Some((taken, taken_block)) = resolve(*target) else {
+                        return;
+                    };
+                    let Some((fall, fall_block)) = resolve(k as u32 + 1) else {
+                        return;
+                    };
+                    CTerm::Branch {
+                        cond: *cond,
+                        reg: *reg,
+                        rhs: CRhs::of(*rhs),
+                        taken,
+                        taken_block,
+                        fall,
+                        fall_block,
+                    }
+                }
+                LInstr::JmpTbl {
+                    reg,
+                    table,
+                    default,
+                } => {
+                    let mut targets = Vec::with_capacity(table.len());
+                    for &t in table.iter() {
+                        let Some(rt) = resolve(t) else { return };
+                        targets.push(rt);
+                    }
+                    let Some((default, default_block)) = resolve(*default) else {
+                        return;
+                    };
+                    self.table_bytes += targets.len() * std::mem::size_of::<(u32, BlockId)>();
+                    CTerm::JmpTbl {
+                        reg: *reg,
+                        targets: targets.into_boxed_slice(),
+                        default,
+                        default_block,
+                    }
+                }
+                LInstr::Ret => CTerm::Ret,
+                LInstr::Halt => CTerm::Halt,
+                _ => continue,
+            };
+            self.push_run(image, run_start, k, (k - run_start + 1) as u32, b, term);
+            run_start = k + 1;
+        }
+        if run_start >= e {
+            return; // extent ended with a control transfer
+        }
+        // Trailing body instructions: fall-through edge to the next
+        // block (if there is no next instruction, the interpreter's
+        // mid-run PcOutOfRange cannot be batched).
+        let Some((next_pc, next_block)) = resolve(e as u32) else {
+            return;
+        };
+        self.push_run(
+            image,
+            run_start,
+            e,
+            (e - run_start) as u32,
+            b,
+            CTerm::FallThrough {
+                next_pc,
+                next_block,
+            },
+        );
+    }
+
+    /// Lowers the body `[start, body_end)` plus terminator into the op
+    /// stream and registers the run at `start`.
+    fn push_run(
+        &mut self,
+        image: &Image,
+        start: usize,
+        body_end: usize,
+        n_instrs: u32,
+        block: BlockId,
+        term: CTerm,
+    ) {
+        debug_assert!(n_instrs >= 1);
+        let code = &image.code;
+        let ops_start = self.ops.len() as u32;
+        // `pending` counts instruction fetches not yet emitted; a fetch
+        // batch is flushed immediately before every data-emitting op so
+        // the sink's fetch/data interleaving matches the interpreter.
+        let mut pending: u32 = 0;
+        let mut k = start;
+        while k < body_end {
+            let nxt = if k + 1 < body_end {
+                Some(&code[k + 1])
+            } else {
+                None
+            };
+            match &code[k] {
+                LInstr::Imm { dst, value } => {
+                    if let Some(LInstr::Bin {
+                        op,
+                        dst: bdst,
+                        lhs,
+                        rhs: Operand::Reg(r),
+                    }) = nxt
+                    {
+                        if r == dst {
+                            self.ops.push(COp::ImmBin {
+                                imm_dst: *dst,
+                                imm: *value,
+                                op: *op,
+                                dst: *bdst,
+                                lhs: *lhs,
+                            });
+                            pending += 2;
+                            k += 2;
+                            continue;
+                        }
+                    }
+                    if let Some(LInstr::Imm { dst: d2, value: v2 }) = nxt {
+                        self.ops.push(COp::Imm2 {
+                            d1: *dst,
+                            v1: *value,
+                            d2: *d2,
+                            v2: *v2,
+                        });
+                        pending += 2;
+                        k += 2;
+                        continue;
+                    }
+                    self.ops.push(COp::Imm {
+                        dst: *dst,
+                        val: *value,
+                    });
+                    pending += 1;
+                    k += 1;
+                }
+                LInstr::Mov { dst, src } => {
+                    self.ops.push(COp::Mov {
+                        dst: *dst,
+                        src: *src,
+                    });
+                    pending += 1;
+                    k += 1;
+                }
+                LInstr::Bin { op, dst, lhs, rhs } => {
+                    self.ops.push(match rhs {
+                        Operand::Reg(r) => COp::BinRR {
+                            op: *op,
+                            dst: *dst,
+                            lhs: *lhs,
+                            rhs: *r,
+                        },
+                        Operand::Imm(v) => COp::BinRI {
+                            op: *op,
+                            dst: *dst,
+                            lhs: *lhs,
+                            imm: *v,
+                        },
+                    });
+                    pending += 1;
+                    k += 1;
+                }
+                LInstr::Load {
+                    dst,
+                    base,
+                    offset,
+                    space,
+                } => {
+                    let off = *offset as i64;
+                    // Fuse a following Bin that consumes the loaded value.
+                    let fused = match nxt {
+                        Some(LInstr::Bin {
+                            op,
+                            dst: bdst,
+                            lhs,
+                            rhs,
+                        }) if lhs == dst => Some((*op, *bdst, CRhs::of(*rhs))),
+                        _ => None,
+                    };
+                    let nf = pending + 1;
+                    pending = 0;
+                    match (space, fused) {
+                        (MemSpace::Private, None) => self.ops.push(COp::LoadPriv {
+                            nf,
+                            dst: *dst,
+                            base: *base,
+                            off,
+                        }),
+                        (MemSpace::Shared, None) => self.ops.push(COp::LoadShared {
+                            nf,
+                            dst: *dst,
+                            base: *base,
+                            off,
+                        }),
+                        (MemSpace::Private, Some((op, bdst, rhs))) => {
+                            self.ops.push(COp::LoadOpPriv {
+                                nf,
+                                dst: *dst,
+                                base: *base,
+                                off,
+                                op,
+                                bdst,
+                                rhs,
+                            })
+                        }
+                        (MemSpace::Shared, Some((op, bdst, rhs))) => {
+                            self.ops.push(COp::LoadOpShared {
+                                nf,
+                                dst: *dst,
+                                base: *base,
+                                off,
+                                op,
+                                bdst,
+                                rhs,
+                            })
+                        }
+                    }
+                    if fused.is_some() {
+                        // The fused Bin's fetch opens the next segment.
+                        pending = 1;
+                        k += 2;
+                    } else {
+                        k += 1;
+                    }
+                }
+                LInstr::Store {
+                    src,
+                    base,
+                    offset,
+                    space,
+                } => {
+                    let off = *offset as i64;
+                    let nf = pending + 1;
+                    pending = 0;
+                    self.ops.push(match space {
+                        MemSpace::Private => COp::StorePriv {
+                            nf,
+                            src: *src,
+                            base: *base,
+                            off,
+                        },
+                        MemSpace::Shared => COp::StoreShared {
+                            nf,
+                            src: *src,
+                            base: *base,
+                            off,
+                        },
+                    });
+                    k += 1;
+                }
+                LInstr::AtomicRmw {
+                    op,
+                    dst,
+                    base,
+                    offset,
+                    src,
+                    space,
+                } => {
+                    let off = *offset as i64;
+                    let nf = pending + 1;
+                    pending = 0;
+                    self.ops.push(match space {
+                        MemSpace::Private => COp::RmwPriv {
+                            nf,
+                            op: *op,
+                            dst: *dst,
+                            base: *base,
+                            off,
+                            src: *src,
+                        },
+                        MemSpace::Shared => COp::RmwShared {
+                            nf,
+                            op: *op,
+                            dst: *dst,
+                            base: *base,
+                            off,
+                            src: *src,
+                        },
+                    });
+                    k += 1;
+                }
+                LInstr::Emit { src } => {
+                    self.ops.push(COp::Emit { src: *src });
+                    pending += 1;
+                    k += 1;
+                }
+                LInstr::Nop => {
+                    // Architecturally invisible: contributes only its fetch.
+                    pending += 1;
+                    k += 1;
+                }
+                // Terminators cannot appear in a body (checked by
+                // compile_extent; calls/syscalls split runs).
+                LInstr::Br { .. }
+                | LInstr::BrCond { .. }
+                | LInstr::JmpTbl { .. }
+                | LInstr::Call { .. }
+                | LInstr::Syscall { .. }
+                | LInstr::Ret
+                | LInstr::Halt => unreachable!("terminator in run body"),
+            }
+        }
+        // The terminator instruction's own fetch (none for fall-through).
+        if !matches!(term, CTerm::FallThrough { .. }) {
+            pending += 1;
+        }
+        if pending > 0 {
+            self.ops.push(COp::Fetch { n: pending });
+        }
+        let ri = self.runs.len() as u32;
+        self.runs.push(CRun {
+            ops: (ops_start, self.ops.len() as u32),
+            first_addr: image.addr(start as u32),
+            n_instrs,
+            term_pc: body_end as u32,
+            block,
+            term,
+        });
+        self.run_at[start] = ri;
+    }
+}
+
+/// The one trace-emission site shared by every memory-op arm: the
+/// pending instruction fetches folded into the op, then its data
+/// record. Outlined on purpose — inlining a recording sink's push
+/// paths into all eight memory arms bloats the dispatch loop well past
+/// L1i and costs more than the call ever does.
+#[inline(never)]
+fn emit_mem<S: TraceSink>(sink: &mut S, fetch: FetchRecord, nf: u32, daddr: u64, write: bool) {
+    sink.fetch_run(fetch, u64::from(nf));
+    sink.data(DataRecord {
+        addr: daddr,
+        cpu: fetch.cpu,
+        pid: fetch.pid,
+        kernel: fetch.kernel,
+        write,
+    });
+}
+
+impl ExecCtx<'_> {
+    /// Executes a *chain* of runs: one whole run, then — as long as the
+    /// next pc is itself a compiled run in the same image and mode and
+    /// the remaining quantum covers it — the successor run, without
+    /// returning to the dispatch loop. The caller has already checked
+    /// that the remaining quantum covers the first run. Returns `None`
+    /// when the chain breaks (quantum nearly spent, uncompiled
+    /// successor, or a user/kernel mode switch) and the dispatcher must
+    /// re-select.
+    #[inline]
+    fn exec_chain<S: TraceSink, H: ExecHook>(
+        &mut self,
+        cimg: &CompiledImage,
+        mut ri: u32,
+        kmode: bool,
+        quantum: u64,
+        sink: &mut S,
+        hook: &mut H,
+    ) -> Option<Stop> {
+        loop {
+            let run = &cimg.runs[ri as usize];
+            let n = u64::from(run.n_instrs);
+            self.executed += n;
+            if kmode {
+                self.kernel_executed += n;
+            }
+            // All of a run's ticks belong to one block; the hook stream is
+            // independent of the sink stream, so batching them up front
+            // preserves per-stream ordering (terminator events still follow).
+            hook.tick_run(kmode, run.block, n);
+
+            let p = &mut *self.p;
+            let mut addr = run.first_addr;
+            let (o0, o1) = run.ops;
+            for op in &cimg.ops[o0 as usize..o1 as usize] {
+                match op {
+                    COp::Fetch { n } => {
+                        sink.fetch_run(
+                            FetchRecord {
+                                addr,
+                                cpu: self.cpu,
+                                pid: self.pid8,
+                                kernel: kmode,
+                            },
+                            u64::from(*n),
+                        );
+                        addr += u64::from(*n) * codelayout_ir::INSTR_BYTES;
+                    }
+                    COp::Imm { dst, val } => rset(&mut p.regs, *dst, *val),
+                    COp::Imm2 { d1, v1, d2, v2 } => {
+                        rset(&mut p.regs, *d1, *v1);
+                        rset(&mut p.regs, *d2, *v2);
+                    }
+                    COp::ImmBin {
+                        imm_dst,
+                        imm,
+                        op,
+                        dst,
+                        lhs,
+                    } => {
+                        rset(&mut p.regs, *imm_dst, *imm);
+                        let l = rget(&p.regs, *lhs);
+                        rset(&mut p.regs, *dst, op.apply(l, *imm));
+                    }
+                    COp::Mov { dst, src } => {
+                        let v = rget(&p.regs, *src);
+                        rset(&mut p.regs, *dst, v);
+                    }
+                    COp::BinRR { op, dst, lhs, rhs } => {
+                        let l = rget(&p.regs, *lhs);
+                        let r = rget(&p.regs, *rhs);
+                        rset(&mut p.regs, *dst, op.apply(l, r));
+                    }
+                    COp::BinRI { op, dst, lhs, imm } => {
+                        let l = rget(&p.regs, *lhs);
+                        rset(&mut p.regs, *dst, op.apply(l, *imm));
+                    }
+                    COp::LoadPriv { nf, dst, base, off } => {
+                        let i = (rget(&p.regs, *base).wrapping_add(*off)) as usize & self.priv_mask;
+                        rset(&mut p.regs, *dst, p.priv_mem[i]);
+                        let fetch = FetchRecord {
+                            addr,
+                            cpu: self.cpu,
+                            pid: self.pid8,
+                            kernel: kmode,
+                        };
+                        emit_mem(sink, fetch, *nf, self.priv_base + (i as u64) * 8, false);
+                        addr += u64::from(*nf) * codelayout_ir::INSTR_BYTES;
+                    }
+                    COp::LoadShared { nf, dst, base, off } => {
+                        let i =
+                            (rget(&p.regs, *base).wrapping_add(*off)) as usize & self.shared_mask;
+                        rset(&mut p.regs, *dst, self.shared[i]);
+                        let fetch = FetchRecord {
+                            addr,
+                            cpu: self.cpu,
+                            pid: self.pid8,
+                            kernel: kmode,
+                        };
+                        emit_mem(sink, fetch, *nf, SHARED_DATA_BASE + (i as u64) * 8, false);
+                        addr += u64::from(*nf) * codelayout_ir::INSTR_BYTES;
+                    }
+                    COp::LoadOpPriv {
+                        nf,
+                        dst,
+                        base,
+                        off,
+                        op,
+                        bdst,
+                        rhs,
+                    } => {
+                        let i = (rget(&p.regs, *base).wrapping_add(*off)) as usize & self.priv_mask;
+                        rset(&mut p.regs, *dst, p.priv_mem[i]);
+                        let l = rget(&p.regs, *dst);
+                        let r = crhs(&p.regs, *rhs);
+                        rset(&mut p.regs, *bdst, op.apply(l, r));
+                        let fetch = FetchRecord {
+                            addr,
+                            cpu: self.cpu,
+                            pid: self.pid8,
+                            kernel: kmode,
+                        };
+                        emit_mem(sink, fetch, *nf, self.priv_base + (i as u64) * 8, false);
+                        addr += u64::from(*nf) * codelayout_ir::INSTR_BYTES;
+                    }
+                    COp::LoadOpShared {
+                        nf,
+                        dst,
+                        base,
+                        off,
+                        op,
+                        bdst,
+                        rhs,
+                    } => {
+                        let i =
+                            (rget(&p.regs, *base).wrapping_add(*off)) as usize & self.shared_mask;
+                        rset(&mut p.regs, *dst, self.shared[i]);
+                        let l = rget(&p.regs, *dst);
+                        let r = crhs(&p.regs, *rhs);
+                        rset(&mut p.regs, *bdst, op.apply(l, r));
+                        let fetch = FetchRecord {
+                            addr,
+                            cpu: self.cpu,
+                            pid: self.pid8,
+                            kernel: kmode,
+                        };
+                        emit_mem(sink, fetch, *nf, SHARED_DATA_BASE + (i as u64) * 8, false);
+                        addr += u64::from(*nf) * codelayout_ir::INSTR_BYTES;
+                    }
+                    COp::StorePriv { nf, src, base, off } => {
+                        let i = (rget(&p.regs, *base).wrapping_add(*off)) as usize & self.priv_mask;
+                        p.priv_mem[i] = rget(&p.regs, *src);
+                        let fetch = FetchRecord {
+                            addr,
+                            cpu: self.cpu,
+                            pid: self.pid8,
+                            kernel: kmode,
+                        };
+                        emit_mem(sink, fetch, *nf, self.priv_base + (i as u64) * 8, true);
+                        addr += u64::from(*nf) * codelayout_ir::INSTR_BYTES;
+                    }
+                    COp::StoreShared { nf, src, base, off } => {
+                        let i =
+                            (rget(&p.regs, *base).wrapping_add(*off)) as usize & self.shared_mask;
+                        self.shared[i] = rget(&p.regs, *src);
+                        let fetch = FetchRecord {
+                            addr,
+                            cpu: self.cpu,
+                            pid: self.pid8,
+                            kernel: kmode,
+                        };
+                        emit_mem(sink, fetch, *nf, SHARED_DATA_BASE + (i as u64) * 8, true);
+                        addr += u64::from(*nf) * codelayout_ir::INSTR_BYTES;
+                    }
+                    COp::RmwPriv {
+                        nf,
+                        op,
+                        dst,
+                        base,
+                        off,
+                        src,
+                    } => {
+                        let i = (rget(&p.regs, *base).wrapping_add(*off)) as usize & self.priv_mask;
+                        let rhs = rget(&p.regs, *src);
+                        let old = p.priv_mem[i];
+                        p.priv_mem[i] = op.apply(old, rhs);
+                        rset(&mut p.regs, *dst, old);
+                        let fetch = FetchRecord {
+                            addr,
+                            cpu: self.cpu,
+                            pid: self.pid8,
+                            kernel: kmode,
+                        };
+                        emit_mem(sink, fetch, *nf, self.priv_base + (i as u64) * 8, true);
+                        addr += u64::from(*nf) * codelayout_ir::INSTR_BYTES;
+                    }
+                    COp::RmwShared {
+                        nf,
+                        op,
+                        dst,
+                        base,
+                        off,
+                        src,
+                    } => {
+                        let i =
+                            (rget(&p.regs, *base).wrapping_add(*off)) as usize & self.shared_mask;
+                        let rhs = rget(&p.regs, *src);
+                        let old = self.shared[i];
+                        self.shared[i] = op.apply(old, rhs);
+                        rset(&mut p.regs, *dst, old);
+                        let fetch = FetchRecord {
+                            addr,
+                            cpu: self.cpu,
+                            pid: self.pid8,
+                            kernel: kmode,
+                        };
+                        emit_mem(sink, fetch, *nf, SHARED_DATA_BASE + (i as u64) * 8, true);
+                        addr += u64::from(*nf) * codelayout_ir::INSTR_BYTES;
+                    }
+                    COp::Emit { src } => {
+                        let v = rget(&p.regs, *src);
+                        p.emitted.push(v);
+                    }
+                }
+            }
+
+            // Each non-stopping arm leaves the architectural pc/block fully
+            // updated and yields the next pc, so the chain check below can
+            // keep executing without returning to the dispatcher.
+            let next_pc: u32 = match &run.term {
+                CTerm::FallThrough {
+                    next_pc,
+                    next_block,
+                } => {
+                    hook.edge(kmode, run.block, *next_block);
+                    hook.block(kmode, *next_block);
+                    if kmode {
+                        p.kpc = *next_pc;
+                        p.cur_block_kernel = *next_block;
+                    } else {
+                        p.pc = *next_pc;
+                        p.cur_block_user = *next_block;
+                    }
+                    *next_pc
+                }
+                CTerm::Jump { target, block } => {
+                    hook.edge(kmode, run.block, *block);
+                    hook.block(kmode, *block);
+                    if kmode {
+                        p.kpc = *target;
+                        p.cur_block_kernel = *block;
+                    } else {
+                        p.pc = *target;
+                        p.cur_block_user = *block;
+                    }
+                    *target
+                }
+                CTerm::Branch {
+                    cond,
+                    reg,
+                    rhs,
+                    taken,
+                    taken_block,
+                    fall,
+                    fall_block,
+                } => {
+                    let l = rget(&p.regs, *reg);
+                    let r = crhs(&p.regs, *rhs);
+                    let taken_now = cond.eval(l, r);
+                    let (pc, nb) = if taken_now {
+                        (*taken, *taken_block)
+                    } else {
+                        (*fall, *fall_block)
+                    };
+                    // The interpreter reports edge/block only on a transfer
+                    // or a block change — a guard branch falling through
+                    // within its own block is invisible to hooks.
+                    if taken_now || nb != run.block {
+                        hook.edge(kmode, run.block, nb);
+                        hook.block(kmode, nb);
+                    }
+                    if kmode {
+                        p.kpc = pc;
+                        p.cur_block_kernel = nb;
+                    } else {
+                        p.pc = pc;
+                        p.cur_block_user = nb;
+                    }
+                    pc
+                }
+                CTerm::JmpTbl {
+                    reg,
+                    targets,
+                    default,
+                    default_block,
+                } => {
+                    let v = rget(&p.regs, *reg);
+                    let (pc, nb) = if v >= 0 && (v as usize) < targets.len() {
+                        targets[v as usize]
+                    } else {
+                        (*default, *default_block)
+                    };
+                    hook.edge(kmode, run.block, nb);
+                    hook.block(kmode, nb);
+                    if kmode {
+                        p.kpc = pc;
+                        p.cur_block_kernel = nb;
+                    } else {
+                        p.pc = pc;
+                        p.cur_block_user = nb;
+                    }
+                    pc
+                }
+                CTerm::Call {
+                    callee,
+                    target,
+                    target_block,
+                    ret_pc,
+                } => {
+                    let stack = if kmode { &mut p.kstack } else { &mut p.stack };
+                    if stack.len() >= self.max_depth {
+                        // Leave pc at the faulting call, as the oracle does.
+                        if kmode {
+                            p.kpc = run.term_pc;
+                        } else {
+                            p.pc = run.term_pc;
+                        }
+                        return Some(Stop::Faulted(Fault::CallDepthExceeded));
+                    }
+                    stack.push(*ret_pc);
+                    hook.call(kmode, run.block, *callee);
+                    hook.block(kmode, *target_block);
+                    if kmode {
+                        p.kpc = *target;
+                        p.cur_block_kernel = *target_block;
+                    } else {
+                        p.pc = *target;
+                        p.cur_block_user = *target_block;
+                    }
+                    *target
+                }
+                CTerm::Syscall { code, ret_pc } => {
+                    if kmode {
+                        p.kpc = run.term_pc;
+                        return Some(Stop::Faulted(Fault::SyscallInKernel));
+                    }
+                    p.pc = *ret_pc;
+                    p.syscalls += 1;
+                    self.syscalls_dispatched += 1;
+                    if let Some(kimg) = self.kernel {
+                        let def = self.syscalls.get(*code as usize).copied().flatten();
+                        let Some(def) = def else {
+                            return Some(Stop::Faulted(Fault::UnknownSyscall(*code)));
+                        };
+                        p.kernel_mode = true;
+                        p.saved_regs = p.regs;
+                        p.kernel_returns_r0 = true;
+                        p.kpc = kimg.proc_entry[def.proc.index()];
+                        p.kstack.clear();
+                        p.pending_block = def.block_instrs;
+                        let eb = kimg.block_of[p.kpc as usize];
+                        p.cur_block_kernel = eb;
+                        hook.block(true, eb);
+                        // Mode switch: the kernel runs from its own
+                        // compiled image; hand back to the dispatcher.
+                        return None;
+                    }
+                    p.regs[0] = 0;
+                    *ret_pc
+                }
+                CTerm::Ret => {
+                    if kmode {
+                        match p.kstack.pop() {
+                            Some(r) => {
+                                let kimg = self.kernel.expect("kernel mode without kernel");
+                                p.kpc = r;
+                                let nb = kimg.block_of[r as usize];
+                                if kimg.block_start[nb.index()] == r {
+                                    let from = kimg.block_of[r as usize - 1];
+                                    hook.edge(true, from, nb);
+                                    hook.block(true, nb);
+                                }
+                                p.cur_block_kernel = nb;
+                                r
+                            }
+                            None => {
+                                p.kpc = run.term_pc;
+                                p.kernel_mode = false;
+                                let r0 = p.regs[0];
+                                p.regs = p.saved_regs;
+                                if p.kernel_returns_r0 {
+                                    p.regs[0] = r0;
+                                }
+                                if p.pending_block > 0 {
+                                    p.blocked_until = self.now + self.executed + p.pending_block;
+                                    p.pending_block = 0;
+                                    return Some(Stop::Blocked);
+                                }
+                                // Kernel exit back to user mode.
+                                return None;
+                            }
+                        }
+                    } else {
+                        match p.stack.pop() {
+                            Some(r) => {
+                                p.pc = r;
+                                let nb = self.app.block_of[r as usize];
+                                if self.app.block_start[nb.index()] == r {
+                                    let from = self.app.block_of[r as usize - 1];
+                                    hook.edge(false, from, nb);
+                                    hook.block(false, nb);
+                                }
+                                p.cur_block_user = nb;
+                                r
+                            }
+                            None => {
+                                p.pc = run.term_pc;
+                                p.halted = true;
+                                return Some(Stop::Halted);
+                            }
+                        }
+                    }
+                }
+                CTerm::Halt => {
+                    if kmode {
+                        p.kpc = run.term_pc;
+                    } else {
+                        p.pc = run.term_pc;
+                    }
+                    p.halted = true;
+                    return Some(Stop::Halted);
+                }
+            };
+
+            // Chain: keep going while the successor is compiled and the
+            // remaining quantum covers it whole.
+            match cimg.run_index(next_pc) {
+                Some(nri)
+                    if quantum - self.executed >= u64::from(cimg.runs[nri as usize].n_instrs) =>
+                {
+                    ri = nri;
+                }
+                _ => return None,
+            }
+        }
+    }
+}
+
+/// The block-compiled tier: whole runs when the remaining quantum
+/// covers them, the single-step oracle for everything else (mid-run
+/// entry, imminent quantum expiry, uncompiled pcs).
+pub(crate) fn block_exec<S: TraceSink, H: ExecHook>(
+    m: &mut Machine,
+    cpu: u8,
+    pid: usize,
+    quantum: u64,
+    sink: &mut S,
+    hook: &mut H,
+    report: &mut RunReport,
+) -> Stop {
+    let app = Arc::clone(&m.app);
+    let kernel = m.kernel.clone();
+    let capp = m.capp.clone().expect("block engine without compiled app");
+    let ckernel = m.ckernel.clone();
+    let mut ctx = ExecCtx::new(m, &app, kernel.as_ref(), cpu, pid);
+    ctx.start_event(hook);
+    let outcome = loop {
+        if ctx.executed >= quantum {
+            break Stop::Quantum;
+        }
+        let kmode = ctx.p.kernel_mode;
+        let (cimg, pc) = if kmode {
+            (ckernel.as_deref(), ctx.p.kpc)
+        } else {
+            (Some(&*capp), ctx.p.pc)
+        };
+        if let Some(c) = cimg {
+            if let Some(ri) = c.run_index(pc) {
+                if quantum - ctx.executed >= u64::from(c.runs[ri as usize].n_instrs) {
+                    if let Some(stop) = ctx.exec_chain(c, ri, kmode, quantum, sink, hook) {
+                        break stop;
+                    }
+                    continue;
+                }
+            }
+        }
+        if let Some(stop) = ctx.step(sink, hook) {
+            break stop;
+        }
+    };
+    let executed = ctx.flush(report);
+    m.now += executed;
+    outcome
+}

@@ -1,0 +1,95 @@
+//! The process-wide code cache: one [`CompiledImage`] per live linked
+//! image, shared by every machine executing that image.
+//!
+//! **Invalidation rule:** the cache key is the identity of the image's
+//! `Arc` allocation, so a compiled entry lives exactly as long as some
+//! machine (or the cache lookup in flight) holds the image alive — the
+//! entry itself only holds a `Weak`. Re-linking a program under a new
+//! layout produces a new `Arc<Image>`, hence a new key and a fresh
+//! compile; dropping the last reference to an old layout's image kills
+//! its compiled form. There is no way to mutate an `Image` in place, so
+//! a cache hit can never serve stale code. Reclaimed (dead-weak)
+//! entries are counted as `vm.cache.invalidations`.
+//!
+//! Metrics (in the global [`codelayout_obs`] registry):
+//! `vm.cache.compiles`, `vm.cache.hits`, `vm.cache.invalidations`,
+//! `vm.cache.blocks` (compiled runs), `vm.cache.bytes`.
+
+use crate::block::CompiledImage;
+use codelayout_ir::Image;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock, Weak};
+
+type Registry = Mutex<HashMap<usize, Weak<CompiledImage>>>;
+
+fn registry() -> &'static Registry {
+    static REG: OnceLock<Registry> = OnceLock::new();
+    REG.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Returns the compiled form of `image`, compiling it on first sight.
+///
+/// Keyed by the `Arc` allocation address: while the caller's `Arc` is
+/// alive that address cannot be reused, so a live entry is always the
+/// right image; a dead entry (its image dropped, address possibly
+/// recycled by a new layout) is replaced and counted as an
+/// invalidation.
+pub(crate) fn get_or_compile(image: &Arc<Image>) -> Arc<CompiledImage> {
+    let key = Arc::as_ptr(image) as usize;
+    let m = codelayout_obs::metrics();
+    let mut reg = registry().lock().expect("code cache poisoned");
+    if let Some(w) = reg.get(&key) {
+        if let Some(c) = w.upgrade() {
+            m.add("vm.cache.hits", 1);
+            return c;
+        }
+        m.add("vm.cache.invalidations", 1);
+    }
+    let compiled = Arc::new(CompiledImage::compile(image));
+    m.add("vm.cache.compiles", 1);
+    m.add("vm.cache.blocks", compiled.num_runs() as u64);
+    m.add("vm.cache.bytes", compiled.size_bytes() as u64);
+    reg.insert(key, Arc::downgrade(&compiled));
+    // Sweep dead entries occasionally so long-lived processes that
+    // churn through layouts (sweeps, proptests) don't accrete tombstones.
+    if reg.len() > 128 {
+        let before = reg.len();
+        reg.retain(|_, w| w.strong_count() > 0);
+        m.add("vm.cache.invalidations", (before - reg.len()) as u64);
+    }
+    compiled
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codelayout_ir::link::link;
+    use codelayout_ir::testgen::{random_program, GenConfig};
+    use codelayout_ir::Layout;
+
+    #[test]
+    fn same_arc_hits_new_arc_compiles() {
+        let program = random_program(7, &GenConfig::default());
+        let layout = Layout::natural(&program);
+        let a = Arc::new(link(&program, &layout, crate::APP_TEXT_BASE).unwrap());
+        let c1 = get_or_compile(&a);
+        let c2 = get_or_compile(&a);
+        assert!(Arc::ptr_eq(&c1, &c2), "same image must share compiled form");
+        // A re-link of the same program/layout is a *different* image
+        // allocation: new key, fresh compile.
+        let b = Arc::new(link(&program, &layout, crate::APP_TEXT_BASE).unwrap());
+        let c3 = get_or_compile(&b);
+        assert!(!Arc::ptr_eq(&c1, &c3));
+        assert_eq!(c1.num_runs(), c3.num_runs());
+    }
+
+    #[test]
+    fn compiled_form_reports_nonzero_footprint() {
+        let program = random_program(11, &GenConfig::default());
+        let layout = Layout::natural(&program);
+        let img = Arc::new(link(&program, &layout, crate::APP_TEXT_BASE).unwrap());
+        let c = get_or_compile(&img);
+        assert!(c.num_runs() > 0);
+        assert!(c.size_bytes() > 0);
+    }
+}

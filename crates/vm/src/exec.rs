@@ -1,0 +1,440 @@
+//! The instruction-at-a-time executor: one [`ExecCtx::step`] per
+//! instruction, plus the plain interpreter loop built on it.
+//!
+//! This module is the **oracle**. `step` is a verbatim port of the
+//! original decode-dispatch interpreter and is deliberately kept plain:
+//! no pre-decoding, no fusion, no batching. The block-compiled tier
+//! ([`crate::block`]) must be observationally identical to a loop of
+//! `step` calls, and reuses `step` itself for every case it does not
+//! compile (mid-block resumption after quantum expiry, returns landing
+//! mid-block, uncompilable runs), so the two tiers cannot drift apart on
+//! the hard paths.
+
+use crate::hook::ExecHook;
+use crate::machine::{rget, rset, Fault, Machine, Process, RunReport, Stop, SyscallDef};
+use crate::sink::{DataRecord, FetchRecord, TraceSink};
+use crate::{PRIVATE_DATA_BASE, PRIVATE_DATA_STRIDE, SHARED_DATA_BASE};
+use codelayout_ir::{Image, LInstr, MemSpace, Operand};
+use std::sync::Arc;
+
+/// Everything one `exec` call needs, borrowed once from the [`Machine`]
+/// so both executors share identical state access and accounting.
+pub(crate) struct ExecCtx<'a> {
+    pub(crate) app: &'a Image,
+    pub(crate) kernel: Option<&'a Image>,
+    pub(crate) syscalls: &'a [Option<SyscallDef>],
+    pub(crate) p: &'a mut Process,
+    pub(crate) shared: &'a mut [i64],
+    pub(crate) now: u64,
+    pub(crate) cpu: u8,
+    pub(crate) pid8: u8,
+    pub(crate) max_depth: usize,
+    pub(crate) priv_base: u64,
+    pub(crate) priv_mask: usize,
+    pub(crate) shared_mask: usize,
+    /// Instructions executed by this `exec` call so far.
+    pub(crate) executed: u64,
+    /// Kernel-mode instructions executed by this `exec` call so far.
+    pub(crate) kernel_executed: u64,
+    /// Syscalls dispatched by this `exec` call so far.
+    pub(crate) syscalls_dispatched: u64,
+}
+
+impl<'a> ExecCtx<'a> {
+    /// Borrows the machine's state for one `exec` call of process `pid`.
+    /// `app`/`kernel` must be (derefs of) clones of the machine's image
+    /// `Arc`s, taken before the process is mutably borrowed.
+    pub(crate) fn new(
+        m: &'a mut Machine,
+        app: &'a Arc<Image>,
+        kernel: Option<&'a Arc<Image>>,
+        cpu: u8,
+        pid: usize,
+    ) -> Self {
+        let max_depth = m.cfg.max_call_depth;
+        let priv_base = PRIVATE_DATA_BASE + pid as u64 * PRIVATE_DATA_STRIDE;
+        let shared_mask = m.shared.len() - 1;
+        let now = m.now;
+        let p = &mut m.procs[pid];
+        let priv_mask = p.priv_mem.len() - 1;
+        ExecCtx {
+            app,
+            kernel: kernel.map(Arc::as_ref),
+            syscalls: &m.syscalls,
+            p,
+            shared: &mut m.shared,
+            now,
+            cpu,
+            pid8: pid as u8,
+            max_depth,
+            priv_base,
+            priv_mask,
+            shared_mask,
+            executed: 0,
+            kernel_executed: 0,
+            syscalls_dispatched: 0,
+        }
+    }
+
+    /// Fires the one-time process-start block event.
+    pub(crate) fn start_event<H: ExecHook>(&mut self, hook: &mut H) {
+        if !self.p.started {
+            self.p.started = true;
+            hook.block(false, self.p.cur_block_user);
+        }
+    }
+
+    /// Flushes this call's accounting into the report, consuming the
+    /// context (releasing its machine borrows). Returns the executed
+    /// instruction count for the caller to advance the machine clock.
+    pub(crate) fn flush(self, report: &mut RunReport) -> u64 {
+        report.instructions += self.executed;
+        report.kernel_instrs += self.kernel_executed;
+        report.user_instrs += self.executed - self.kernel_executed;
+        report.syscalls += self.syscalls_dispatched;
+        self.executed
+    }
+
+    /// Executes exactly one instruction. Returns `Some(stop)` when the
+    /// process can no longer continue (the quantum is the caller's
+    /// responsibility and is *not* checked here).
+    #[allow(clippy::too_many_lines)]
+    #[inline]
+    pub(crate) fn step<S: TraceSink, H: ExecHook>(
+        &mut self,
+        sink: &mut S,
+        hook: &mut H,
+    ) -> Option<Stop> {
+        let p = &mut *self.p;
+        let kmode = p.kernel_mode;
+        self.kernel_executed += u64::from(kmode);
+        let image: &Image = if kmode {
+            self.kernel.expect("kernel mode without kernel")
+        } else {
+            self.app
+        };
+        let pc = if kmode { p.kpc } else { p.pc };
+        let Some(instr) = image.code.get(pc as usize) else {
+            return Some(Stop::Faulted(Fault::PcOutOfRange));
+        };
+        sink.fetch(FetchRecord {
+            addr: image.addr(pc),
+            cpu: self.cpu,
+            pid: self.pid8,
+            kernel: kmode,
+        });
+        self.executed += 1;
+        let cur_block = image.block_of[pc as usize];
+        hook.tick(kmode, cur_block);
+
+        // Default next pc: sequential.
+        let mut next = pc + 1;
+        let mut transferred = false;
+
+        match instr {
+            LInstr::Imm { dst, value } => {
+                rset(&mut p.regs, *dst, *value);
+            }
+            LInstr::Mov { dst, src } => {
+                let v = rget(&p.regs, *src);
+                rset(&mut p.regs, *dst, v);
+            }
+            LInstr::Bin { op, dst, lhs, rhs } => {
+                let l = rget(&p.regs, *lhs);
+                let r = operand(&p.regs, *rhs);
+                rset(&mut p.regs, *dst, op.apply(l, r));
+            }
+            LInstr::Load {
+                dst,
+                base,
+                offset,
+                space,
+            } => {
+                let idx = (rget(&p.regs, *base).wrapping_add(*offset as i64)) as usize;
+                let (val, addr) = match space {
+                    MemSpace::Private => {
+                        let i = idx & self.priv_mask;
+                        (p.priv_mem[i], self.priv_base + (i as u64) * 8)
+                    }
+                    MemSpace::Shared => {
+                        let i = idx & self.shared_mask;
+                        (self.shared[i], SHARED_DATA_BASE + (i as u64) * 8)
+                    }
+                };
+                rset(&mut p.regs, *dst, val);
+                sink.data(DataRecord {
+                    addr,
+                    cpu: self.cpu,
+                    pid: self.pid8,
+                    kernel: kmode,
+                    write: false,
+                });
+            }
+            LInstr::Store {
+                src,
+                base,
+                offset,
+                space,
+            } => {
+                let idx = (rget(&p.regs, *base).wrapping_add(*offset as i64)) as usize;
+                let val = rget(&p.regs, *src);
+                let addr = match space {
+                    MemSpace::Private => {
+                        let i = idx & self.priv_mask;
+                        p.priv_mem[i] = val;
+                        self.priv_base + (i as u64) * 8
+                    }
+                    MemSpace::Shared => {
+                        let i = idx & self.shared_mask;
+                        self.shared[i] = val;
+                        SHARED_DATA_BASE + (i as u64) * 8
+                    }
+                };
+                sink.data(DataRecord {
+                    addr,
+                    cpu: self.cpu,
+                    pid: self.pid8,
+                    kernel: kmode,
+                    write: true,
+                });
+            }
+            LInstr::AtomicRmw {
+                op,
+                dst,
+                base,
+                offset,
+                src,
+                space,
+            } => {
+                let idx = (rget(&p.regs, *base).wrapping_add(*offset as i64)) as usize;
+                let rhs = rget(&p.regs, *src);
+                let addr = match space {
+                    MemSpace::Private => {
+                        let i = idx & self.priv_mask;
+                        let old = p.priv_mem[i];
+                        p.priv_mem[i] = op.apply(old, rhs);
+                        rset(&mut p.regs, *dst, old);
+                        self.priv_base + (i as u64) * 8
+                    }
+                    MemSpace::Shared => {
+                        let i = idx & self.shared_mask;
+                        let old = self.shared[i];
+                        self.shared[i] = op.apply(old, rhs);
+                        rset(&mut p.regs, *dst, old);
+                        SHARED_DATA_BASE + (i as u64) * 8
+                    }
+                };
+                sink.data(DataRecord {
+                    addr,
+                    cpu: self.cpu,
+                    pid: self.pid8,
+                    kernel: kmode,
+                    write: true,
+                });
+            }
+            LInstr::Emit { src } => {
+                let v = rget(&p.regs, *src);
+                p.emitted.push(v);
+            }
+            LInstr::Nop => {}
+            LInstr::Br { target } => {
+                next = *target;
+                transferred = true;
+            }
+            LInstr::BrCond {
+                cond,
+                reg,
+                rhs,
+                target,
+            } => {
+                let l = rget(&p.regs, *reg);
+                let r = operand(&p.regs, *rhs);
+                if cond.eval(l, r) {
+                    next = *target;
+                    transferred = true;
+                }
+            }
+            LInstr::JmpTbl {
+                reg,
+                table,
+                default,
+            } => {
+                let v = rget(&p.regs, *reg);
+                next = if v >= 0 && (v as usize) < table.len() {
+                    table[v as usize]
+                } else {
+                    *default
+                };
+                transferred = true;
+            }
+            LInstr::Call { callee, target } => {
+                let stack = if kmode { &mut p.kstack } else { &mut p.stack };
+                if stack.len() >= self.max_depth {
+                    return Some(Stop::Faulted(Fault::CallDepthExceeded));
+                }
+                stack.push(pc + 1);
+                hook.call(kmode, cur_block, *callee);
+                let entry_block = image.block_of[*target as usize];
+                hook.block(kmode, entry_block);
+                if kmode {
+                    p.kpc = *target;
+                    p.cur_block_kernel = entry_block;
+                } else {
+                    p.pc = *target;
+                    p.cur_block_user = entry_block;
+                }
+                return None;
+            }
+            LInstr::Ret => {
+                // Returning normally lands mid-block (after the call
+                // instruction). But when a call is the *last* body
+                // instruction of a block whose jump terminator was
+                // fall-through-eliminated, the return address is the
+                // first instruction of the next block: that IS a block
+                // entry (the eliminated jump's flow edge), and
+                // profilers must see it.
+                if kmode {
+                    match p.kstack.pop() {
+                        Some(r) => {
+                            let kimg = self.kernel.expect("kernel mode without kernel");
+                            p.kpc = r;
+                            let nb = kimg.block_of[r as usize];
+                            if kimg.block_start[nb.index()] == r {
+                                let from = kimg.block_of[r as usize - 1];
+                                hook.edge(true, from, nb);
+                                hook.block(true, nb);
+                            }
+                            p.cur_block_kernel = nb;
+                        }
+                        None => {
+                            // Kernel service finished: back to user mode.
+                            // Restore the banked user registers,
+                            // forwarding r0 when this entry was a
+                            // syscall.
+                            p.kernel_mode = false;
+                            let r0 = p.regs[0];
+                            p.regs = p.saved_regs;
+                            if p.kernel_returns_r0 {
+                                p.regs[0] = r0;
+                            }
+                            if p.pending_block > 0 {
+                                p.blocked_until = self.now + self.executed + p.pending_block;
+                                p.pending_block = 0;
+                                return Some(Stop::Blocked);
+                            }
+                        }
+                    }
+                } else {
+                    match p.stack.pop() {
+                        Some(r) => {
+                            p.pc = r;
+                            let nb = self.app.block_of[r as usize];
+                            if self.app.block_start[nb.index()] == r {
+                                let from = self.app.block_of[r as usize - 1];
+                                hook.edge(false, from, nb);
+                                hook.block(false, nb);
+                            }
+                            p.cur_block_user = nb;
+                        }
+                        None => {
+                            // Entry procedure returned: process done.
+                            p.halted = true;
+                            return Some(Stop::Halted);
+                        }
+                    }
+                }
+                return None;
+            }
+            LInstr::Syscall { code } => {
+                if kmode {
+                    return Some(Stop::Faulted(Fault::SyscallInKernel));
+                }
+                p.pc = next;
+                p.syscalls += 1;
+                self.syscalls_dispatched += 1;
+                if let Some(kimg) = self.kernel {
+                    let def = self.syscalls.get(*code as usize).copied().flatten();
+                    let Some(def) = def else {
+                        return Some(Stop::Faulted(Fault::UnknownSyscall(*code)));
+                    };
+                    // Inline kernel entry (cannot call Machine::enter_kernel
+                    // while `p` is borrowed; replicate).
+                    p.kernel_mode = true;
+                    p.saved_regs = p.regs;
+                    p.kernel_returns_r0 = true;
+                    p.kpc = kimg.proc_entry[def.proc.index()];
+                    p.kstack.clear();
+                    p.pending_block = def.block_instrs;
+                    let eb = kimg.block_of[p.kpc as usize];
+                    p.cur_block_kernel = eb;
+                    hook.block(true, eb);
+                } else {
+                    // No kernel: emulate as `r0 = 0`.
+                    p.regs[0] = 0;
+                }
+                return None;
+            }
+            LInstr::Halt => {
+                p.halted = true;
+                return Some(Stop::Halted);
+            }
+        }
+
+        // Sequential or branch advance; detect block entry.
+        if (next as usize) >= image.code.len() {
+            return Some(Stop::Faulted(Fault::PcOutOfRange));
+        }
+        let new_block = image.block_of[next as usize];
+        if transferred || new_block != cur_block {
+            hook.edge(kmode, cur_block, new_block);
+            hook.block(kmode, new_block);
+            if kmode {
+                p.cur_block_kernel = new_block;
+            } else {
+                p.cur_block_user = new_block;
+            }
+        }
+        if kmode {
+            p.kpc = next;
+        } else {
+            p.pc = next;
+        }
+        None
+    }
+}
+
+/// The plain interpreter tier: a quantum-checked loop of [`ExecCtx::step`].
+pub(crate) fn interp_exec<S: TraceSink, H: ExecHook>(
+    m: &mut Machine,
+    cpu: u8,
+    pid: usize,
+    quantum: u64,
+    sink: &mut S,
+    hook: &mut H,
+    report: &mut RunReport,
+) -> Stop {
+    let app = Arc::clone(&m.app);
+    let kernel = m.kernel.clone();
+    let mut ctx = ExecCtx::new(m, &app, kernel.as_ref(), cpu, pid);
+    ctx.start_event(hook);
+    let outcome = loop {
+        if ctx.executed >= quantum {
+            break Stop::Quantum;
+        }
+        if let Some(stop) = ctx.step(sink, hook) {
+            break stop;
+        }
+    };
+    let executed = ctx.flush(report);
+    m.now += executed;
+    outcome
+}
+
+/// Reads a register-or-immediate operand.
+#[inline]
+pub(crate) fn operand(regs: &[i64; 32], op: Operand) -> i64 {
+    match op {
+        Operand::Reg(r) => rget(regs, r),
+        Operand::Imm(v) => v,
+    }
+}

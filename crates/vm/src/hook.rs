@@ -30,6 +30,19 @@ pub trait ExecHook {
     fn tick(&mut self, kernel: bool, block: BlockId) {
         let _ = (kernel, block);
     }
+
+    /// `n` consecutive ticks, all attributed to the same `block` and
+    /// mode. The block-compiled engine uses this for straight-line runs
+    /// (a run never crosses a block boundary, so every retiring
+    /// instruction belongs to one block). The default expands to `n`
+    /// [`ExecHook::tick`] calls, so samplers observe the identical tick
+    /// stream whether or not they override this.
+    #[inline]
+    fn tick_run(&mut self, kernel: bool, block: BlockId, n: u64) {
+        for _ in 0..n {
+            self.tick(kernel, block);
+        }
+    }
 }
 
 /// A hook that observes nothing.
@@ -67,6 +80,12 @@ impl<A: ExecHook, B: ExecHook> ExecHook for PairHook<A, B> {
         self.0.tick(kernel, block);
         self.1.tick(kernel, block);
     }
+
+    #[inline]
+    fn tick_run(&mut self, kernel: bool, block: BlockId, n: u64) {
+        self.0.tick_run(kernel, block, n);
+        self.1.tick_run(kernel, block, n);
+    }
 }
 
 impl<H: ExecHook + ?Sized> ExecHook for &mut H {
@@ -89,6 +108,11 @@ impl<H: ExecHook + ?Sized> ExecHook for &mut H {
     fn tick(&mut self, kernel: bool, block: BlockId) {
         (**self).tick(kernel, block);
     }
+
+    #[inline]
+    fn tick_run(&mut self, kernel: bool, block: BlockId, n: u64) {
+        (**self).tick_run(kernel, block, n);
+    }
 }
 
 #[cfg(test)]
@@ -104,6 +128,17 @@ mod tests {
         }
     }
 
+    /// Records every tick individually, so tests can compare a batched
+    /// `tick_run` stream against the per-instruction one.
+    #[derive(Default, Debug, PartialEq, Eq)]
+    struct TickLog(Vec<(bool, BlockId)>);
+
+    impl ExecHook for TickLog {
+        fn tick(&mut self, kernel: bool, block: BlockId) {
+            self.0.push((kernel, block));
+        }
+    }
+
     #[test]
     fn default_methods_are_noops() {
         let mut h = NullHook;
@@ -111,6 +146,7 @@ mod tests {
         h.edge(false, BlockId(0), BlockId(1));
         h.call(true, BlockId(0), ProcId(0));
         h.tick(false, BlockId(0));
+        h.tick_run(true, BlockId(2), 7);
     }
 
     #[test]
@@ -121,5 +157,35 @@ mod tests {
             r.block(false, BlockId(3));
         }
         assert_eq!(c.0, 1);
+    }
+
+    #[test]
+    fn default_tick_run_expands_to_ticks() {
+        let mut batched = TickLog::default();
+        let mut expanded = TickLog::default();
+        batched.tick_run(true, BlockId(5), 3);
+        for _ in 0..3 {
+            expanded.tick(true, BlockId(5));
+        }
+        assert_eq!(batched, expanded);
+        assert_eq!(batched.0.len(), 3);
+    }
+
+    #[test]
+    fn pair_hook_tick_run_reaches_both_sides() {
+        let mut pair = PairHook(TickLog::default(), TickLog::default());
+        pair.tick_run(false, BlockId(1), 4);
+        assert_eq!(pair.0, pair.1);
+        assert_eq!(pair.0 .0.len(), 4);
+    }
+
+    #[test]
+    fn mut_ref_tick_run_delegates() {
+        let mut log = TickLog::default();
+        {
+            let r: &mut TickLog = &mut log;
+            r.tick_run(false, BlockId(9), 2);
+        }
+        assert_eq!(log.0, vec![(false, BlockId(9)), (false, BlockId(9))]);
     }
 }

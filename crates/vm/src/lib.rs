@@ -40,13 +40,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod block;
+mod cache;
+mod exec;
 mod hook;
 mod machine;
 mod sink;
 mod trace;
 
 pub use hook::{ExecHook, NullHook, PairHook};
-pub use machine::{Fault, Machine, MachineConfig, RunReport, SyscallDef};
+pub use machine::{Fault, Machine, MachineConfig, RunReport, SyscallDef, VmEngine};
 pub use sink::{
     CountingSink, DataRecord, FetchRecord, NullSink, RecordingSink, TeeSink, TraceSink,
 };

@@ -1,10 +1,40 @@
-//! The multi-process, multi-CPU interpreter.
+//! The engine-agnostic machine core: process, scheduler, fault and
+//! syscall state, shared by both execution tiers.
+//!
+//! The actual instruction execution lives in two sibling modules with
+//! identical observable behaviour: [`crate::exec`] (the
+//! deliberately-plain decode-dispatch interpreter, the oracle) and
+//! [`crate::block`] (the block-compiled tier). [`MachineConfig::engine`]
+//! selects between them.
 
+use crate::block::CompiledImage;
 use crate::hook::{ExecHook, NullHook};
-use crate::sink::{DataRecord, FetchRecord, TraceSink};
-use crate::{checksum_words, PRIVATE_DATA_BASE, PRIVATE_DATA_STRIDE, SHARED_DATA_BASE};
-use codelayout_ir::{BlockId, Image, LInstr, MemSpace, Operand, ProcId, Reg};
+use crate::sink::TraceSink;
+use crate::{checksum_words, PRIVATE_DATA_STRIDE};
+use codelayout_ir::{BlockId, Image, ProcId, Reg};
+pub use codelayout_obs::VmEngine;
 use std::sync::Arc;
+
+/// The single register-file indexing rule: 32 registers, index masked
+/// so a malformed [`Reg`] wraps instead of panicking. Every operand
+/// decode — interpreter and compiled tier alike — goes through this, so
+/// the two engines cannot diverge on register addressing.
+#[inline(always)]
+pub(crate) fn reg_idx(r: Reg) -> usize {
+    r.index() & 31
+}
+
+/// Reads register `r`. See [`reg_idx`].
+#[inline(always)]
+pub(crate) fn rget(regs: &[i64; 32], r: Reg) -> i64 {
+    regs[reg_idx(r)]
+}
+
+/// Writes register `r`. See [`reg_idx`].
+#[inline(always)]
+pub(crate) fn rset(regs: &mut [i64; 32], r: Reg, v: i64) {
+    regs[reg_idx(r)] = v;
+}
 
 /// Kernel service routine bound to a syscall code.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,6 +65,11 @@ pub struct MachineConfig {
     /// Kernel procedure executed on every context switch (scheduler code),
     /// when a kernel image is attached.
     pub sched_proc: Option<ProcId>,
+    /// Execution tier. The default honours `CODELAYOUT_VM_ENGINE`
+    /// (falling back to [`VmEngine::Block`]), so a whole process —
+    /// including the test suite — can be flipped to the interpreter
+    /// oracle from the environment. Fixed at machine construction.
+    pub engine: VmEngine,
 }
 
 impl Default for MachineConfig {
@@ -47,6 +82,7 @@ impl Default for MachineConfig {
             shared_words: 1 << 20,
             max_call_depth: 512,
             sched_proc: None,
+            engine: codelayout_obs::run_env().vm_engine,
         }
     }
 }
@@ -104,33 +140,33 @@ impl RunReport {
 }
 
 #[derive(Debug, Clone)]
-struct Process {
-    regs: [i64; 32],
+pub(crate) struct Process {
+    pub(crate) regs: [i64; 32],
     /// User register snapshot taken at kernel entry; restored at kernel
     /// exit (register banking, like Alpha PALcode shadow registers), so
     /// kernel code may clobber any register.
-    saved_regs: [i64; 32],
+    pub(crate) saved_regs: [i64; 32],
     /// Whether `r0` carries a kernel return value back to user mode
     /// (true for syscalls, false for preemption/scheduler entries).
-    kernel_returns_r0: bool,
-    pc: u32,
-    stack: Vec<u32>,
-    kernel_mode: bool,
-    kpc: u32,
-    kstack: Vec<u32>,
-    pending_block: u64,
-    cur_block_user: BlockId,
-    cur_block_kernel: BlockId,
-    priv_mem: Vec<i64>,
-    emitted: Vec<i64>,
-    halted: bool,
-    fault: Option<Fault>,
-    blocked_until: u64,
-    started: bool,
-    syscalls: u64,
+    pub(crate) kernel_returns_r0: bool,
+    pub(crate) pc: u32,
+    pub(crate) stack: Vec<u32>,
+    pub(crate) kernel_mode: bool,
+    pub(crate) kpc: u32,
+    pub(crate) kstack: Vec<u32>,
+    pub(crate) pending_block: u64,
+    pub(crate) cur_block_user: BlockId,
+    pub(crate) cur_block_kernel: BlockId,
+    pub(crate) priv_mem: Vec<i64>,
+    pub(crate) emitted: Vec<i64>,
+    pub(crate) halted: bool,
+    pub(crate) fault: Option<Fault>,
+    pub(crate) blocked_until: u64,
+    pub(crate) started: bool,
+    pub(crate) syscalls: u64,
 }
 
-enum Stop {
+pub(crate) enum Stop {
     Quantum,
     Halted,
     Blocked,
@@ -143,13 +179,13 @@ enum Stop {
 /// See the crate docs for an end-to-end example.
 #[derive(Debug, Clone)]
 pub struct Machine {
-    app: Arc<Image>,
-    kernel: Option<Arc<Image>>,
-    syscalls: Vec<Option<SyscallDef>>,
-    cfg: MachineConfig,
-    procs: Vec<Process>,
-    shared: Vec<i64>,
-    now: u64,
+    pub(crate) app: Arc<Image>,
+    pub(crate) kernel: Option<Arc<Image>>,
+    pub(crate) syscalls: Vec<Option<SyscallDef>>,
+    pub(crate) cfg: MachineConfig,
+    pub(crate) procs: Vec<Process>,
+    pub(crate) shared: Vec<i64>,
+    pub(crate) now: u64,
     last_pid: Vec<Option<usize>>,
     /// Next CPU to serve; persists across `run` calls so chunked runs
     /// cannot starve CPUs (for example a preempted lock holder).
@@ -159,6 +195,10 @@ pub struct Machine {
     proc_rr: Vec<usize>,
     /// Diagnostic: dispatch count per process.
     dispatches: Vec<u64>,
+    /// Pre-decoded images, present iff `cfg.engine == VmEngine::Block`;
+    /// obtained from (and shared through) the process-wide code cache.
+    pub(crate) capp: Option<Arc<CompiledImage>>,
+    pub(crate) ckernel: Option<Arc<CompiledImage>>,
 }
 
 impl Machine {
@@ -227,6 +267,14 @@ impl Machine {
             .collect();
         let last_pid = vec![None; cfg.num_cpus.max(1)];
         let proc_rr = vec![0; cfg.num_cpus.max(1)];
+        let (capp, ckernel) = if cfg.engine == VmEngine::Block {
+            (
+                Some(crate::cache::get_or_compile(&app)),
+                kernel.as_ref().map(crate::cache::get_or_compile),
+            )
+        } else {
+            (None, None)
+        };
         Machine {
             cpu_rr: 0,
             dispatches: vec![0; nprocs],
@@ -243,6 +291,8 @@ impl Machine {
             shared: vec![0; shared_words],
             now: 0,
             last_pid,
+            capp,
+            ckernel,
         }
     }
 
@@ -276,6 +326,28 @@ impl Machine {
         &self.cfg
     }
 
+    /// The execution tier this machine was built with.
+    pub fn engine(&self) -> VmEngine {
+        self.cfg.engine
+    }
+
+    /// Code-cache footprint for this machine's compiled images, as
+    /// `(runs, bytes)` summed over app and kernel. `None` under the
+    /// interpreter engine (nothing is compiled).
+    pub fn code_cache_stats(&self) -> Option<(usize, usize)> {
+        let mut any = false;
+        let (mut runs, mut bytes) = (0, 0);
+        for c in [self.capp.as_deref(), self.ckernel.as_deref()]
+            .into_iter()
+            .flatten()
+        {
+            any = true;
+            runs += c.num_runs();
+            bytes += c.size_bytes();
+        }
+        any.then_some((runs, bytes))
+    }
+
     /// Global instruction clock.
     pub fn now(&self) -> u64 {
         self.now
@@ -286,12 +358,12 @@ impl Machine {
     /// # Panics
     /// Panics if `pid` is out of range.
     pub fn set_reg(&mut self, pid: usize, reg: Reg, value: i64) {
-        self.procs[pid].regs[reg.index() & 31] = value;
+        rset(&mut self.procs[pid].regs, reg, value);
     }
 
     /// Reads a register of a process.
     pub fn reg(&self, pid: usize, reg: Reg) -> i64 {
-        self.procs[pid].regs[reg.index() & 31]
+        rget(&self.procs[pid].regs, reg)
     }
 
     /// Writes a word of shared memory.
@@ -419,7 +491,26 @@ impl Machine {
                 }
 
                 self.cpu_rr = (cpu + 1) % ncpus;
-                let stop = self.exec(cpu as u8, pid, quantum, sink, hook, &mut report);
+                let stop = match self.cfg.engine {
+                    VmEngine::Interp => crate::exec::interp_exec(
+                        self,
+                        cpu as u8,
+                        pid,
+                        quantum,
+                        sink,
+                        hook,
+                        &mut report,
+                    ),
+                    VmEngine::Block => crate::block::block_exec(
+                        self,
+                        cpu as u8,
+                        pid,
+                        quantum,
+                        sink,
+                        hook,
+                        &mut report,
+                    ),
+                };
                 match stop {
                     Stop::Halted => {
                         report.halted_processes += 1;
@@ -478,347 +569,4 @@ impl Machine {
         p.cur_block_kernel = entry_block;
         hook.block(true, entry_block);
     }
-
-    /// Executes process `pid` for up to `quantum` instructions.
-    #[allow(clippy::too_many_lines)]
-    fn exec<S: TraceSink, H: ExecHook>(
-        &mut self,
-        cpu: u8,
-        pid: usize,
-        quantum: u64,
-        sink: &mut S,
-        hook: &mut H,
-        report: &mut RunReport,
-    ) -> Stop {
-        let app = Arc::clone(&self.app);
-        let kernel = self.kernel.clone();
-        let max_depth = self.cfg.max_call_depth;
-        let priv_base = PRIVATE_DATA_BASE + pid as u64 * PRIVATE_DATA_STRIDE;
-        let shared_mask = self.shared.len() - 1;
-
-        let p = &mut self.procs[pid];
-        let priv_mask = p.priv_mem.len() - 1;
-        if !p.started {
-            p.started = true;
-            hook.block(false, p.cur_block_user);
-        }
-        let pid8 = pid as u8;
-        let mut executed: u64 = 0;
-        let mut kernel_executed: u64 = 0;
-
-        let outcome = loop {
-            if executed >= quantum {
-                break Stop::Quantum;
-            }
-            let kmode = p.kernel_mode;
-            kernel_executed += u64::from(kmode);
-            let image: &Image = if kmode {
-                kernel.as_deref().expect("kernel mode without kernel")
-            } else {
-                &app
-            };
-            let pc = if kmode { p.kpc } else { p.pc };
-            let Some(instr) = image.code.get(pc as usize) else {
-                break Stop::Faulted(Fault::PcOutOfRange);
-            };
-            sink.fetch(FetchRecord {
-                addr: image.addr(pc),
-                cpu,
-                pid: pid8,
-                kernel: kmode,
-            });
-            executed += 1;
-            let cur_block = image.block_of[pc as usize];
-            hook.tick(kmode, cur_block);
-
-            // Default next pc: sequential.
-            let mut next = pc + 1;
-            let mut transferred = false;
-
-            match instr {
-                LInstr::Imm { dst, value } => {
-                    p.regs[dst.index() & 31] = *value;
-                }
-                LInstr::Mov { dst, src } => {
-                    p.regs[dst.index() & 31] = p.regs[src.index() & 31];
-                }
-                LInstr::Bin { op, dst, lhs, rhs } => {
-                    let l = p.regs[lhs.index() & 31];
-                    let r = operand(&p.regs, *rhs);
-                    p.regs[dst.index() & 31] = op.apply(l, r);
-                }
-                LInstr::Load {
-                    dst,
-                    base,
-                    offset,
-                    space,
-                } => {
-                    let idx = (p.regs[base.index() & 31].wrapping_add(*offset as i64)) as usize;
-                    let (val, addr) = match space {
-                        MemSpace::Private => {
-                            let i = idx & priv_mask;
-                            (p.priv_mem[i], priv_base + (i as u64) * 8)
-                        }
-                        MemSpace::Shared => {
-                            let i = idx & shared_mask;
-                            (self.shared[i], SHARED_DATA_BASE + (i as u64) * 8)
-                        }
-                    };
-                    p.regs[dst.index() & 31] = val;
-                    sink.data(DataRecord {
-                        addr,
-                        cpu,
-                        pid: pid8,
-                        kernel: kmode,
-                        write: false,
-                    });
-                }
-                LInstr::Store {
-                    src,
-                    base,
-                    offset,
-                    space,
-                } => {
-                    let idx = (p.regs[base.index() & 31].wrapping_add(*offset as i64)) as usize;
-                    let val = p.regs[src.index() & 31];
-                    let addr = match space {
-                        MemSpace::Private => {
-                            let i = idx & priv_mask;
-                            p.priv_mem[i] = val;
-                            priv_base + (i as u64) * 8
-                        }
-                        MemSpace::Shared => {
-                            let i = idx & shared_mask;
-                            self.shared[i] = val;
-                            SHARED_DATA_BASE + (i as u64) * 8
-                        }
-                    };
-                    sink.data(DataRecord {
-                        addr,
-                        cpu,
-                        pid: pid8,
-                        kernel: kmode,
-                        write: true,
-                    });
-                }
-                LInstr::AtomicRmw {
-                    op,
-                    dst,
-                    base,
-                    offset,
-                    src,
-                    space,
-                } => {
-                    let idx = (p.regs[base.index() & 31].wrapping_add(*offset as i64)) as usize;
-                    let rhs = p.regs[src.index() & 31];
-                    let addr = match space {
-                        MemSpace::Private => {
-                            let i = idx & priv_mask;
-                            let old = p.priv_mem[i];
-                            p.priv_mem[i] = op.apply(old, rhs);
-                            p.regs[dst.index() & 31] = old;
-                            priv_base + (i as u64) * 8
-                        }
-                        MemSpace::Shared => {
-                            let i = idx & shared_mask;
-                            let old = self.shared[i];
-                            self.shared[i] = op.apply(old, rhs);
-                            p.regs[dst.index() & 31] = old;
-                            SHARED_DATA_BASE + (i as u64) * 8
-                        }
-                    };
-                    sink.data(DataRecord {
-                        addr,
-                        cpu,
-                        pid: pid8,
-                        kernel: kmode,
-                        write: true,
-                    });
-                }
-                LInstr::Emit { src } => {
-                    p.emitted.push(p.regs[src.index() & 31]);
-                }
-                LInstr::Nop => {}
-                LInstr::Br { target } => {
-                    next = *target;
-                    transferred = true;
-                }
-                LInstr::BrCond {
-                    cond,
-                    reg,
-                    rhs,
-                    target,
-                } => {
-                    let l = p.regs[reg.index() & 31];
-                    let r = operand(&p.regs, *rhs);
-                    if cond.eval(l, r) {
-                        next = *target;
-                        transferred = true;
-                    }
-                }
-                LInstr::JmpTbl {
-                    reg,
-                    table,
-                    default,
-                } => {
-                    let v = p.regs[reg.index() & 31];
-                    next = if v >= 0 && (v as usize) < table.len() {
-                        table[v as usize]
-                    } else {
-                        *default
-                    };
-                    transferred = true;
-                }
-                LInstr::Call { callee, target } => {
-                    let stack = if kmode { &mut p.kstack } else { &mut p.stack };
-                    if stack.len() >= max_depth {
-                        break Stop::Faulted(Fault::CallDepthExceeded);
-                    }
-                    stack.push(pc + 1);
-                    hook.call(kmode, cur_block, *callee);
-                    let entry_block = image.block_of[*target as usize];
-                    hook.block(kmode, entry_block);
-                    if kmode {
-                        p.kpc = *target;
-                        p.cur_block_kernel = entry_block;
-                    } else {
-                        p.pc = *target;
-                        p.cur_block_user = entry_block;
-                    }
-                    continue;
-                }
-                LInstr::Ret => {
-                    // Returning normally lands mid-block (after the call
-                    // instruction). But when a call is the *last* body
-                    // instruction of a block whose jump terminator was
-                    // fall-through-eliminated, the return address is the
-                    // first instruction of the next block: that IS a block
-                    // entry (the eliminated jump's flow edge), and
-                    // profilers must see it.
-                    if kmode {
-                        match p.kstack.pop() {
-                            Some(r) => {
-                                let kimg = kernel.as_deref().expect("kernel mode without kernel");
-                                p.kpc = r;
-                                let nb = kimg.block_of[r as usize];
-                                if kimg.block_start[nb.index()] == r {
-                                    let from = kimg.block_of[r as usize - 1];
-                                    hook.edge(true, from, nb);
-                                    hook.block(true, nb);
-                                }
-                                p.cur_block_kernel = nb;
-                            }
-                            None => {
-                                // Kernel service finished: back to user mode.
-                                // Restore the banked user registers,
-                                // forwarding r0 when this entry was a
-                                // syscall.
-                                p.kernel_mode = false;
-                                let r0 = p.regs[0];
-                                p.regs = p.saved_regs;
-                                if p.kernel_returns_r0 {
-                                    p.regs[0] = r0;
-                                }
-                                if p.pending_block > 0 {
-                                    p.blocked_until = self.now + executed + p.pending_block;
-                                    p.pending_block = 0;
-                                    break Stop::Blocked;
-                                }
-                            }
-                        }
-                    } else {
-                        match p.stack.pop() {
-                            Some(r) => {
-                                p.pc = r;
-                                let nb = app.block_of[r as usize];
-                                if app.block_start[nb.index()] == r {
-                                    let from = app.block_of[r as usize - 1];
-                                    hook.edge(false, from, nb);
-                                    hook.block(false, nb);
-                                }
-                                p.cur_block_user = nb;
-                            }
-                            None => {
-                                // Entry procedure returned: process done.
-                                p.halted = true;
-                                break Stop::Halted;
-                            }
-                        }
-                    }
-                    continue;
-                }
-                LInstr::Syscall { code } => {
-                    if kmode {
-                        break Stop::Faulted(Fault::SyscallInKernel);
-                    }
-                    p.pc = next;
-                    p.syscalls += 1;
-                    report.syscalls += 1;
-                    if kernel.is_some() {
-                        let def = self.syscalls.get(*code as usize).copied().flatten();
-                        let Some(def) = def else {
-                            break Stop::Faulted(Fault::UnknownSyscall(*code));
-                        };
-                        // Inline kernel entry (cannot call self.enter_kernel
-                        // while `p` is borrowed; replicate).
-                        let kimg = kernel.as_deref().expect("checked above");
-                        p.kernel_mode = true;
-                        p.saved_regs = p.regs;
-                        p.kernel_returns_r0 = true;
-                        p.kpc = kimg.proc_entry[def.proc.index()];
-                        p.kstack.clear();
-                        p.pending_block = def.block_instrs;
-                        let eb = kimg.block_of[p.kpc as usize];
-                        p.cur_block_kernel = eb;
-                        hook.block(true, eb);
-                    } else {
-                        // No kernel: emulate as `r0 = 0`.
-                        p.regs[0] = 0;
-                    }
-                    continue;
-                }
-                LInstr::Halt => {
-                    p.halted = true;
-                    break Stop::Halted;
-                }
-            }
-
-            // Sequential or branch advance; detect block entry.
-            if (next as usize) >= image.code.len() {
-                break Stop::Faulted(Fault::PcOutOfRange);
-            }
-            let new_block = image.block_of[next as usize];
-            if transferred || new_block != cur_block {
-                hook.edge(kmode, cur_block, new_block);
-                hook.block(kmode, new_block);
-                if kmode {
-                    p.cur_block_kernel = new_block;
-                } else {
-                    p.cur_block_user = new_block;
-                }
-            }
-            if kmode {
-                p.kpc = next;
-            } else {
-                p.pc = next;
-            }
-        };
-
-        report.instructions += executed;
-        report.kernel_instrs += kernel_executed;
-        report.user_instrs += executed - kernel_executed;
-        self.now += executed;
-        outcome
-    }
 }
-
-#[inline]
-fn operand(regs: &[i64; 32], op: Operand) -> i64 {
-    match op {
-        Operand::Reg(r) => regs[r.index() & 31],
-        Operand::Imm(v) => v,
-    }
-}
-
-#[allow(unused)]
-fn _assert_reg_bound(_r: Reg) {}

@@ -41,6 +41,20 @@ pub trait TraceSink {
     fn data(&mut self, rec: DataRecord) {
         let _ = rec;
     }
+    /// Delivers `n` consecutive instruction fetches starting at `first`,
+    /// each [`codelayout_ir::INSTR_BYTES`] past the previous, all with
+    /// `first`'s cpu/pid/kernel attribution. The block-compiled engine
+    /// uses this for straight-line runs; the default expands to `n`
+    /// [`TraceSink::fetch`] calls, so every sink observes the identical
+    /// record stream whether or not it overrides this.
+    #[inline]
+    fn fetch_run(&mut self, first: FetchRecord, n: u64) {
+        let mut rec = first;
+        for _ in 0..n {
+            self.fetch(rec);
+            rec.addr += codelayout_ir::INSTR_BYTES;
+        }
+    }
 }
 
 /// Discards the trace. Useful for pure-semantics runs.
@@ -50,6 +64,9 @@ pub struct NullSink;
 impl TraceSink for NullSink {
     #[inline]
     fn fetch(&mut self, _rec: FetchRecord) {}
+
+    #[inline]
+    fn fetch_run(&mut self, _first: FetchRecord, _n: u64) {}
 }
 
 /// Counts fetches and data accesses without storing them.
@@ -79,6 +96,12 @@ impl TraceSink for CountingSink {
         } else {
             self.reads += 1;
         }
+    }
+
+    #[inline]
+    fn fetch_run(&mut self, first: FetchRecord, n: u64) {
+        self.fetches += n;
+        self.kernel_fetches += n * u64::from(first.kernel);
     }
 }
 
@@ -113,6 +136,11 @@ impl<S: TraceSink + ?Sized> TraceSink for &mut S {
     fn data(&mut self, rec: DataRecord) {
         (**self).data(rec);
     }
+
+    #[inline]
+    fn fetch_run(&mut self, first: FetchRecord, n: u64) {
+        (**self).fetch_run(first, n);
+    }
 }
 
 /// Feeds two sinks from one trace; nests for arbitrary fan-out.
@@ -130,6 +158,12 @@ impl<A: TraceSink, B: TraceSink> TraceSink for TeeSink<A, B> {
     fn data(&mut self, rec: DataRecord) {
         self.0.data(rec);
         self.1.data(rec);
+    }
+
+    #[inline]
+    fn fetch_run(&mut self, first: FetchRecord, n: u64) {
+        self.0.fetch_run(first, n);
+        self.1.fetch_run(first, n);
     }
 }
 
@@ -177,6 +211,34 @@ mod tests {
         t.fetch(f(16, false));
         assert_eq!(t.0.fetches, 1);
         assert_eq!(t.1.fetches.len(), 1);
+    }
+
+    #[test]
+    fn default_fetch_run_expands_to_consecutive_fetches() {
+        let mut rec = RecordingSink::default();
+        rec.fetch_run(f(0x40_0000, false), 3);
+        let addrs: Vec<u64> = rec.fetches.iter().map(|r| r.addr).collect();
+        assert_eq!(addrs, vec![0x40_0000, 0x40_0004, 0x40_0008]);
+    }
+
+    #[test]
+    fn counting_fetch_run_matches_expanded_stream() {
+        let mut batched = CountingSink::default();
+        let mut expanded = CountingSink::default();
+        batched.fetch_run(f(0x100, true), 5);
+        for i in 0..5 {
+            expanded.fetch(f(0x100 + i * 4, true));
+        }
+        assert_eq!(batched, expanded);
+    }
+
+    #[test]
+    fn tee_fetch_run_feeds_both_identically() {
+        let mut t = TeeSink(CountingSink::default(), RecordingSink::default());
+        t.fetch_run(f(0x40, false), 4);
+        assert_eq!(t.0.fetches, 4);
+        assert_eq!(t.1.fetches.len(), 4);
+        assert_eq!(t.1.fetches[3].addr, 0x4c);
     }
 
     #[test]

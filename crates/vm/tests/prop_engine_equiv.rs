@@ -1,0 +1,394 @@
+//! Differential tests: the block-compiled tier must be observationally
+//! identical to the interpreter oracle — same fetch/data record stream,
+//! same hook event stream, same registers/memory/emitted values, same
+//! stop and fault reasons, same scheduling — on random programs ×
+//! layouts × quanta, including mid-block quantum expiry, blocking
+//! syscalls and context-switch boundaries.
+
+use codelayout_ir::link::link;
+use codelayout_ir::testgen::{random_program, GenConfig};
+use codelayout_ir::{
+    BinOp, BlockId, Cond, Layout, MemSpace, Operand, ProcBuilder, ProcId, Program, ProgramBuilder,
+    Reg,
+};
+use codelayout_vm::{
+    ExecHook, Machine, MachineConfig, RecordingSink, RunReport, SyscallDef, VmEngine,
+    APP_TEXT_BASE, KERNEL_TEXT_BASE,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Records every hook event with full payload, for exact comparison.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+struct HookLog(Vec<(u8, bool, u32, u32)>);
+
+impl ExecHook for HookLog {
+    fn block(&mut self, kernel: bool, block: BlockId) {
+        self.0.push((0, kernel, block.0, 0));
+    }
+    fn edge(&mut self, kernel: bool, from: BlockId, to: BlockId) {
+        self.0.push((1, kernel, from.0, to.0));
+    }
+    fn call(&mut self, kernel: bool, from_block: BlockId, callee: ProcId) {
+        self.0.push((2, kernel, from_block.0, callee.0));
+    }
+    fn tick(&mut self, kernel: bool, block: BlockId) {
+        self.0.push((3, kernel, block.0, 0));
+    }
+}
+
+/// Everything observable about a run.
+#[derive(Debug, Clone, PartialEq)]
+struct Observation {
+    sink: (
+        Vec<codelayout_vm::FetchRecord>,
+        Vec<codelayout_vm::DataRecord>,
+    ),
+    hooks: Vec<(u8, bool, u32, u32)>,
+    chunk_reports: Vec<RunReport>,
+    emitted: Vec<Vec<i64>>,
+    priv_sums: Vec<u64>,
+    shared_sum: u64,
+    states: Vec<(bool, u32, u32, u64, bool)>,
+    dispatches: Vec<u64>,
+    now: u64,
+}
+
+/// A kernel image plus its syscall table.
+type KernelSpec = (Arc<codelayout_ir::Image>, Vec<(u16, SyscallDef)>);
+
+struct RunSpec {
+    app: Arc<codelayout_ir::Image>,
+    kernel: Option<KernelSpec>,
+    cfg: MachineConfig,
+    /// `(pid, reg, value)` initial register seeds.
+    seeds: Vec<(usize, Reg, i64)>,
+    chunk: u64,
+    fuel: u64,
+}
+
+fn observe(spec: &RunSpec, engine: VmEngine) -> Observation {
+    let cfg = MachineConfig {
+        engine,
+        ..spec.cfg.clone()
+    };
+    let mut m = match &spec.kernel {
+        Some((k, table)) => {
+            Machine::with_kernel(Arc::clone(&spec.app), Arc::clone(k), table.clone(), cfg)
+        }
+        None => Machine::new(Arc::clone(&spec.app), cfg),
+    };
+    for &(pid, reg, v) in &spec.seeds {
+        m.set_reg(pid, reg, v);
+    }
+    let mut sink = RecordingSink::default();
+    let mut hooks = HookLog::default();
+    let mut chunk_reports = Vec::new();
+    while m.now() < spec.fuel && m.live_processes() > 0 {
+        let before = m.now();
+        let r = m.run_hooked(&mut sink, &mut hooks, spec.chunk);
+        chunk_reports.push(r);
+        if m.now() == before {
+            break; // nothing runnable and nothing will wake
+        }
+    }
+    Observation {
+        sink: (sink.fetches, sink.data),
+        hooks: hooks.0,
+        chunk_reports,
+        emitted: (0..m.num_processes())
+            .map(|p| m.emitted(p).to_vec())
+            .collect(),
+        priv_sums: (0..m.num_processes())
+            .map(|p| m.private_checksum(p))
+            .collect(),
+        shared_sum: m.shared_checksum(),
+        states: (0..m.num_processes()).map(|p| m.process_state(p)).collect(),
+        dispatches: m.dispatch_counts().to_vec(),
+        now: m.now(),
+    }
+}
+
+fn assert_engines_agree(spec: &RunSpec) {
+    let interp = observe(spec, VmEngine::Interp);
+    let block = observe(spec, VmEngine::Block);
+    assert_eq!(
+        interp.chunk_reports, block.chunk_reports,
+        "per-chunk reports diverged"
+    );
+    assert_eq!(interp.hooks, block.hooks, "hook event streams diverged");
+    assert_eq!(
+        interp.sink.0.len(),
+        block.sink.0.len(),
+        "fetch counts diverged"
+    );
+    assert_eq!(interp.sink, block.sink, "sink record streams diverged");
+    assert_eq!(interp.emitted, block.emitted, "emitted values diverged");
+    assert_eq!(interp.priv_sums, block.priv_sums, "private memory diverged");
+    assert_eq!(
+        interp.shared_sum, block.shared_sum,
+        "shared memory diverged"
+    );
+    assert_eq!(interp.states, block.states, "process states diverged");
+    assert_eq!(
+        interp.dispatches, block.dispatches,
+        "dispatch counts diverged"
+    );
+    assert_eq!(interp.now, block.now, "clocks diverged");
+    assert_eq!(interp, block, "observations diverged");
+}
+
+fn shuffled_layout(program: &Program, seed: u64) -> Layout {
+    let mut order: Vec<BlockId> = Layout::natural(program).order;
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in (1..order.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    Layout { order }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random (syscall-free) programs under random layouts, quanta and
+    /// chunk sizes: small quanta force mid-block expiry and the
+    /// compiled tier's single-step fallback; small chunks force many
+    /// re-entries through the scheduler.
+    #[test]
+    fn random_programs_execute_identically(
+        seed in 0u64..10_000,
+        shuffle in 0u64..1_000,
+        qi in 0usize..5,
+        ci in 0usize..3,
+        nprocs in 1usize..3,
+    ) {
+        let quantum = [1u64, 3, 7, 61, 10_000][qi];
+        let chunk = [17u64, 4_096, 1_000_000][ci];
+        let program = random_program(seed, &GenConfig::default());
+        let layout = shuffled_layout(&program, shuffle);
+        let app = Arc::new(link(&program, &layout, APP_TEXT_BASE).unwrap());
+        let spec = RunSpec {
+            app,
+            kernel: None,
+            cfg: MachineConfig {
+                num_cpus: 1,
+                processes_per_cpu: nprocs,
+                quantum,
+                ..MachineConfig::default()
+            },
+            seeds: vec![],
+            chunk,
+            fuel: 2_000_000,
+        };
+        assert_engines_agree(&spec);
+    }
+}
+
+/// App: each process runs `r1` transactions; every transaction does a
+/// straight-line burst of register work, private stores/loads, a shared
+/// atomic, an emit, and a blocking syscall. Long straight-line blocks
+/// make small quanta expire mid-block.
+fn txn_app() -> Program {
+    let mut pb = ProgramBuilder::new("txn");
+    let main = pb.declare_proc("main");
+    let mut f = ProcBuilder::new();
+    let head = f.entry();
+    let body = f.new_block();
+    let done = f.new_block();
+    f.select(head);
+    f.branch(Cond::Gt, Reg(1), Operand::Imm(0), body, done);
+    f.select(body);
+    // Straight-line burst (compiles to one long run).
+    f.imm(Reg(2), 5)
+        .bin(BinOp::Add, Reg(2), Reg(2), Reg(1))
+        .imm(Reg(3), 9)
+        .imm(Reg(6), 11)
+        .bin(BinOp::Mul, Reg(3), Reg(3), Reg(2))
+        .store(Reg(3), Reg(4), 0, MemSpace::Private)
+        .load(Reg(5), Reg(4), 0, MemSpace::Private)
+        .bin(BinOp::Add, Reg(5), Reg(5), Reg(6))
+        .atomic_rmw(BinOp::Add, Reg(7), Reg(0), 64, Reg(2), MemSpace::Shared)
+        .emit(Reg(5))
+        .syscall(1)
+        .emit(Reg(0))
+        .bin_imm(BinOp::Sub, Reg(1), Reg(1), 1);
+    f.jump(head);
+    f.select(done);
+    f.halt();
+    pb.define_proc(main, f).unwrap();
+    pb.finish(main).unwrap()
+}
+
+/// Kernel: a looping service handler (multi-block kernel code) plus a
+/// scheduler procedure run on every context switch.
+fn txn_kernel() -> Program {
+    let mut pb = ProgramBuilder::new("txnk");
+    let handler = pb.declare_proc("handler");
+    let sched = pb.declare_proc("sched");
+
+    let mut h = ProcBuilder::new();
+    let top = h.entry();
+    let body = h.new_block();
+    let out = h.new_block();
+    h.select(top);
+    h.imm(Reg(2), 3).imm(Reg(4), 100);
+    h.jump(body);
+    h.select(body);
+    h.store(Reg(2), Reg(4), 0, MemSpace::Shared)
+        .bin_imm(BinOp::Add, Reg(4), Reg(4), 1)
+        .bin_imm(BinOp::Sub, Reg(2), Reg(2), 1);
+    h.branch(Cond::Gt, Reg(2), Operand::Imm(0), body, out);
+    h.select(out);
+    h.imm(Reg(0), 7);
+    h.ret();
+    pb.define_proc(handler, h).unwrap();
+
+    let mut s = ProcBuilder::new();
+    s.imm(Reg(5), 1)
+        .atomic_rmw(BinOp::Add, Reg(6), Reg(5), 200, Reg(5), MemSpace::Shared);
+    s.ret();
+    pb.define_proc(sched, s).unwrap();
+
+    pb.finish(handler).unwrap()
+}
+
+/// Blocking syscalls + kernel scheduler + register banking + context
+/// switches, swept over quanta that expire at every possible point
+/// (including mid-run and exactly at run boundaries).
+#[test]
+fn kernel_syscall_scheduling_identical_across_engines() {
+    let app = Arc::new(link(&txn_app(), &Layout::natural(&txn_app()), APP_TEXT_BASE).unwrap());
+    let kprog = txn_kernel();
+    let kernel = Arc::new(link(&kprog, &Layout::natural(&kprog), KERNEL_TEXT_BASE).unwrap());
+    let table = vec![(
+        1,
+        SyscallDef {
+            proc: ProcId(0),
+            block_instrs: 40,
+        },
+    )];
+    for quantum in [1u64, 2, 3, 5, 7, 13, 29, 10_000] {
+        for chunk in [23u64, 1_000_000] {
+            let mut seeds = Vec::new();
+            for pid in 0..4usize {
+                seeds.push((pid, Reg(1), 6 + pid as i64));
+                seeds.push((pid, Reg(4), 8 * pid as i64));
+            }
+            let spec = RunSpec {
+                app: Arc::clone(&app),
+                kernel: Some((Arc::clone(&kernel), table.clone())),
+                cfg: MachineConfig {
+                    num_cpus: 2,
+                    processes_per_cpu: 2,
+                    quantum,
+                    sched_proc: Some(ProcId(1)),
+                    ..MachineConfig::default()
+                },
+                seeds,
+                chunk,
+                fuel: 400_000,
+            };
+            assert_engines_agree(&spec);
+        }
+    }
+}
+
+/// A shuffled layout of the kernel program too: returns landing at
+/// block entries (fall-through-eliminated calls) and cross-block
+/// fall-throughs move around, and both engines must track them.
+#[test]
+fn shuffled_layouts_with_kernel_identical_across_engines() {
+    let aprog = txn_app();
+    let kprog = txn_kernel();
+    for shuffle in 0..6u64 {
+        let app = Arc::new(link(&aprog, &shuffled_layout(&aprog, shuffle), APP_TEXT_BASE).unwrap());
+        let kernel = Arc::new(
+            link(
+                &kprog,
+                &shuffled_layout(&kprog, shuffle + 100),
+                KERNEL_TEXT_BASE,
+            )
+            .unwrap(),
+        );
+        let spec = RunSpec {
+            app,
+            kernel: Some((
+                kernel,
+                vec![(
+                    1,
+                    SyscallDef {
+                        proc: ProcId(0),
+                        block_instrs: 15,
+                    },
+                )],
+            )),
+            cfg: MachineConfig {
+                num_cpus: 1,
+                processes_per_cpu: 3,
+                quantum: 11,
+                sched_proc: Some(ProcId(1)),
+                ..MachineConfig::default()
+            },
+            seeds: (0..3).map(|pid| (pid, Reg(1), 4)).collect(),
+            chunk: 50_000,
+            fuel: 300_000,
+        };
+        assert_engines_agree(&spec);
+    }
+}
+
+/// Faults must be reported identically: call-depth overflow and
+/// unknown syscalls, under quanta that can expire between the
+/// triggering instructions.
+#[test]
+fn faults_identical_across_engines() {
+    // Unbounded recursion.
+    let mut pb = ProgramBuilder::new("rec");
+    let main = pb.declare_proc("main");
+    let mut f = ProcBuilder::new();
+    f.call(main);
+    f.ret();
+    pb.define_proc(main, f).unwrap();
+    let p = pb.finish(main).unwrap();
+    let app = Arc::new(link(&p, &Layout::natural(&p), APP_TEXT_BASE).unwrap());
+    for quantum in [1u64, 7, 10_000] {
+        let spec = RunSpec {
+            app: Arc::clone(&app),
+            kernel: None,
+            cfg: MachineConfig {
+                max_call_depth: 16,
+                quantum,
+                ..MachineConfig::default()
+            },
+            seeds: vec![],
+            chunk: 1_000,
+            fuel: 50_000,
+        };
+        assert_engines_agree(&spec);
+    }
+
+    // Unknown syscall with a kernel attached.
+    let mut pb = ProgramBuilder::new("sysu");
+    let main = pb.declare_proc("main");
+    let mut f = ProcBuilder::new();
+    f.imm(Reg(1), 2).syscall(42);
+    f.halt();
+    pb.define_proc(main, f).unwrap();
+    let p = pb.finish(main).unwrap();
+    let kprog = txn_kernel();
+    let spec = RunSpec {
+        app: Arc::new(link(&p, &Layout::natural(&p), APP_TEXT_BASE).unwrap()),
+        kernel: Some((
+            Arc::new(link(&kprog, &Layout::natural(&kprog), KERNEL_TEXT_BASE).unwrap()),
+            vec![],
+        )),
+        cfg: MachineConfig::default(),
+        seeds: vec![],
+        chunk: 1_000,
+        fuel: 10_000,
+    };
+    assert_engines_agree(&spec);
+}
