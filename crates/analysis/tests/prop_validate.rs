@@ -10,8 +10,8 @@
 //! The proptest shim is deterministically seeded, so these are fixed
 //! (if broad) regression suites rather than true random sampling.
 
-use codelayout_analysis::validate_translation;
-use codelayout_core::{LayoutPipeline, OptimizationSet};
+use codelayout_analysis::{analyze_layout, validate_translation, LintConfig};
+use codelayout_core::{LayoutPipeline, LayoutSeries, OptimizationSet};
 use codelayout_ir::link::link;
 use codelayout_ir::testgen::{random_program, GenConfig};
 use codelayout_ir::{Layout, Program, Terminator};
@@ -91,6 +91,38 @@ proptest! {
             let report = validate_translation(&program, &layout, &image)
                 .unwrap_or_else(|e| panic!("seed {seed}/{pseed} {name}: {e}"));
             prop_assert_eq!(report.blocks, program.blocks.len());
+        }
+    }
+
+    /// Every layout series — the paper's six plus hot/cold, CFA, ext-TSP
+    /// and Codestitcher — must pass translation validation AND the lint
+    /// battery with zero deny findings, under adversarial random
+    /// profiles. Each series is linted against its own claims
+    /// (`LayoutSeries::lint_set`); warn/info findings are allowed, denies
+    /// are not.
+    #[test]
+    fn all_series_validate_and_lint_clean(seed in 0u64..10_000, pseed in 0u64..1_000) {
+        let program = random_program(seed, &GenConfig::default());
+        let profile = random_profile(&program, pseed);
+        let pipe = LayoutPipeline::new(&program, &profile);
+        for series in LayoutSeries::all() {
+            let layout = pipe.build_series(series);
+            let image = link(&program, &layout, APP_TEXT_BASE)
+                .unwrap_or_else(|e| panic!("seed {seed}/{pseed} {series}: link failed: {e}"));
+            validate_translation(&program, &layout, &image)
+                .unwrap_or_else(|e| panic!("seed {seed}/{pseed} {series}: {e}"));
+            let report = analyze_layout(
+                &program,
+                &profile,
+                &layout,
+                &image,
+                &LintConfig::new(series.lint_set()),
+            );
+            prop_assert!(
+                !report.has_deny(),
+                "seed {}/{} {}: deny findings:\n{}",
+                seed, pseed, series, report.render_text()
+            );
         }
     }
 

@@ -1,7 +1,8 @@
 //! Per-figure experiment logic. Each function prints the figure's series
 //! as a table and returns a JSON record (saved by the caller).
 
-use crate::{pct, print_table, Harness, LINES_B, SIZES_KB};
+use crate::{pct, print_table, run_env, Harness, LINES_B, SIZES_KB};
+use codelayout_core::{exttsp_score, LayoutSeries};
 use codelayout_memsim::SweepCell;
 use codelayout_timing::TimingModel;
 use serde_json::{json, Value};
@@ -569,6 +570,122 @@ pub fn fig15(h: &mut Harness) -> Value {
         "figure": "fig15",
         "paper": {"speedup": 1.33, "consistent_across_generations": true},
         "measured": {"series": series, "speedup_21264": speedup264, "speedup_21164": speedup164},
+    })
+}
+
+/// The layout series compared by [`compare`]: the
+/// `CODELAYOUT_LAYOUT_SERIES` selection, defaulting to
+/// [`LayoutSeries::comparison`] (base, all, hotcold, exttsp, stitcher).
+///
+/// # Panics
+/// Panics on a label [`LayoutSeries::parse`] does not accept — a
+/// misspelled series must fail the run, not silently shrink the table.
+pub fn compare_series() -> Vec<LayoutSeries> {
+    match &run_env().layout_series {
+        Some(labels) => labels
+            .iter()
+            .map(|l| {
+                LayoutSeries::parse(l)
+                    .unwrap_or_else(|| panic!("CODELAYOUT_LAYOUT_SERIES: unknown series `{l}`"))
+            })
+            .collect(),
+        None => LayoutSeries::comparison().to_vec(),
+    }
+}
+
+/// Cross-algorithm comparison table: the paper trio vs the ext-TSP and
+/// Codestitcher passes, per series — I-cache misses (128 B / 4-way),
+/// the shared ext-TSP objective score of the application layout, text
+/// size, and the `L000`–`L006` lint summary over {app, kernel}.
+///
+/// The table also enforces the evaluation's headline ordering claim:
+/// the ext-TSP pass must score at least every paper series on the
+/// objective both are judged by (the scorer is encoded once in
+/// `codelayout_core::exttsp_score` and shared with the pass and its
+/// property tests).
+pub fn compare(h: &mut Harness) -> Value {
+    compare_with(h, &compare_series())
+}
+
+/// [`compare`] over an explicit series list (the golden test pins the
+/// default list so a caller's `CODELAYOUT_LAYOUT_SERIES` cannot change
+/// the snapshot).
+pub fn compare_with(h: &mut Harness, series_list: &[LayoutSeries]) -> Value {
+    let mut rows = Vec::new();
+    let mut entries = Vec::new();
+    let mut scores: Vec<(LayoutSeries, u64)> = Vec::new();
+    for &series in series_list {
+        let label = series.label();
+        let (misses, user_fetches, text_bytes) = {
+            let d = h.run(label);
+            (
+                misses_by_size(&d.sizes_4w_user),
+                d.user_fetches,
+                d.text_bytes,
+            )
+        };
+        let layout = h.study.layout_series(series);
+        let score = exttsp_score(&h.study.app.program, &h.study.profile, &layout);
+        scores.push((series, score));
+        let lints = crate::lint::lint_series_cells(&h.study, series);
+        let (deny, warn, info) = (
+            crate::lint::count(&lints, codelayout_analysis::Severity::Deny),
+            crate::lint::count(&lints, codelayout_analysis::Severity::Warn),
+            crate::lint::count(&lints, codelayout_analysis::Severity::Info),
+        );
+        let lint_summary = crate::lint::summary_json(&lints);
+        let m64 = misses[1].1;
+        let m128 = misses[2].1;
+        rows.push(vec![
+            label.to_string(),
+            m64.to_string(),
+            m128.to_string(),
+            pct(m128, user_fetches),
+            score.to_string(),
+            format!("{} KB", text_bytes / 1024),
+            format!("{deny}/{warn}/{info}"),
+        ]);
+        entries.push(json!({
+            "series": label,
+            "text_bytes": text_bytes,
+            "user_fetches": user_fetches,
+            "misses": misses
+                .iter()
+                .map(|(k, m)| json!({"size_kb": k, "misses": m}))
+                .collect::<Vec<_>>(),
+            "exttsp_score": score,
+            "lints": lint_summary,
+        }));
+    }
+    print_table(
+        "Layout-series comparison (128B/4-way; lints = deny/warn/info over app+kernel)",
+        &[
+            "series",
+            "misses 64KB",
+            "misses 128KB",
+            "miss rate 128KB",
+            "ext-TSP score",
+            "text",
+            "lints",
+        ],
+        &rows,
+    );
+    if let Some(&(_, s_exttsp)) = scores.iter().find(|(s, _)| *s == LayoutSeries::ExtTsp) {
+        for &(series, s) in &scores {
+            if matches!(series, LayoutSeries::Paper(_)) {
+                assert!(
+                    s_exttsp >= s,
+                    "ext-TSP score {s_exttsp} below `{series}` score {s}: \
+                     the pass lost on its own objective"
+                );
+            }
+        }
+    }
+    json!({
+        "figure": "compare",
+        "paper": "ext-TSP (Newell–Pupyrev) and Codestitcher (Lavaee et al.) vs the 2001 trio; \
+                  ext-TSP must dominate the paper series on the shared objective score",
+        "measured": entries,
     })
 }
 

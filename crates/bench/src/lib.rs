@@ -38,7 +38,7 @@
 pub mod figures;
 pub mod lint;
 
-use codelayout_core::OptimizationSet;
+use codelayout_core::LayoutSeries;
 use codelayout_ir::Image;
 use codelayout_memsim::{
     CacheConfig, FootprintCounter, HierarchyStats, LocalityCache, LocalityStats, MemoryHierarchy,
@@ -342,46 +342,14 @@ impl Harness {
         Self::new(&sc)
     }
 
-    /// The scenario's paper layouts plus their images; `name` must be one
-    /// of the paper series labels or `hotcold`/`cfa`.
+    /// The image for any layout-series label ([`LayoutSeries::parse`]):
+    /// the paper's six, `hotcold`, `cfa` (with
+    /// [`codelayout_core::CFA_RESERVED_BYTES`] reserved), `exttsp`, or
+    /// `stitcher`. Debug builds run translation validation on every
+    /// linked image.
     fn image_for(&self, name: &str) -> Arc<Image> {
-        match name {
-            "hotcold" => {
-                let layout =
-                    codelayout_core::hot_cold_layout(&self.study.app.program, &self.study.profile);
-                Arc::new(
-                    codelayout_ir::link::link(
-                        &self.study.app.program,
-                        &layout,
-                        codelayout_vm::APP_TEXT_BASE,
-                    )
-                    .expect("hot/cold layout links"),
-                )
-            }
-            "cfa" => {
-                let (layout, _) = codelayout_core::cfa_layout(
-                    &self.study.app.program,
-                    &self.study.profile,
-                    32 * 1024,
-                );
-                Arc::new(
-                    codelayout_ir::link::link(
-                        &self.study.app.program,
-                        &layout,
-                        codelayout_vm::APP_TEXT_BASE,
-                    )
-                    .expect("cfa layout links"),
-                )
-            }
-            _ => {
-                let set = OptimizationSet::paper_series()
-                    .into_iter()
-                    .find(|(n, _)| *n == name)
-                    .map(|(_, s)| s)
-                    .unwrap_or_else(|| panic!("unknown layout {name}"));
-                self.study.image(set)
-            }
-        }
+        let series = LayoutSeries::parse(name).unwrap_or_else(|| panic!("unknown layout {name}"));
+        self.study.image_series(series)
     }
 
     /// Runs (or returns the cached) measurement for a layout. `base` and

@@ -1,14 +1,15 @@
 //! Shared driver for the `layout_lint` binary and the golden lint test.
 //!
 //! Both consumers need the identical matrix — every
-//! [`OptimizationSet::paper_series`] layout of the scenario's application
-//! *and* kernel program, validated and linted — so the matrix runner and
-//! its JSON rendering live here rather than in the binary.
+//! [`LayoutSeries::lint_matrix`] layout (the paper's six sets plus the
+//! ext-TSP and Codestitcher passes) of the scenario's application *and*
+//! kernel program, validated and linted — so the matrix runner and its
+//! JSON rendering live here rather than in the binary.
 
 use codelayout_analysis::{
     analyze_layout, validate_translation, LintConfig, LintReport, Severity, TranslationReport,
 };
-use codelayout_core::{LayoutPipeline, OptimizationSet};
+use codelayout_core::{LayoutPipeline, LayoutSeries};
 use codelayout_ir::link::link;
 use codelayout_oltp::Study;
 use codelayout_vm::{APP_TEXT_BASE, KERNEL_TEXT_BASE};
@@ -17,7 +18,7 @@ use serde_json::{json, Value};
 /// Lint outcome for one (layout, program) cell of the matrix.
 #[derive(Debug)]
 pub struct LintCell {
-    /// Paper-series layout label (`base` … `all`).
+    /// Layout-series label (`base` … `all`, `exttsp`, `stitcher`).
     pub layout: &'static str,
     /// Which program was laid out: `app` or `kernel`.
     pub target: &'static str,
@@ -28,9 +29,21 @@ pub struct LintCell {
     pub report: LintReport,
 }
 
-/// Runs the full paper-series × {app, kernel} lint matrix on a prepared
-/// study.
+/// Runs the full [`LayoutSeries::lint_matrix`] × {app, kernel} lint
+/// matrix on a prepared study. Each series is linted under its own
+/// optimization claims ([`LayoutSeries::lint_set`]).
 pub fn lint_study(study: &Study) -> Vec<LintCell> {
+    let mut cells = Vec::new();
+    for series in LayoutSeries::lint_matrix() {
+        cells.extend(lint_series_cells(study, series));
+    }
+    cells
+}
+
+/// Runs validation + lints for one series' app and kernel layouts — the
+/// two cells [`lint_study`] produces per series, reused by the
+/// comparison table for series outside the lint matrix.
+pub fn lint_series_cells(study: &Study, series: LayoutSeries) -> Vec<LintCell> {
     let targets: [(
         &'static str,
         &codelayout_ir::Program,
@@ -46,19 +59,23 @@ pub fn lint_study(study: &Study) -> Vec<LintCell> {
         ),
     ];
     let mut cells = Vec::new();
-    for (name, set) in OptimizationSet::paper_series() {
-        for &(target, program, profile, base) in &targets {
-            let layout = LayoutPipeline::new(program, profile).build(set);
-            let image = link(program, &layout, base).expect("pipeline layouts link");
-            let translation = validate_translation(program, &layout, &image).ok();
-            let report = analyze_layout(program, profile, &layout, &image, &LintConfig::new(set));
-            cells.push(LintCell {
-                layout: name,
-                target,
-                translation,
-                report,
-            });
-        }
+    for &(target, program, profile, base) in &targets {
+        let layout = LayoutPipeline::new(program, profile).build_series(series);
+        let image = link(program, &layout, base).expect("pipeline layouts link");
+        let translation = validate_translation(program, &layout, &image).ok();
+        let report = analyze_layout(
+            program,
+            profile,
+            &layout,
+            &image,
+            &LintConfig::new(series.lint_set()),
+        );
+        cells.push(LintCell {
+            layout: series.label(),
+            target,
+            translation,
+            report,
+        });
     }
     cells
 }

@@ -1,0 +1,583 @@
+//! ext-TSP basic block reordering (Newell & Pupyrev, *Improved Basic
+//! Block Reordering*, PAPERS.md).
+//!
+//! Where [`crate::chain_proc`] greedily maximizes fall-through *counts*,
+//! ext-TSP maximizes a distance-weighted score over three branch classes:
+//! a fall-through earns its full edge weight, a short forward jump earns
+//! `0.1 * w * (1 - d / 1024)` for distances under 1 KiB, and a short
+//! backward jump earns `0.1 * w * (1 - d / 640)` for distances under 640
+//! bytes (the paper's weights). The optimizer merges block chains
+//! greedily, but instead of only appending it evaluates score-driven
+//! merge points — splitting the growing chain and nesting the other chain
+//! at the most profitable seam.
+//!
+//! The scorer ([`exttsp_score`] / [`span_score`]) is the single encoding
+//! of the objective: the pass maximizes it, the comparison table reports
+//! it, and the property suite checks the pass against the paper trio with
+//! it. All arithmetic is integer fixed-point (scale [`SCORE_SCALE`]) so
+//! scores are bit-identical across platforms and thread counts.
+
+use crate::chain::chain_proc;
+use crate::graph::pettis_hansen_order;
+use codelayout_ir::{BlockId, Layout, ProcId, Program, Terminator, INSTR_BYTES};
+use codelayout_profile::Profile;
+use std::collections::{BTreeMap, HashMap};
+
+/// Fixed-point scale: a fall-through of weight `w` scores `w * SCORE_SCALE`.
+pub const SCORE_SCALE: u64 = 1_000;
+/// Short-jump weight, 0.1 of a fall-through in fixed point.
+const JUMP_SCALE: u64 = SCORE_SCALE / 10;
+/// Forward-jump scoring window in bytes (the paper's 1024).
+pub const FORWARD_WINDOW: u64 = 1024;
+/// Backward-jump scoring window in bytes (the paper's 640).
+pub const BACKWARD_WINDOW: u64 = 640;
+/// Chains at most this long are considered for split-point merging;
+/// longer chains only merge by concatenation (cost control, as in BOLT's
+/// chain-split threshold).
+const SPLIT_CAP: usize = 32;
+
+/// Layout-independent byte-size estimate of a lowered block: its body
+/// instructions plus one slot for the terminator, two for a conditional
+/// branch (whose not-taken arm may need a trailing jump). The linker can
+/// do better — it erases jumps to the next block — but the estimate must
+/// not depend on the layout being scored, or the objective would shift
+/// under the optimizer.
+pub fn block_bytes(program: &Program, b: BlockId) -> u64 {
+    let blk = program.block(b);
+    let slots = blk.instrs.len() as u64
+        + match blk.term {
+            Terminator::Branch { .. } => 2,
+            _ => 1,
+        };
+    slots * INSTR_BYTES
+}
+
+/// Score contribution of one edge of weight `w` whose source block ends at
+/// byte `src_end` and whose destination starts at byte `dst`.
+fn edge_score(w: u64, src_end: u64, dst: u64) -> u64 {
+    if w == 0 {
+        return 0;
+    }
+    if dst == src_end {
+        w * SCORE_SCALE
+    } else if dst > src_end {
+        let d = dst - src_end;
+        if d < FORWARD_WINDOW {
+            w * JUMP_SCALE * (FORWARD_WINDOW - d) / FORWARD_WINDOW
+        } else {
+            0
+        }
+    } else {
+        let d = src_end - dst;
+        if d < BACKWARD_WINDOW {
+            w * JUMP_SCALE * (BACKWARD_WINDOW - d) / BACKWARD_WINDOW
+        } else {
+            0
+        }
+    }
+}
+
+/// Sums the score of every profiled control-flow edge whose endpoints both
+/// have an address in `addr` (`u64::MAX` marks absent blocks).
+fn score_at(program: &Program, profile: &Profile, addr: &[u64]) -> u64 {
+    let mut total = 0u64;
+    for (bi, blk) in program.blocks.iter().enumerate() {
+        let src = addr[bi];
+        if src == u64::MAX {
+            continue;
+        }
+        let b = BlockId(bi as u32);
+        let src_end = src + block_bytes(program, b);
+        let mut seen: Vec<BlockId> = Vec::new();
+        for t in blk.term.successors() {
+            if seen.contains(&t) {
+                continue;
+            }
+            seen.push(t);
+            if addr[t.index()] == u64::MAX {
+                continue;
+            }
+            total += edge_score(profile.edge_count(b, t), src_end, addr[t.index()]);
+        }
+    }
+    total
+}
+
+/// The ext-TSP objective of a whole layout under the fixed-point weights.
+///
+/// This is the one scorer: the ext-TSP pass maximizes it, the comparison
+/// table reports it, and the property tests compare series with it.
+pub fn exttsp_score(program: &Program, profile: &Profile, layout: &Layout) -> u64 {
+    let mut addr = vec![u64::MAX; program.blocks.len()];
+    let mut cur = 0u64;
+    for &b in &layout.order {
+        addr[b.index()] = cur;
+        cur += block_bytes(program, b);
+    }
+    score_at(program, profile, &addr)
+}
+
+/// The ext-TSP objective of one contiguous span placed in isolation.
+///
+/// Every control-flow edge is intra-procedural, so the whole-layout score
+/// of any procedure-contiguous layout is the sum of its per-procedure
+/// span scores — which is what lets the pass optimize procedures
+/// independently.
+pub fn span_score(program: &Program, profile: &Profile, order: &[BlockId]) -> u64 {
+    let mut addr = vec![u64::MAX; program.blocks.len()];
+    let mut cur = 0u64;
+    for &b in order {
+        addr[b.index()] = cur;
+        cur += block_bytes(program, b);
+    }
+    score_at(program, profile, &addr)
+}
+
+/// One chain of local block indices during merging.
+struct Chain {
+    blocks: Vec<u32>,
+    score: u64,
+}
+
+/// The best way to merge a pair of chains, cached per pair.
+struct Merge {
+    gain: u64,
+    arrangement: Vec<u32>,
+    score: u64,
+}
+
+/// Computes the ext-TSP block order for one procedure.
+///
+/// The procedure's entry block is always placed first (the image address
+/// of a procedure is its entry), unlike [`chain_proc`], which may front a
+/// hot predecessor. The merged order competes under [`span_score`] against
+/// the greedy chain order (rotated to entry-first when chaining fronted a
+/// predecessor), so the pass never scores below the paper's chaining on
+/// the same profile.
+pub fn exttsp_proc_order(program: &Program, profile: &Profile, proc: ProcId) -> Vec<BlockId> {
+    let blocks = &program.proc(proc).blocks;
+    let entry = program.proc(proc).entry;
+    if blocks.len() <= 1 {
+        return blocks.clone();
+    }
+
+    let n = blocks.len();
+    let mut local: HashMap<BlockId, u32> = HashMap::with_capacity(n);
+    for (i, &b) in blocks.iter().enumerate() {
+        local.insert(b, i as u32);
+    }
+    let sizes: Vec<u64> = blocks.iter().map(|&b| block_bytes(program, b)).collect();
+    let entry_local = local[&entry];
+
+    // Weighted intra-procedure edges in local indices, deduplicated.
+    // Self edges contribute a layout-independent constant and are dropped.
+    let mut edges: Vec<(u32, u32, u64)> = Vec::new();
+    for (i, &b) in blocks.iter().enumerate() {
+        let mut seen: Vec<BlockId> = Vec::new();
+        for t in program.block(b).term.successors() {
+            if t == b || seen.contains(&t) {
+                continue;
+            }
+            seen.push(t);
+            if let Some(&j) = local.get(&t) {
+                let w = profile.edge_count(b, t);
+                if w > 0 {
+                    edges.push((i as u32, j, w));
+                }
+            }
+        }
+    }
+
+    let merged = merge_chains(n, &sizes, &edges, entry_local, profile, blocks);
+
+    // Candidate selection under the shared scorer; the merged order wins
+    // ties so the pass's own structure is preferred.
+    let merged_blocks: Vec<BlockId> = merged.iter().map(|&i| blocks[i as usize]).collect();
+    let chain = chain_proc(program, profile, proc);
+    let chain_candidate = if chain[0] == entry {
+        chain
+    } else {
+        // Chaining fronted a hot predecessor of the entry; rotate the
+        // pre-entry prefix to the back so the entry leads.
+        let at = chain
+            .iter()
+            .position(|&b| b == entry)
+            .expect("entry present");
+        let mut rot = chain[at..].to_vec();
+        rot.extend_from_slice(&chain[..at]);
+        rot
+    };
+    if span_score(program, profile, &chain_candidate) > span_score(program, profile, &merged_blocks)
+    {
+        chain_candidate
+    } else {
+        merged_blocks
+    }
+}
+
+/// Greedy chain merging with score-driven merge-point selection. Returns
+/// a permutation of `0..n` (local indices) with `entry_local` first.
+fn merge_chains(
+    n: usize,
+    sizes: &[u64],
+    edges: &[(u32, u32, u64)],
+    entry_local: u32,
+    profile: &Profile,
+    blocks: &[BlockId],
+) -> Vec<u32> {
+    // One chain per block to start; `chain_of[b]` names the live chain
+    // (indexed by its smallest-ever root) holding block `b`.
+    let mut chains: Vec<Option<Chain>> = (0..n)
+        .map(|i| {
+            Some(Chain {
+                blocks: vec![i as u32],
+                score: 0,
+            })
+        })
+        .collect();
+    let mut chain_of: Vec<u32> = (0..n as u32).collect();
+    let mut entry_root = entry_local;
+
+    // Undirected inter-chain adjacency (sum of edge weights), kept in
+    // ordered maps so every scan below is deterministic.
+    let mut adj: Vec<BTreeMap<u32, u64>> = vec![BTreeMap::new(); n];
+    for &(f, t, w) in edges {
+        if f == t {
+            continue;
+        }
+        *adj[f as usize].entry(t).or_insert(0) += w;
+        *adj[t as usize].entry(f).or_insert(0) += w;
+    }
+
+    let mut pos_scratch: Vec<u64> = vec![0; n];
+    let mut best: BTreeMap<(u32, u32), Merge> = BTreeMap::new();
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
+    for (a, nbrs) in adj.iter().enumerate() {
+        for &b in nbrs.keys() {
+            if (a as u32) < b {
+                pairs.push((a as u32, b));
+            }
+        }
+    }
+    for &(a, b) in &pairs {
+        if let Some(m) = best_merge(
+            &chains,
+            a,
+            b,
+            sizes,
+            edges,
+            &chain_of,
+            entry_root,
+            entry_local,
+            &mut pos_scratch,
+        ) {
+            best.insert((a, b), m);
+        }
+    }
+
+    // Highest positive gain; ties go to the smallest pair.
+    fn pick_best(best: &BTreeMap<(u32, u32), Merge>) -> Option<(u32, u32)> {
+        best.iter()
+            .filter(|(_, m)| m.gain > 0)
+            .max_by(|(ka, ma), (kb, mb)| ma.gain.cmp(&mb.gain).then(kb.cmp(ka)))
+            .map(|(&k, _)| k)
+    }
+    while let Some((a, b)) = pick_best(&best) {
+        let m = best.remove(&(a, b)).expect("just found");
+        for &x in &m.arrangement {
+            chain_of[x as usize] = a;
+        }
+        chains[a as usize] = Some(Chain {
+            blocks: m.arrangement,
+            score: m.score,
+        });
+        chains[b as usize] = None;
+        if entry_root == b {
+            entry_root = a;
+        }
+
+        // Rewire b's adjacency into a and drop stale cached merges.
+        let b_adj: Vec<(u32, u64)> = std::mem::take(&mut adj[b as usize]).into_iter().collect();
+        adj[a as usize].remove(&b);
+        for (nbr, w) in b_adj {
+            if nbr == a {
+                continue;
+            }
+            adj[nbr as usize].remove(&b);
+            best.remove(&(b.min(nbr), b.max(nbr)));
+            *adj[a as usize].entry(nbr).or_insert(0) += w;
+            *adj[nbr as usize].entry(a).or_insert(0) = adj[a as usize][&nbr];
+        }
+        let neighbors: Vec<u32> = adj[a as usize].keys().copied().collect();
+        for nbr in neighbors {
+            let key = (a.min(nbr), a.max(nbr));
+            match best_merge(
+                &chains,
+                key.0,
+                key.1,
+                sizes,
+                edges,
+                &chain_of,
+                entry_root,
+                entry_local,
+                &mut pos_scratch,
+            ) {
+                Some(m) => {
+                    best.insert(key, m);
+                }
+                None => {
+                    best.remove(&key);
+                }
+            }
+        }
+    }
+
+    // Emit: entry chain first, the rest by decreasing profile weight with
+    // a deterministic root tie-break.
+    let weight_of = |c: &Chain| -> u64 {
+        c.blocks
+            .iter()
+            .map(|&i| profile.block_count(blocks[i as usize]))
+            .sum()
+    };
+    let mut rest: Vec<(u64, u32, &Chain)> = Vec::new();
+    let mut out: Vec<u32> = Vec::with_capacity(n);
+    for (root, c) in chains.iter().enumerate() {
+        let Some(c) = c else { continue };
+        if root as u32 == entry_root {
+            out.extend_from_slice(&c.blocks);
+        } else {
+            rest.push((weight_of(c), root as u32, c));
+        }
+    }
+    rest.sort_by(|x, y| y.0.cmp(&x.0).then(x.1.cmp(&y.1)));
+    for (_, _, c) in rest {
+        out.extend_from_slice(&c.blocks);
+    }
+    debug_assert_eq!(out.len(), n);
+    debug_assert_eq!(out[0], entry_local);
+    out
+}
+
+/// The best-scoring way to merge live chains `a` and `b`, or `None` when
+/// no arrangement is admissible (the entry must stay at the head of its
+/// chain).
+#[allow(clippy::too_many_arguments)]
+fn best_merge(
+    chains: &[Option<Chain>],
+    a: u32,
+    b: u32,
+    sizes: &[u64],
+    edges: &[(u32, u32, u64)],
+    chain_of: &[u32],
+    entry_root: u32,
+    entry_local: u32,
+    pos_scratch: &mut [u64],
+) -> Option<Merge> {
+    let ca = chains[a as usize].as_ref()?;
+    let cb = chains[b as usize].as_ref()?;
+    let has_entry = a == entry_root || b == entry_root;
+
+    // Edges with both endpoints inside the merged pair.
+    let in_pair = |x: u32| chain_of[x as usize] == a || chain_of[x as usize] == b;
+    let pair_edges: Vec<(u32, u32, u64)> = edges
+        .iter()
+        .copied()
+        .filter(|&(f, t, _)| in_pair(f) && in_pair(t))
+        .collect();
+
+    let score_arrangement = |order: &[u32], pos: &mut [u64]| -> u64 {
+        let mut cur = 0u64;
+        for &x in order {
+            pos[x as usize] = cur;
+            cur += sizes[x as usize];
+        }
+        let mut total = 0u64;
+        for &(f, t, w) in &pair_edges {
+            total += edge_score(w, pos[f as usize] + sizes[f as usize], pos[t as usize]);
+        }
+        total
+    };
+
+    let mut best: Option<(u64, Vec<u32>)> = None;
+    let mut consider = |order: Vec<u32>, pos: &mut [u64]| {
+        if has_entry && order[0] != entry_local {
+            return;
+        }
+        let s = score_arrangement(&order, pos);
+        if best.as_ref().is_none_or(|(bs, _)| s > *bs) {
+            best = Some((s, order));
+        }
+    };
+
+    let concat = |x: &[u32], y: &[u32]| {
+        let mut v = Vec::with_capacity(x.len() + y.len());
+        v.extend_from_slice(x);
+        v.extend_from_slice(y);
+        v
+    };
+    consider(concat(&ca.blocks, &cb.blocks), pos_scratch);
+    consider(concat(&cb.blocks, &ca.blocks), pos_scratch);
+    // Score-driven merge points: nest one chain inside a split of the
+    // other, at every admissible seam.
+    if ca.blocks.len() <= SPLIT_CAP {
+        for k in 1..ca.blocks.len() {
+            let mut v = Vec::with_capacity(ca.blocks.len() + cb.blocks.len());
+            v.extend_from_slice(&ca.blocks[..k]);
+            v.extend_from_slice(&cb.blocks);
+            v.extend_from_slice(&ca.blocks[k..]);
+            consider(v, pos_scratch);
+        }
+    }
+    if cb.blocks.len() <= SPLIT_CAP {
+        for k in 1..cb.blocks.len() {
+            let mut v = Vec::with_capacity(ca.blocks.len() + cb.blocks.len());
+            v.extend_from_slice(&cb.blocks[..k]);
+            v.extend_from_slice(&ca.blocks);
+            v.extend_from_slice(&cb.blocks[k..]);
+            consider(v, pos_scratch);
+        }
+    }
+
+    let (score, arrangement) = best?;
+    let gain = score.saturating_sub(ca.score + cb.score);
+    Some(Merge {
+        gain,
+        arrangement,
+        score,
+    })
+}
+
+/// Builds the whole-program ext-TSP layout: per-procedure ext-TSP block
+/// orders, procedures kept contiguous and arranged by Pettis–Hansen call
+/// ordering (the same procedure placement the paper's `chain+porder`
+/// series uses, so series differ only in the intra-procedure objective).
+pub fn exttsp_layout(program: &Program, profile: &Profile) -> Layout {
+    let _span = codelayout_obs::span("exttsp");
+    let orders: Vec<Vec<BlockId>> = (0..program.procs.len())
+        .map(|p| exttsp_proc_order(program, profile, ProcId(p as u32)))
+        .collect();
+    let w = profile.proc_call_weights(program);
+    let proc_order = pettis_hansen_order(
+        program.procs.len(),
+        w.into_iter().map(|((a, b), c)| (a, b, c)),
+    );
+    let order = proc_order
+        .into_iter()
+        .flat_map(|p| orders[p as usize].iter().copied())
+        .collect();
+    Layout { order }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codelayout_ir::{verify_layout, Cond, Operand, ProcBuilder, ProgramBuilder, Reg};
+
+    /// The chaining fixture: entry(b0) -> hot(b1)/cold(b2); both join at
+    /// b3; b3 loops to b0 or exits to b4.
+    fn fig1_program() -> Program {
+        let mut pb = ProgramBuilder::new("fig1");
+        let main = pb.declare_proc("main");
+        let mut f = ProcBuilder::new();
+        let b0 = f.entry();
+        let b1 = f.new_block();
+        let b2 = f.new_block();
+        let b3 = f.new_block();
+        let b4 = f.new_block();
+        f.select(b0);
+        f.branch(Cond::Eq, Reg(1), Operand::Imm(0), b1, b2);
+        f.select(b1);
+        f.nop();
+        f.jump(b3);
+        f.select(b2);
+        f.nop();
+        f.jump(b3);
+        f.select(b3);
+        f.branch(Cond::Gt, Reg(2), Operand::Imm(0), b0, b4);
+        f.select(b4);
+        f.halt();
+        pb.define_proc(main, f).unwrap();
+        pb.finish(main).unwrap()
+    }
+
+    fn fig1_profile() -> Profile {
+        let mut p = Profile::new(5);
+        p.block_counts = vec![100, 90, 10, 100, 50];
+        p.edge_counts.insert((0, 1), 90);
+        p.edge_counts.insert((0, 2), 10);
+        p.edge_counts.insert((1, 3), 90);
+        p.edge_counts.insert((2, 3), 10);
+        p.edge_counts.insert((3, 0), 50);
+        p.edge_counts.insert((3, 4), 50);
+        p
+    }
+
+    #[test]
+    fn fallthrough_outscores_short_jumps() {
+        assert_eq!(edge_score(10, 100, 100), 10 * SCORE_SCALE);
+        // Forward jump inside the window scores a fraction of 0.1 * w.
+        let fwd = edge_score(10, 100, 200);
+        assert!(fwd > 0 && fwd < 10 * JUMP_SCALE);
+        // Backward jumps have the tighter window.
+        assert_eq!(edge_score(10, 100 + BACKWARD_WINDOW, 100), 0);
+        assert!(edge_score(10, 100 + BACKWARD_WINDOW - 4, 100) > 0);
+        // Outside both windows: nothing.
+        assert_eq!(edge_score(10, 100, 100 + FORWARD_WINDOW), 0);
+    }
+
+    #[test]
+    fn hot_path_is_sequential_and_entry_leads() {
+        let prog = fig1_program();
+        let prof = fig1_profile();
+        let order = exttsp_proc_order(&prog, &prof, ProcId(0));
+        let mut sorted: Vec<u32> = order.iter().map(|b| b.0).collect();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+        assert_eq!(order[0], BlockId(0), "entry first: {order:?}");
+        let pos: Vec<usize> = {
+            let mut v = vec![0; 5];
+            for (i, b) in order.iter().enumerate() {
+                v[b.index()] = i;
+            }
+            v
+        };
+        assert_eq!(pos[1], pos[0] + 1, "hot arm falls through: {order:?}");
+        assert_eq!(pos[3], pos[1] + 1, "join follows hot arm: {order:?}");
+    }
+
+    #[test]
+    fn scores_at_least_the_chain_order() {
+        let prog = fig1_program();
+        let prof = fig1_profile();
+        let ours = exttsp_proc_order(&prog, &prof, ProcId(0));
+        let chain = chain_proc(&prog, &prof, ProcId(0));
+        assert!(
+            span_score(&prog, &prof, &ours) >= span_score(&prog, &prof, &chain),
+            "ext-TSP {ours:?} scored below chaining {chain:?}"
+        );
+    }
+
+    #[test]
+    fn layout_is_valid_and_score_sums_over_procs() {
+        let prog = fig1_program();
+        let prof = fig1_profile();
+        let layout = exttsp_layout(&prog, &prof);
+        verify_layout(&prog, &layout).unwrap();
+        assert_eq!(
+            exttsp_score(&prog, &prof, &layout),
+            span_score(&prog, &prof, &layout.order)
+        );
+    }
+
+    #[test]
+    fn zero_profile_is_still_an_entry_first_permutation() {
+        let prog = fig1_program();
+        let prof = Profile::new(5);
+        let order = exttsp_proc_order(&prog, &prof, ProcId(0));
+        let mut sorted: Vec<u32> = order.iter().map(|b| b.0).collect();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+        assert_eq!(order[0], BlockId(0));
+    }
+}

@@ -21,6 +21,14 @@
 //! area / software trace cache variant, which the paper found ineffective
 //! for OLTP).
 //!
+//! Two post-paper successors round out the comparison surface:
+//! [`exttsp_layout`] (Newell–Pupyrev's ext-TSP objective with chain merging
+//! and score-driven merge-point selection) and [`stitcher_layout`]
+//! (Codestitcher's hierarchical inter-procedural collocation by distance
+//! class). [`LayoutSeries`] names every series — the paper's six plus the
+//! four alternatives — behind one label, and
+//! [`LayoutPipeline::build_series`] builds any of them.
+//!
 //! All optimizations are *pure layout permutations*: they consume an
 //! immutable [`codelayout_ir::Program`] plus a
 //! [`codelayout_profile::Profile`] and produce a [`codelayout_ir::Layout`],
@@ -31,14 +39,23 @@
 
 mod cfa;
 mod chain;
+mod exttsp;
 mod graph;
 mod hotcold;
 mod pipeline;
+mod series;
 mod split;
+mod stitcher;
 
 pub use cfa::{cfa_layout, CfaReport};
 pub use chain::{chain_all, chain_proc};
+pub use exttsp::{
+    block_bytes, exttsp_layout, exttsp_proc_order, exttsp_score, span_score, BACKWARD_WINDOW,
+    FORWARD_WINDOW, SCORE_SCALE,
+};
 pub use graph::pettis_hansen_order;
 pub use hotcold::hot_cold_layout;
-pub use pipeline::{LayoutPipeline, OptimizationSet};
+pub use pipeline::{LayoutPipeline, OptimizationSet, CFA_RESERVED_BYTES};
+pub use series::LayoutSeries;
 pub use split::{split_all, split_order, Segment};
+pub use stitcher::{stitcher_layout, stitcher_layout_with, StitchLevels};

@@ -170,6 +170,43 @@ impl<'a> LayoutPipeline<'a> {
         layout
     }
 
+    /// Builds the layout for any [`crate::LayoutSeries`], checking each
+    /// series' own placement conventions (see
+    /// [`crate::LayoutSeries::placement_split`]).
+    ///
+    /// The CFA series uses the evaluation's standard reserved-area size,
+    /// [`CFA_RESERVED_BYTES`].
+    ///
+    /// # Panics
+    /// Panics if the constructed layout fails verification, as in
+    /// [`LayoutPipeline::build`].
+    pub fn build_series(&self, series: crate::LayoutSeries) -> Layout {
+        use crate::LayoutSeries;
+        if let LayoutSeries::Paper(set) = series {
+            return self.build(set);
+        }
+        let layout = match series {
+            LayoutSeries::Paper(_) => unreachable!("handled above"),
+            LayoutSeries::HotCold => crate::hot_cold_layout(self.program, self.profile),
+            LayoutSeries::Cfa => {
+                crate::cfa_layout(self.program, self.profile, CFA_RESERVED_BYTES).0
+            }
+            LayoutSeries::ExtTsp => crate::exttsp_layout(self.program, self.profile),
+            LayoutSeries::Stitcher => crate::stitcher_layout(self.program, self.profile),
+        };
+        let verify_span = codelayout_obs::span("verify");
+        codelayout_ir::verify_layout(self.program, &layout)
+            .unwrap_or_else(|e| panic!("pipeline produced an invalid `{series}` layout: {e}"));
+        #[cfg(debug_assertions)]
+        if let Some(split) = series.placement_split() {
+            codelayout_ir::verify_layout_placement(self.program, &layout, split).unwrap_or_else(
+                |e| panic!("pipeline violated `{series}` placement conventions: {e}"),
+            );
+        }
+        verify_span.finish();
+        layout
+    }
+
     fn build_unchecked(&self, set: OptimizationSet) -> Layout {
         let order: Vec<BlockId> = if set.split {
             let segs = self.segments(set.chain);
@@ -211,6 +248,11 @@ impl<'a> LayoutPipeline<'a> {
         Layout { order }
     }
 }
+
+/// The reserved conflict-free-area size used whenever the CFA series is
+/// built through the uniform series surface: 32 KiB, a quarter of the
+/// evaluation's largest simulated instruction cache.
+pub const CFA_RESERVED_BYTES: u64 = 32 * 1024;
 
 /// Weighted edges between segments: inter-segment flow edges plus call
 /// edges mapped to the callee's entry segment.

@@ -16,6 +16,7 @@
 //! | `CODELAYOUT_THREADS` | [`RunEnv::threads`] | sweep worker count (default: available parallelism) |
 //! | `CODELAYOUT_SWEEP_ENGINE` | [`RunEnv::sweep_engine`] | `stack` (default) or `direct` grid-replay engine |
 //! | `CODELAYOUT_VM_ENGINE` | [`RunEnv::vm_engine`] | `block` (default) or `interp` VM execution tier |
+//! | `CODELAYOUT_LAYOUT_SERIES` | [`RunEnv::layout_series`] | comma-separated layout-series labels for the comparison table (default: the five-series comparison set) |
 //! | `CODELAYOUT_TRACE_OUT` | [`RunEnv::trace_out`] | JSON-lines span event log file |
 //! | `CODELAYOUT_UPDATE_GOLDEN` | [`RunEnv::update_golden`] | `1` = rewrite golden snapshots instead of asserting |
 //!
@@ -32,6 +33,10 @@ pub const THREADS_ENV: &str = "CODELAYOUT_THREADS";
 pub const SWEEP_ENGINE_ENV: &str = "CODELAYOUT_SWEEP_ENGINE";
 /// Environment variable selecting the VM execution tier.
 pub const VM_ENGINE_ENV: &str = "CODELAYOUT_VM_ENGINE";
+/// Environment variable selecting the layout series for the comparison
+/// table (comma-separated labels; this crate stores them as opaque
+/// strings — `codelayout-core`'s `LayoutSeries::parse` interprets them).
+pub const LAYOUT_SERIES_ENV: &str = "CODELAYOUT_LAYOUT_SERIES";
 /// Environment variable naming the JSON-lines span event log file.
 pub const TRACE_OUT_ENV: &str = "CODELAYOUT_TRACE_OUT";
 /// Environment variable switching golden tests into rewrite mode.
@@ -126,6 +131,11 @@ pub struct RunEnv {
     /// VM execution tier (`CODELAYOUT_VM_ENGINE`), default
     /// [`VmEngine::Block`].
     pub vm_engine: VmEngine,
+    /// Layout-series labels for the comparison table
+    /// (`CODELAYOUT_LAYOUT_SERIES`, comma-separated); `None` selects the
+    /// default five-series comparison set. Labels are kept as strings
+    /// here — `codelayout-core` owns their interpretation.
+    pub layout_series: Option<Vec<String>>,
     /// Span event-log file (`CODELAYOUT_TRACE_OUT`), if any.
     pub trace_out: Option<String>,
     /// True when golden tests should rewrite their snapshots
@@ -167,6 +177,9 @@ impl RunEnv {
                 VmEngine::Block
             }
         };
+        let layout_series = std::env::var(LAYOUT_SERIES_ENV)
+            .ok()
+            .and_then(|v| parse_series_list(&v));
         let trace_out = std::env::var(TRACE_OUT_ENV).ok().filter(|p| !p.is_empty());
         let update_golden = std::env::var(UPDATE_GOLDEN_ENV).as_deref() == Ok("1");
         RunEnv {
@@ -174,6 +187,7 @@ impl RunEnv {
             threads,
             sweep_engine,
             vm_engine,
+            layout_series,
             trace_out,
             update_golden,
         }
@@ -187,6 +201,21 @@ impl RunEnv {
                 .map(|n| n.get())
                 .unwrap_or(1)
         })
+    }
+}
+
+/// Splits a comma-separated label list, trimming whitespace and dropping
+/// empty items; an all-empty value means "use the default set".
+fn parse_series_list(v: &str) -> Option<Vec<String>> {
+    let labels: Vec<String> = v
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if labels.is_empty() {
+        None
+    } else {
+        Some(labels)
     }
 }
 
@@ -229,6 +258,20 @@ mod tests {
         assert_eq!(VmEngine::Interp.label(), "interp");
         assert_eq!(VmEngine::Block.label(), "block");
         assert_eq!(VmEngine::default(), VmEngine::Block);
+    }
+
+    #[test]
+    fn series_list_parsing() {
+        assert_eq!(
+            parse_series_list("base, exttsp,stitcher"),
+            Some(vec![
+                "base".to_string(),
+                "exttsp".to_string(),
+                "stitcher".to_string()
+            ])
+        );
+        assert_eq!(parse_series_list(""), None);
+        assert_eq!(parse_series_list(" , ,"), None);
     }
 
     #[test]

@@ -11,7 +11,7 @@ use crate::app::{gen_app, AppSpec};
 use crate::kernel::{gen_kernel, KernelSpec, SYS_LOG_WRITE, SYS_RECEIVE, SYS_REPLY};
 use crate::scenario::Scenario;
 use crate::sga::{priv_words, words, Invariants, SgaLayout};
-use codelayout_core::{LayoutPipeline, OptimizationSet};
+use codelayout_core::{LayoutPipeline, LayoutSeries, OptimizationSet};
 use codelayout_ir::link::link;
 use codelayout_ir::{Image, Layout, Reg};
 use codelayout_profile::{PixieCollector, Profile};
@@ -286,6 +286,41 @@ impl Study {
         #[cfg(debug_assertions)]
         codelayout_analysis::validate_translation(&self.kernel.program, &layout, &image)
             .unwrap_or_else(|e| panic!("`{set}` kernel image failed translation validation: {e}"));
+        Arc::new(image)
+    }
+
+    /// Builds the application layout for any [`LayoutSeries`] — the
+    /// paper's six sets via [`Study::layout`], plus hot/cold, CFA,
+    /// ext-TSP and Codestitcher behind the same surface.
+    pub fn layout_series(&self, series: LayoutSeries) -> Layout {
+        LayoutPipeline::new(&self.app.program, &self.profile).build_series(series)
+    }
+
+    /// Links the application image for any [`LayoutSeries`], with the
+    /// same debug-build translation validation as [`Study::image`].
+    pub fn image_series(&self, series: LayoutSeries) -> Arc<Image> {
+        let layout = self.layout_series(series);
+        let image = link(&self.app.program, &layout, APP_TEXT_BASE)
+            .expect("series layouts are valid permutations");
+        #[cfg(debug_assertions)]
+        codelayout_analysis::validate_translation(&self.app.program, &layout, &image)
+            .unwrap_or_else(|e| panic!("`{series}` app image failed translation validation: {e}"));
+        Arc::new(image)
+    }
+
+    /// Links a kernel image for any [`LayoutSeries`] using the kernel
+    /// profile, with the same debug-build translation validation as
+    /// [`Study::kernel_image`].
+    pub fn kernel_image_series(&self, series: LayoutSeries) -> Arc<Image> {
+        let layout =
+            LayoutPipeline::new(&self.kernel.program, &self.kernel_profile).build_series(series);
+        let image = link(&self.kernel.program, &layout, KERNEL_TEXT_BASE)
+            .expect("series kernel layouts are valid");
+        #[cfg(debug_assertions)]
+        codelayout_analysis::validate_translation(&self.kernel.program, &layout, &image)
+            .unwrap_or_else(|e| {
+                panic!("`{series}` kernel image failed translation validation: {e}")
+            });
         Arc::new(image)
     }
 

@@ -84,6 +84,60 @@ mod tests {
     }
 
     #[test]
+    fn two_machines_on_one_image_share_a_single_compilation() {
+        let program = random_program(13, &GenConfig::default());
+        let layout = Layout::natural(&program);
+        let img = Arc::new(link(&program, &layout, crate::APP_TEXT_BASE).unwrap());
+        let cfg = crate::MachineConfig {
+            engine: crate::VmEngine::Block,
+            ..crate::MachineConfig::default()
+        };
+        let m1 = crate::Machine::new(Arc::clone(&img), cfg.clone());
+        let m2 = crate::Machine::new(Arc::clone(&img), cfg);
+        let c1 = m1.capp.as_ref().expect("block engine compiles");
+        let c2 = m2.capp.as_ref().expect("block engine compiles");
+        assert!(
+            Arc::ptr_eq(c1, c2),
+            "two machines on one image must share one compiled form"
+        );
+    }
+
+    #[test]
+    fn dropping_the_last_machine_evicts_the_compiled_image() {
+        let program = random_program(17, &GenConfig::default());
+        let layout = Layout::natural(&program);
+        let img = Arc::new(link(&program, &layout, crate::APP_TEXT_BASE).unwrap());
+        let cfg = crate::MachineConfig {
+            engine: crate::VmEngine::Block,
+            ..crate::MachineConfig::default()
+        };
+        let m1 = crate::Machine::new(Arc::clone(&img), cfg.clone());
+        let weak = Arc::downgrade(m1.capp.as_ref().expect("compiled"));
+        assert!(weak.upgrade().is_some());
+        drop(m1);
+        // The registry only holds a `Weak`; the machine held the last
+        // strong reference, so its compiled form is gone now.
+        assert!(
+            weak.upgrade().is_none(),
+            "compiled image must die with its last machine"
+        );
+        // A new machine on the *same* image `Arc` finds the dead entry
+        // and recompiles fresh (the old allocation no longer exists).
+        let m2 = crate::Machine::new(Arc::clone(&img), cfg);
+        let c2 = m2.capp.as_ref().expect("recompiled");
+        assert!(c2.num_runs() > 0);
+        // The recompile is cached again: a sibling machine shares it.
+        let m3 = crate::Machine::new(
+            Arc::clone(&img),
+            crate::MachineConfig {
+                engine: crate::VmEngine::Block,
+                ..crate::MachineConfig::default()
+            },
+        );
+        assert!(Arc::ptr_eq(c2, m3.capp.as_ref().expect("cached")));
+    }
+
+    #[test]
     fn compiled_form_reports_nonzero_footprint() {
         let program = random_program(11, &GenConfig::default());
         let layout = Layout::natural(&program);
