@@ -18,10 +18,17 @@
 //!   the source CFG. Any divergence is a [`ValidationError`] naming the
 //!   offending block and edge.
 //! * [`analyze_layout`] / [`lint_layout`] — a lint engine with stable
-//!   codes (`L000`–`L006`), severities (deny/warn/info) and text + JSON
+//!   codes (`L000`–`L008`), severities (deny/warn/info) and text + JSON
 //!   renderers, diagnosing layout-quality regressions: hot edges that are
 //!   not fall-throughs under chaining, cold blocks glued into hot
-//!   segments, misaligned hot blocks, unreachable-but-placed code.
+//!   segments, misaligned hot blocks, unreachable-but-placed code, and
+//!   loop-aware problems (split hot loop bodies, unrotated back edges).
+//! * [`DomTree`] / [`LoopForest`] / [`estimate_static_profile`] — the
+//!   purely static stack: Cooper–Harvey–Kennedy dominator trees, natural
+//!   loops with nesting depths, and a Ball–Larus-style branch-probability
+//!   estimator with deterministic integer frequency propagation that
+//!   emits a standard [`codelayout_profile::Profile`], letting every
+//!   layout series run without a measured profile.
 //!
 //! # Example
 //!
@@ -63,9 +70,18 @@
 )]
 
 mod cfg;
+mod dom;
 mod lint;
+mod loops;
+mod staticprof;
 mod validate;
 
 pub use cfg::SourceCfg;
+pub use dom::DomTree;
 pub use lint::{analyze_layout, lint_layout, Diagnostic, LintConfig, LintReport, Severity};
+pub use loops::{LoopForest, NaturalLoop};
+pub use staticprof::{
+    branch_probabilities, estimate_static_profile, estimate_static_profile_with, StaticAnalysis,
+    PROB_SCALE, STATIC_ENTRY_COUNT,
+};
 pub use validate::{validate_translation, TranslationReport, ValidationError};

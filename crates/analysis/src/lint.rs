@@ -16,8 +16,17 @@
 //! | L004 | info | hot block straddles a cache line it could fit inside |
 //! | L005 | info | unreachable code is placed in the image |
 //! | L006 | warn | block's hottest predecessor is off-chain under chaining |
+//! | L007 | warn | hot loop body split across cache lines/pages it could fit inside |
+//! | L008 | warn | loop back edge laid out as taken although a fall-through was available |
+//!
+//! L007 and L008 are *loop-aware*: they run the static analysis stack
+//! ([`crate::DomTree`], [`crate::LoopForest`],
+//! [`crate::estimate_static_profile`]) and judge the layout against the
+//! estimated loop frequencies, so they work identically with or without
+//! a measured profile.
 
 use crate::cfg::SourceCfg;
+use crate::staticprof::{estimate_static_profile_with, StaticAnalysis, STATIC_ENTRY_COUNT};
 use crate::validate::validate_translation;
 use codelayout_core::{LayoutPipeline, OptimizationSet};
 use codelayout_ir::{BlockId, Image, Layout, ProcId, Program, INSTR_BYTES};
@@ -89,6 +98,8 @@ pub struct LintConfig {
     pub set: OptimizationSet,
     /// Cache line size in bytes for alignment lints.
     pub line_bytes: u64,
+    /// Page size in bytes for the loop-splitting lint (L007).
+    pub page_bytes: u64,
     /// Per-code cap on emitted diagnostics; the overflow is summarized in
     /// [`LintReport::truncated`] so reports stay readable on big images.
     pub max_per_code: usize,
@@ -96,11 +107,12 @@ pub struct LintConfig {
 
 impl LintConfig {
     /// Default configuration for a given optimization set (128-byte lines,
-    /// at most 20 diagnostics per code).
+    /// 4096-byte pages, at most 20 diagnostics per code).
     pub fn new(set: OptimizationSet) -> Self {
         LintConfig {
             set,
             line_bytes: 128,
+            page_bytes: 4096,
             max_per_code: 20,
         }
     }
@@ -279,6 +291,7 @@ pub fn lint_layout(
     lint_segments(program, profile, &pos, config, &mut report);
     lint_alignment(profile, layout, image, config, &mut report);
     lint_unreachable(program, layout, image, config, &mut report);
+    lint_loops(program, layout, image, &pos, config, &mut report);
     report
 }
 
@@ -550,6 +563,135 @@ fn lint_unreachable(
         );
     }
     l005.drain_into(report);
+}
+
+/// L007 + L008: loop-aware placement lints, judged against the *static*
+/// frequency estimate so they fire identically with or without a
+/// measured profile.
+///
+/// * L007 (any set): a statically hot natural loop whose placed body
+///   would fit inside one cache line (or one page) straddles a boundary
+///   anyway.
+/// * L008 (chaining only): a loop back edge is laid out as a taken
+///   branch although the latch could fall through to the header and
+///   both displaced seams carry less estimated weight — the classic
+///   missed loop rotation.
+fn lint_loops(
+    program: &Program,
+    layout: &Layout,
+    image: &Image,
+    pos: &[usize],
+    config: &LintConfig,
+    report: &mut LintReport,
+) {
+    let sa = StaticAnalysis::of(program);
+    if sa.loops.loops.is_empty() {
+        return;
+    }
+    let sprof = estimate_static_profile_with(program, &sa);
+
+    // Placed byte extents per block (0 bytes when the linker erased the
+    // whole region, e.g. an empty block whose jump became fall-through).
+    let region_bytes = |b: BlockId| -> u64 {
+        let start = u64::from(image.block_start[b.index()]);
+        let end = match layout.order.get(pos[b.index()] + 1) {
+            Some(&nb) => u64::from(image.block_start[nb.index()]),
+            None => image.code.len() as u64,
+        };
+        (end - start) * INSTR_BYTES
+    };
+
+    // L007 — iterate headers in layout order so findings come out in
+    // layout order within the code.
+    let mut l007 = CodeBucket::new("L007", config.max_per_code);
+    for &b in &layout.order {
+        let Some(l) = sa.loops.loops.iter().find(|l| l.header == b) else {
+            continue;
+        };
+        let freq = sprof.block_count(l.header);
+        if freq < STATIC_ENTRY_COUNT {
+            continue; // not estimated hot
+        }
+        let mut body_bytes = 0u64;
+        let mut first = u64::MAX;
+        let mut last = 0u64;
+        for &m in &l.blocks {
+            let bytes = region_bytes(m);
+            if bytes == 0 {
+                continue;
+            }
+            let lo = image.addr(image.block_start[m.index()]);
+            body_bytes += bytes;
+            first = first.min(lo);
+            last = last.max(lo + bytes - 1);
+        }
+        if body_bytes == 0 {
+            continue;
+        }
+        for granule in [config.line_bytes, config.page_bytes] {
+            if granule > 0 && body_bytes <= granule && first / granule != last / granule {
+                l007.push(
+                    Severity::Warn,
+                    Some(l.header),
+                    Some(image.owner[l.header.index()]),
+                    format!(
+                        "hot loop at {} (estimated frequency {freq}, {body_bytes} placed \
+                         bytes) is split across a {granule}-byte boundary it could fit inside",
+                        l.header
+                    ),
+                );
+            }
+        }
+    }
+    l007.drain_into(report);
+
+    // L008 — only meaningful when chaining claimed to arrange
+    // fall-throughs. Uses the same both-seams-lighter guard as L001,
+    // with static edge weights.
+    if !config.set.chain {
+        return;
+    }
+    let static_seam_out = |bi: usize| -> u64 {
+        layout
+            .order
+            .get(pos[bi] + 1)
+            .map_or(0, |&nb| sprof.edge_count(layout.order[pos[bi]], nb))
+    };
+    let static_seam_in = |bi: usize| -> u64 {
+        pos[bi].checked_sub(1).map_or(0, |i| {
+            sprof.edge_count(layout.order[i], layout.order[pos[bi]])
+        })
+    };
+    let mut l008 = CodeBucket::new("L008", config.max_per_code);
+    for &b in &layout.order {
+        let term = &program.blocks[b.index()].term;
+        // Jump tables cannot fall through; returns have no back edges.
+        if !matches!(
+            term,
+            codelayout_ir::Terminator::Jump(_) | codelayout_ir::Terminator::Branch { .. }
+        ) {
+            continue;
+        }
+        for &h in &sa.cfg.succs[b.index()] {
+            if !sa.loops.is_back_edge(b, h) || pos[h.index()] == pos[b.index()] + 1 {
+                continue;
+            }
+            let w = sprof.edge_count(b, h);
+            if w == 0 || static_seam_out(b.index()) >= w || static_seam_in(h.index()) >= w {
+                continue;
+            }
+            l008.push(
+                Severity::Warn,
+                Some(b),
+                Some(image.owner[b.index()]),
+                format!(
+                    "loop back edge {b}->{h} (estimated count {w}) is laid out as a taken \
+                     branch although a fall-through was available on lighter seams"
+                ),
+            );
+        }
+    }
+    l008.drain_into(report);
 }
 
 /// Number of image instructions in a block's region.
@@ -859,6 +1001,130 @@ mod tests {
             .iter()
             .any(|d| d.proc == Some(ProcId(1)) && d.block.is_none()));
         assert!(l005.iter().any(|d| d.block == Some(BlockId(1))));
+    }
+
+    /// Loop fixture for the loop-aware lints: e -> h; h -> l; latch l
+    /// branches back to h or exits to x.
+    fn loop_program() -> Program {
+        let mut pb = ProgramBuilder::new("loops");
+        let main = pb.declare_proc("main");
+        let mut f = ProcBuilder::new();
+        let e = f.entry();
+        let h = f.new_block();
+        let l = f.new_block();
+        let x = f.new_block();
+        f.select(e);
+        f.jump(h);
+        f.select(h);
+        f.nop();
+        f.jump(l);
+        f.select(l);
+        f.branch(Cond::Lt, Reg(1), Operand::Imm(100), h, x);
+        f.select(x);
+        f.halt();
+        pb.define_proc(main, f).unwrap();
+        pb.finish(main).unwrap()
+    }
+
+    #[test]
+    fn split_hot_loop_fires_l007() {
+        // Self-loop h occupies 8 bytes starting at byte 4: with 8-byte
+        // "lines" it spans two although it would fit in one.
+        let mut pb = ProgramBuilder::new("l007");
+        let main = pb.declare_proc("main");
+        let mut f = ProcBuilder::new();
+        let e = f.entry();
+        let h = f.new_block();
+        let x = f.new_block();
+        f.select(e);
+        f.nop();
+        f.jump(h);
+        f.select(h);
+        f.nop();
+        f.branch(Cond::Lt, Reg(1), Operand::Imm(100), h, x);
+        f.select(x);
+        f.halt();
+        pb.define_proc(main, f).unwrap();
+        let p = pb.finish(main).unwrap();
+        let prof = Profile::new(p.blocks.len());
+
+        let layout = Layout::natural(&p);
+        let image = link(&p, &layout, 0).unwrap();
+        let mut config = LintConfig::new(OptimizationSet::BASE);
+        config.line_bytes = 8;
+        let report = lint_layout(&p, &prof, &layout, &image, &config);
+        let l007: Vec<_> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == "L007")
+            .collect();
+        assert_eq!(l007.len(), 1, "{report:?}");
+        assert_eq!(l007[0].block, Some(BlockId(1)), "anchored at the header");
+        assert_eq!(l007[0].severity, Severity::Warn);
+        assert!(
+            l007[0].message.contains("8-byte boundary"),
+            "{}",
+            l007[0].message
+        );
+
+        // Aligned at base 0 the same loop fits its line: no finding.
+        let aligned = Layout {
+            order: vec![BlockId(1), BlockId(0), BlockId(2)],
+        };
+        let aligned_image = link(&p, &aligned, 0).unwrap();
+        let clean = lint_layout(&p, &prof, &aligned, &aligned_image, &config);
+        assert!(!codes(&clean).contains(&"L007"), "{clean:?}");
+    }
+
+    #[test]
+    fn unrotated_back_edge_fires_l008_under_chaining_only() {
+        let p = loop_program();
+        let prof = Profile::new(p.blocks.len());
+        // Natural layout [e, h, l, x]: the back edge l->h is a taken
+        // branch, and both seams (l->x, e->h) carry less estimated
+        // weight than the back edge.
+        let layout = Layout::natural(&p);
+        let image = link(&p, &layout, 0).unwrap();
+        let report = lint_layout(
+            &p,
+            &prof,
+            &layout,
+            &image,
+            &LintConfig::new(OptimizationSet::CHAIN),
+        );
+        let l008: Vec<_> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == "L008")
+            .collect();
+        assert_eq!(l008.len(), 1, "{report:?}");
+        assert_eq!(l008[0].block, Some(BlockId(2)), "anchored at the latch");
+        assert_eq!(l008[0].severity, Severity::Warn);
+
+        // Rotated layout [e, l, h, x] realizes the back edge as a
+        // fall-through: clean.
+        let rotated = Layout {
+            order: vec![BlockId(0), BlockId(2), BlockId(1), BlockId(3)],
+        };
+        let rotated_image = link(&p, &rotated, 0).unwrap();
+        let clean = lint_layout(
+            &p,
+            &prof,
+            &rotated,
+            &rotated_image,
+            &LintConfig::new(OptimizationSet::CHAIN),
+        );
+        assert!(!codes(&clean).contains(&"L008"), "{clean:?}");
+
+        // Without the chaining claim the lint is inactive.
+        let base = lint_layout(
+            &p,
+            &prof,
+            &layout,
+            &image,
+            &LintConfig::new(OptimizationSet::BASE),
+        );
+        assert!(!codes(&base).contains(&"L008"));
     }
 
     #[test]

@@ -1,0 +1,327 @@
+//! Natural-loop detection over the dominator tree.
+//!
+//! A *back edge* is a CFG edge `latch -> header` whose target dominates
+//! its source; the *natural loop* of a header is the union, over all its
+//! back edges, of the blocks that can reach a latch without passing
+//! through the header. Loops sharing a header are merged into one.
+//! Retreating edges (edges against the reverse postorder) that are not
+//! dominance back edges mark *irreducible* regions — cycles with more
+//! than one entry, which have no unique header and are excluded from
+//! the loop nest.
+//!
+//! The nest is the backbone of the static frequency estimator
+//! ([`crate::staticprof`]) and of the loop-aware layout lints
+//! (L007/L008 in [`crate::lint`]).
+
+use crate::cfg::SourceCfg;
+use crate::dom::DomTree;
+use codelayout_ir::{BlockId, Program};
+
+/// One natural loop: a header, the back-edge sources feeding it, and the
+/// set of blocks in the loop body (header included).
+#[derive(Debug, Clone)]
+pub struct NaturalLoop {
+    /// The loop header (the unique entry of the reducible loop).
+    pub header: BlockId,
+    /// Sources of the back edges targeting `header`, ascending.
+    pub latches: Vec<BlockId>,
+    /// All blocks in the loop body, ascending; always contains
+    /// `header` and every latch.
+    pub blocks: Vec<BlockId>,
+    /// Index (into [`LoopForest::loops`]) of the innermost enclosing
+    /// loop, when nested.
+    pub parent: Option<usize>,
+    /// Nesting depth: 1 for outermost loops, 2 for loops inside them…
+    pub depth: u32,
+}
+
+impl NaturalLoop {
+    /// True when `b` belongs to this loop's body (header included).
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.blocks.binary_search(&b).is_ok()
+    }
+}
+
+/// All natural loops of a program, with per-block nesting information.
+#[derive(Debug, Clone)]
+pub struct LoopForest {
+    /// The loops, ordered by ascending header id. Headers are unique:
+    /// multiple back edges to one header are merged into a single loop.
+    pub loops: Vec<NaturalLoop>,
+    /// For each block, the index of the innermost loop containing it.
+    pub loop_of: Vec<Option<usize>>,
+    /// For each block, its loop-nesting depth (0 = not in any loop).
+    pub depth: Vec<u32>,
+    /// Dominance back edges `(latch, header)`, ascending.
+    pub back_edges: Vec<(BlockId, BlockId)>,
+    /// Retreating edges that are *not* dominance back edges — evidence
+    /// of irreducible control flow. Empty for reducible programs.
+    pub irreducible_edges: Vec<(BlockId, BlockId)>,
+}
+
+impl LoopForest {
+    /// Detects natural loops for every procedure of `program`.
+    pub fn compute(program: &Program, cfg: &SourceCfg, dom: &DomTree) -> LoopForest {
+        let n = program.blocks.len();
+        let owner = program.owner_of_blocks();
+
+        // Classify edges. Successor lists are deduplicated and in
+        // terminator order, so both edge lists come out deterministic.
+        let mut back_edges: Vec<(BlockId, BlockId)> = Vec::new();
+        let mut irreducible_edges: Vec<(BlockId, BlockId)> = Vec::new();
+        for (bi, succs) in cfg.succs.iter().enumerate() {
+            let b = BlockId(u32::try_from(bi).expect("fits u32"));
+            if !dom.is_reachable(b) {
+                continue;
+            }
+            for &s in succs {
+                if owner[s.index()] != owner[bi] {
+                    continue;
+                }
+                if dom.dominates(s, b) {
+                    back_edges.push((b, s));
+                } else if dom.rpo_index(s) <= dom.rpo_index(b) {
+                    irreducible_edges.push((b, s));
+                }
+            }
+        }
+        back_edges.sort_unstable();
+        irreducible_edges.sort_unstable();
+
+        // Intra-procedural predecessors, for the backwards body walk.
+        let mut preds: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        for (bi, succs) in cfg.succs.iter().enumerate() {
+            for &s in succs {
+                if owner[s.index()] == owner[bi] {
+                    preds[s.index()].push(BlockId(u32::try_from(bi).expect("fits u32")));
+                }
+            }
+        }
+
+        // Group back edges by header (already sorted by latch; group
+        // keys collected in ascending header order).
+        let mut headers: Vec<BlockId> = back_edges.iter().map(|&(_, h)| h).collect();
+        headers.sort_unstable();
+        headers.dedup();
+
+        let mut loops: Vec<NaturalLoop> = Vec::with_capacity(headers.len());
+        for &header in &headers {
+            let latches: Vec<BlockId> = back_edges
+                .iter()
+                .filter(|&&(_, h)| h == header)
+                .map(|&(l, _)| l)
+                .collect();
+            // Classic natural-loop body walk: everything that reaches a
+            // latch backwards without crossing the header.
+            let mut in_body = vec![false; n];
+            in_body[header.index()] = true;
+            let mut work: Vec<BlockId> = Vec::new();
+            for &l in &latches {
+                if !in_body[l.index()] {
+                    in_body[l.index()] = true;
+                    work.push(l);
+                }
+            }
+            while let Some(b) = work.pop() {
+                for &p in &preds[b.index()] {
+                    if dom.is_reachable(p) && !in_body[p.index()] {
+                        in_body[p.index()] = true;
+                        work.push(p);
+                    }
+                }
+            }
+            let blocks: Vec<BlockId> = (0..n)
+                .filter(|&i| in_body[i])
+                .map(|i| BlockId(u32::try_from(i).expect("fits u32")))
+                .collect();
+            let mut latches = latches;
+            latches.sort_unstable();
+            loops.push(NaturalLoop {
+                header,
+                latches,
+                blocks,
+                parent: None,
+                depth: 1,
+            });
+        }
+
+        // Nesting: loop j encloses loop i when j contains i's header
+        // (bodies of distinct headers are then supersets by
+        // construction). The parent is the smallest such enclosure.
+        for i in 0..loops.len() {
+            let mut best: Option<usize> = None;
+            for j in 0..loops.len() {
+                if i == j || !loops[j].contains(loops[i].header) {
+                    continue;
+                }
+                if best.is_none_or(|b| loops[j].blocks.len() < loops[b].blocks.len()) {
+                    best = Some(j);
+                }
+            }
+            loops[i].parent = best;
+        }
+        // Depths via parent chains (acyclic: parents are strictly larger).
+        for i in 0..loops.len() {
+            let mut d = 1;
+            let mut cur = loops[i].parent;
+            while let Some(p) = cur {
+                d += 1;
+                cur = loops[p].parent;
+            }
+            loops[i].depth = d;
+        }
+
+        // Innermost loop per block: the smallest body containing it.
+        let mut loop_of: Vec<Option<usize>> = vec![None; n];
+        let mut depth = vec![0u32; n];
+        for bi in 0..n {
+            let b = BlockId(u32::try_from(bi).expect("fits u32"));
+            let mut best: Option<usize> = None;
+            for (li, l) in loops.iter().enumerate() {
+                if l.contains(b) && best.is_none_or(|c| l.blocks.len() < loops[c].blocks.len()) {
+                    best = Some(li);
+                }
+            }
+            loop_of[bi] = best;
+            depth[bi] = best.map_or(0, |li| loops[li].depth);
+        }
+
+        LoopForest {
+            loops,
+            loop_of,
+            depth,
+            back_edges,
+            irreducible_edges,
+        }
+    }
+
+    /// True when `from -> to` is a dominance back edge.
+    pub fn is_back_edge(&self, from: BlockId, to: BlockId) -> bool {
+        self.back_edges.binary_search(&(from, to)).is_ok()
+    }
+
+    /// Loop-nesting depth of `b` (0 when `b` is in no loop).
+    pub fn depth_of(&self, b: BlockId) -> u32 {
+        self.depth.get(b.index()).copied().unwrap_or(0)
+    }
+
+    /// The innermost loop containing `b`, if any.
+    pub fn innermost(&self, b: BlockId) -> Option<&NaturalLoop> {
+        self.loop_of
+            .get(b.index())
+            .copied()
+            .flatten()
+            .map(|i| &self.loops[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codelayout_ir::{Cond, Operand, ProcBuilder, Program, ProgramBuilder, Reg};
+
+    /// Nested loops: outer header `oh` contains inner loop `ih <-> il`,
+    /// outer latch `ol` jumps back to `oh`, exit `x`.
+    fn nested_program() -> Program {
+        let mut pb = ProgramBuilder::new("nest");
+        let main = pb.declare_proc("main");
+        let mut f = ProcBuilder::new();
+        let oh = f.entry();
+        let ih = f.new_block();
+        let il = f.new_block();
+        let ol = f.new_block();
+        let x = f.new_block();
+        f.select(oh);
+        f.jump(ih);
+        f.select(ih);
+        f.nop();
+        f.jump(il);
+        f.select(il);
+        f.branch(Cond::Lt, Reg(1), Operand::Imm(8), ih, ol);
+        f.select(ol);
+        f.branch(Cond::Lt, Reg(2), Operand::Imm(4), oh, x);
+        f.select(x);
+        f.halt();
+        pb.define_proc(main, f).unwrap();
+        pb.finish(main).unwrap()
+    }
+
+    fn forest(p: &Program) -> LoopForest {
+        let cfg = SourceCfg::of(p);
+        let dom = DomTree::compute(p, &cfg);
+        LoopForest::compute(p, &cfg, &dom)
+    }
+
+    #[test]
+    fn nested_loops_get_correct_depths() {
+        let p = nested_program();
+        let f = forest(&p);
+        let (oh, ih, il, ol, x) = (BlockId(0), BlockId(1), BlockId(2), BlockId(3), BlockId(4));
+        assert_eq!(f.loops.len(), 2);
+        assert!(f.irreducible_edges.is_empty());
+        assert_eq!(f.back_edges, vec![(il, ih), (ol, oh)]);
+
+        let outer = f.loops.iter().find(|l| l.header == oh).unwrap();
+        let inner = f.loops.iter().find(|l| l.header == ih).unwrap();
+        assert_eq!(outer.depth, 1);
+        assert_eq!(inner.depth, 2);
+        assert_eq!(outer.blocks, vec![oh, ih, il, ol]);
+        assert_eq!(inner.blocks, vec![ih, il]);
+        assert_eq!(inner.latches, vec![il]);
+
+        assert_eq!(f.depth_of(oh), 1);
+        assert_eq!(f.depth_of(ih), 2);
+        assert_eq!(f.depth_of(il), 2);
+        assert_eq!(f.depth_of(ol), 1);
+        assert_eq!(f.depth_of(x), 0);
+        assert_eq!(f.innermost(il).unwrap().header, ih);
+        assert!(f.is_back_edge(il, ih));
+        assert!(!f.is_back_edge(ih, il));
+    }
+
+    #[test]
+    fn straight_line_code_has_no_loops() {
+        let mut pb = ProgramBuilder::new("line");
+        let main = pb.declare_proc("main");
+        let mut f = ProcBuilder::new();
+        f.nop();
+        f.halt();
+        pb.define_proc(main, f).unwrap();
+        let p = pb.finish(main).unwrap();
+        let f = forest(&p);
+        assert!(f.loops.is_empty());
+        assert!(f.back_edges.is_empty());
+        assert!(f.irreducible_edges.is_empty());
+        assert_eq!(f.depth_of(BlockId(0)), 0);
+    }
+
+    #[test]
+    fn irreducible_cycle_is_flagged_not_looped() {
+        // e branches into the middle of a cycle a <-> b: two entries,
+        // neither dominates the other, so no natural loop exists.
+        let mut pb = ProgramBuilder::new("irr");
+        let main = pb.declare_proc("main");
+        let mut f = ProcBuilder::new();
+        let e = f.entry();
+        let a = f.new_block();
+        let b = f.new_block();
+        let x = f.new_block();
+        f.select(e);
+        f.branch(Cond::Eq, Reg(1), Operand::Imm(0), a, b);
+        f.select(a);
+        f.jump(b);
+        f.select(b);
+        f.branch(Cond::Lt, Reg(2), Operand::Imm(2), a, x);
+        f.select(x);
+        f.halt();
+        pb.define_proc(main, f).unwrap();
+        let p = pb.finish(main).unwrap();
+        let f = forest(&p);
+        assert!(
+            f.loops.is_empty(),
+            "irreducible cycles form no natural loop"
+        );
+        assert!(f.back_edges.is_empty());
+        assert_eq!(f.irreducible_edges.len(), 1, "one retreating edge");
+    }
+}

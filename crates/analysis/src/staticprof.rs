@@ -1,0 +1,648 @@
+//! Static (profile-free) execution-frequency estimation.
+//!
+//! This module answers "what would the profile look like?" without ever
+//! running the program. It layers three classic ideas:
+//!
+//! 1. **Ball–Larus branch heuristics** assign each conditional branch a
+//!    taken-probability from syntactic evidence: back edges are taken,
+//!    loop exits are not, arms leading to calls or returns are avoided,
+//!    and equality tests fail (see [`branch_probabilities`] for the
+//!    exact table). Independent heuristics are combined with the
+//!    Wu–Larus (Dempster–Shafer) rule.
+//! 2. **Frequency propagation** turns probabilities into absolute
+//!    counts: a fixed token mass enters each procedure and flows along
+//!    edges in proportion to the probabilities. The solver is a
+//!    deterministic integer fixed point — each reverse-postorder pass
+//!    moves all pending mass forward and defers mass on retreating
+//!    edges to the next pass, so loop iteration counts emerge from the
+//!    back-edge probability (a clamped probability `p` yields an
+//!    expected `1/(1-p)` trips).
+//! 3. **Call-graph propagation** orders procedures callers-first over
+//!    the SCC condensation of the call graph; each call site seeds its
+//!    callee with the site's block count. Recursive back-calls beyond
+//!    the one unrolling this order provides are dropped (from both the
+//!    seed *and* the reported call counts, keeping flow exact).
+//!
+//! The result is an ordinary [`codelayout_profile::Profile`], so every
+//! consumer of measured profiles — the layout pipeline, ext-TSP scoring,
+//! the lint battery — runs unchanged on static estimates. Conservation
+//! is exact by construction: `Profile::flow_violations` with slack
+//! [`STATIC_ENTRY_COUNT`] reports nothing, and every block's outgoing
+//! edge estimates sum to its count.
+
+use crate::cfg::SourceCfg;
+use crate::dom::DomTree;
+use crate::loops::LoopForest;
+use codelayout_ir::{BlockId, Cond, Instr, Operand, ProcId, Program, Terminator};
+use codelayout_profile::Profile;
+
+/// Fixed-point scale for branch probabilities: a probability of 1.0.
+pub const PROB_SCALE: u64 = 1_000_000;
+
+/// Token mass injected at the program entry — the static stand-in for
+/// "the process ran once". Also the `slack` to pass to
+/// [`Profile::flow_violations`] when checking a static profile.
+pub const STATIC_ENTRY_COUNT: u64 = 1_000_000;
+
+/// Probability clamp: no branch arm is ever estimated below 2% or above
+/// 98%, which bounds implied loop trip counts at 50 and guarantees the
+/// propagation fixed point decays geometrically.
+const PROB_CLAMP: u64 = 20_000;
+
+/// Maximum reverse-postorder passes before residual loop mass is
+/// drained along forward edges only. With the 98% clamp the residual
+/// after this many passes is a handful of tokens.
+const PASS_LIMIT: usize = 512;
+
+/// Ball–Larus heuristic probabilities (scaled by [`PROB_SCALE`]),
+/// applied to the arm the heuristic predicts *taken*.
+mod heuristic {
+    /// Loop-branch heuristic: a dominance back edge is taken.
+    pub const LOOP_BACK: u64 = 880_000;
+    /// Loop-exit heuristic: the arm staying in the loop is taken.
+    pub const LOOP_STAY: u64 = 800_000;
+    /// Call heuristic: the arm whose target block performs no call is
+    /// taken (calls live on cold error/slow paths).
+    pub const NO_CALL: u64 = 780_000;
+    /// Return heuristic: the arm whose target block does not
+    /// immediately return is taken.
+    pub const NO_RETURN: u64 = 720_000;
+    /// Opcode/guard heuristic: equality tests (and comparisons against
+    /// non-positive immediates) fail — `Eq` arms are unlikely, `Ne`
+    /// arms likely.
+    pub const OPCODE: u64 = 840_000;
+}
+
+/// The shared static-analysis bundle: source CFG, dominator trees and
+/// the natural-loop forest, computed once and reused by the frequency
+/// estimator and the loop-aware lints.
+#[derive(Debug, Clone)]
+pub struct StaticAnalysis {
+    /// Deduplicated terminator/call edges of the program.
+    pub cfg: SourceCfg,
+    /// Per-procedure dominator trees.
+    pub dom: DomTree,
+    /// Natural loops with nesting depths.
+    pub loops: LoopForest,
+}
+
+impl StaticAnalysis {
+    /// Runs the full static-analysis stack over `program`.
+    pub fn of(program: &Program) -> StaticAnalysis {
+        let cfg = SourceCfg::of(program);
+        let dom = DomTree::compute(program, &cfg);
+        let loops = LoopForest::compute(program, &cfg, &dom);
+        StaticAnalysis { cfg, dom, loops }
+    }
+}
+
+/// Combines two independent probability estimates for the same event
+/// with the Wu–Larus (Dempster–Shafer) rule, in fixed point:
+/// `t' = t·h / (t·h + (1−t)·(1−h))`.
+fn combine(t: u64, h: u64) -> u64 {
+    let num = u128::from(t) * u128::from(h);
+    let den = num + u128::from(PROB_SCALE - t) * u128::from(PROB_SCALE - h);
+    if den == 0 {
+        return PROB_SCALE / 2;
+    }
+    u64::try_from(num * u128::from(PROB_SCALE) / den).expect("probability fits u64")
+}
+
+/// Per-block successor probabilities, aligned with `sa.cfg.succs`: for
+/// each block, `(successor, probability)` pairs in deduplicated
+/// terminator order, summing exactly to [`PROB_SCALE`] (empty for
+/// `Return`/`Halt` blocks and blocks unreachable in their procedure).
+///
+/// Conditional branches start at 50/50 and fold in every applicable
+/// heuristic (loop back edge, loop exit, call, return, opcode — in that
+/// fixed order) with the Wu–Larus rule; jump tables split uniformly by
+/// raw target multiplicity; unconditional jumps get probability 1.
+pub fn branch_probabilities(program: &Program, sa: &StaticAnalysis) -> Vec<Vec<(BlockId, u64)>> {
+    let n = program.blocks.len();
+    let mut probs: Vec<Vec<(BlockId, u64)>> = vec![Vec::new(); n];
+    for (bi, block) in program.blocks.iter().enumerate() {
+        let b = BlockId(u32::try_from(bi).expect("fits u32"));
+        if !sa.dom.is_reachable(b) {
+            continue;
+        }
+        let succs = &sa.cfg.succs[bi];
+        if succs.is_empty() {
+            continue;
+        }
+        if succs.len() == 1 {
+            probs[bi] = vec![(succs[0], PROB_SCALE)];
+            continue;
+        }
+        match &block.term {
+            Terminator::Branch {
+                cond,
+                rhs,
+                then_,
+                else_,
+                ..
+            } => {
+                let p_then = branch_taken_probability(program, sa, b, *cond, rhs, *then_, *else_);
+                // `succs` is [then_, else_] deduplicated; len == 2 here.
+                probs[bi] = vec![(*then_, p_then), (*else_, PROB_SCALE - p_then)];
+                if succs[0] != *then_ {
+                    probs[bi].swap(0, 1);
+                }
+            }
+            Terminator::JumpTable {
+                targets, default, ..
+            } => {
+                // Uniform over raw entries; duplicates of one target merge.
+                let raw_total = 1 + u64::try_from(targets.len()).expect("fits u64");
+                let mut acc: Vec<(BlockId, u64)> = succs.iter().map(|&s| (s, 0)).collect();
+                let bump = |acc: &mut Vec<(BlockId, u64)>, t: BlockId| {
+                    let slot = acc.iter_mut().find(|(s, _)| *s == t).expect("succ present");
+                    slot.1 += 1;
+                };
+                bump(&mut acc, *default);
+                for &t in targets {
+                    bump(&mut acc, t);
+                }
+                let mut assigned = 0;
+                for entry in &mut acc {
+                    entry.1 = entry.1 * PROB_SCALE / raw_total;
+                    assigned += entry.1;
+                }
+                acc[0].1 += PROB_SCALE - assigned;
+                probs[bi] = acc;
+            }
+            Terminator::Jump(_) | Terminator::Return | Terminator::Halt => {
+                unreachable!("multi-successor blocks are branches or tables")
+            }
+        }
+    }
+    probs
+}
+
+/// The Ball–Larus estimate that a two-way branch takes its `then_` arm.
+#[allow(clippy::too_many_arguments)]
+fn branch_taken_probability(
+    program: &Program,
+    sa: &StaticAnalysis,
+    b: BlockId,
+    cond: Cond,
+    rhs: &Operand,
+    then_: BlockId,
+    else_: BlockId,
+) -> u64 {
+    let mut p = PROB_SCALE / 2;
+    let mut apply = |taken_then: bool, prob: u64| {
+        p = combine(p, if taken_then { prob } else { PROB_SCALE - prob });
+    };
+
+    // Loop-branch heuristic: exactly one arm is a back edge.
+    let back_t = sa.loops.is_back_edge(b, then_);
+    let back_e = sa.loops.is_back_edge(b, else_);
+    if back_t != back_e {
+        apply(back_t, heuristic::LOOP_BACK);
+    }
+
+    // Loop-exit heuristic: from inside a loop, prefer the arm that stays.
+    if let Some(l) = sa.loops.innermost(b) {
+        let stay_t = l.contains(then_);
+        let stay_e = l.contains(else_);
+        if stay_t != stay_e {
+            apply(stay_t, heuristic::LOOP_STAY);
+        }
+    }
+
+    // Call heuristic: avoid the arm whose block performs a call.
+    let has_call = |t: BlockId| {
+        program.blocks[t.index()]
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::Call { .. }))
+    };
+    let call_t = has_call(then_);
+    let call_e = has_call(else_);
+    if call_t != call_e {
+        apply(call_e, heuristic::NO_CALL);
+    }
+
+    // Return heuristic: avoid the arm that immediately leaves the
+    // procedure (or the program).
+    let returns = |t: BlockId| {
+        matches!(
+            program.blocks[t.index()].term,
+            Terminator::Return | Terminator::Halt
+        )
+    };
+    let ret_t = returns(then_);
+    let ret_e = returns(else_);
+    if ret_t != ret_e {
+        apply(ret_e, heuristic::NO_RETURN);
+    }
+
+    // Opcode/guard heuristic: equality with anything, or ordering
+    // against a non-positive immediate, rarely holds.
+    let guard = match (cond, rhs) {
+        (Cond::Eq, _) => Some(false),
+        (Cond::Ne, _) => Some(true),
+        (Cond::Lt | Cond::Le, Operand::Imm(v)) if *v <= 0 => Some(false),
+        (Cond::Gt | Cond::Ge, Operand::Imm(v)) if *v <= 0 => Some(true),
+        _ => None,
+    };
+    if let Some(taken_then) = guard {
+        apply(taken_then, heuristic::OPCODE);
+    }
+
+    p.clamp(PROB_CLAMP, PROB_SCALE - PROB_CLAMP)
+}
+
+/// Estimates a full execution profile for `program` from static
+/// heuristics alone. See the module docs for the algorithm.
+pub fn estimate_static_profile(program: &Program) -> Profile {
+    let sa = StaticAnalysis::of(program);
+    estimate_static_profile_with(program, &sa)
+}
+
+/// [`estimate_static_profile`] with a precomputed analysis bundle.
+pub fn estimate_static_profile_with(program: &Program, sa: &StaticAnalysis) -> Profile {
+    let probs = branch_probabilities(program, sa);
+    let nprocs = program.procs.len();
+    let mut profile = Profile::new(program.blocks.len());
+    let mut seed: Vec<u64> = vec![0; nprocs];
+    seed[program.entry.index()] = STATIC_ENTRY_COUNT;
+
+    let mut pending: Vec<u64> = vec![0; program.blocks.len()];
+    let mut deferred: Vec<u64> = vec![0; program.blocks.len()];
+    let mut done = vec![false; nprocs];
+    for pid in call_schedule(program, &sa.cfg) {
+        let pi = pid.index();
+        done[pi] = true;
+        if seed[pi] == 0 {
+            continue;
+        }
+        propagate_proc(
+            sa,
+            &probs,
+            pid,
+            seed[pi],
+            &mut profile,
+            &mut pending,
+            &mut deferred,
+        );
+        // Each call site runs once per execution of its block; calls
+        // into procedures whose counts are already final (recursive
+        // back-calls) are dropped entirely to keep flow exact.
+        for &b in &sa.dom.proc_rpo()[pi] {
+            let c = profile.block_counts[b.index()];
+            if c == 0 {
+                continue;
+            }
+            for &callee in &sa.cfg.calls[b.index()] {
+                if done[callee.index()] {
+                    continue;
+                }
+                seed[callee.index()] += c;
+                *profile.call_counts.entry((b.0, callee.0)).or_insert(0) += c;
+            }
+        }
+    }
+    profile
+}
+
+/// One procedure's token propagation: seeds the entry, runs up to
+/// [`PASS_LIMIT`] reverse-postorder passes (retreating-edge mass is
+/// deferred to the next pass), then drains any residual along forward
+/// edges only. Every distribution is exact, so conservation holds.
+fn propagate_proc(
+    sa: &StaticAnalysis,
+    probs: &[Vec<(BlockId, u64)>],
+    pid: ProcId,
+    seed: u64,
+    profile: &mut Profile,
+    pending: &mut [u64],
+    deferred: &mut [u64],
+) {
+    let order = &sa.dom.proc_rpo()[pid.index()];
+    let entry = order[0];
+    pending[entry.index()] = seed;
+
+    let mut shares: Vec<u64> = Vec::new();
+    for _pass in 0..PASS_LIMIT {
+        let mut any_deferred = false;
+        for &b in order {
+            let m = pending[b.index()];
+            if m == 0 {
+                continue;
+            }
+            pending[b.index()] = 0;
+            profile.block_counts[b.index()] += m;
+            let pr = &probs[b.index()];
+            if pr.is_empty() {
+                continue; // Return/Halt: mass leaves the system here.
+            }
+            distribute(m, pr, &mut shares);
+            for (&(s, _), &share) in pr.iter().zip(&shares) {
+                if share == 0 {
+                    continue;
+                }
+                *profile.edge_counts.entry((b.0, s.0)).or_insert(0) += share;
+                if sa.dom.rpo_index(s) > sa.dom.rpo_index(b) {
+                    pending[s.index()] += share;
+                } else {
+                    deferred[s.index()] += share;
+                    any_deferred = true;
+                }
+            }
+        }
+        if !any_deferred {
+            return;
+        }
+        for &b in order {
+            pending[b.index()] += deferred[b.index()];
+            deferred[b.index()] = 0;
+        }
+    }
+
+    // Drain: forward edges only (a DAG, so one pass empties it). A
+    // block whose successors all retreat — an infinite loop — absorbs
+    // its residual.
+    for &b in order {
+        let m = pending[b.index()];
+        if m == 0 {
+            continue;
+        }
+        pending[b.index()] = 0;
+        profile.block_counts[b.index()] += m;
+        let forward: Vec<(BlockId, u64)> = probs[b.index()]
+            .iter()
+            .copied()
+            .filter(|&(s, _)| sa.dom.rpo_index(s) > sa.dom.rpo_index(b))
+            .collect();
+        let total: u64 = forward.iter().map(|&(_, p)| p).sum();
+        if total == 0 {
+            continue;
+        }
+        // Renormalize over the forward arms; `distribute` hands the
+        // rounding remainder to the heaviest arm, so the split is exact.
+        let rescaled: Vec<(BlockId, u64)> = forward
+            .iter()
+            .map(|&(s, p)| (s, p * PROB_SCALE / total))
+            .collect();
+        distribute(m, &rescaled, &mut shares);
+        for (&(s, _), &share) in rescaled.iter().zip(&shares) {
+            if share > 0 {
+                *profile.edge_counts.entry((b.0, s.0)).or_insert(0) += share;
+                pending[s.index()] += share;
+            }
+        }
+    }
+}
+
+/// Splits `m` tokens across weighted arms exactly: floor shares by
+/// weight, with the remainder assigned to the heaviest arm (first on
+/// ties). `out` is overwritten; its sum equals `m` when the weights sum
+/// to [`PROB_SCALE`].
+fn distribute(m: u64, arms: &[(BlockId, u64)], out: &mut Vec<u64>) {
+    out.clear();
+    let mut assigned: u64 = 0;
+    let mut heaviest = 0usize;
+    for (i, &(_, p)) in arms.iter().enumerate() {
+        let share =
+            u64::try_from(u128::from(m) * u128::from(p) / u128::from(PROB_SCALE)).expect("fits");
+        out.push(share);
+        assigned += share;
+        if p > arms[heaviest].1 {
+            heaviest = i;
+        }
+    }
+    out[heaviest] += m - assigned;
+}
+
+/// Procedure schedule for call-graph propagation: a topological order
+/// of the call graph's SCC condensation with callers first; within an
+/// SCC, ascending `ProcId`. Computed with an iterative Tarjan walk,
+/// fully deterministic.
+fn call_schedule(program: &Program, cfg: &SourceCfg) -> Vec<ProcId> {
+    let nprocs = program.procs.len();
+    // Proc-level call edges, deduplicated, deterministic order.
+    let mut callees: Vec<Vec<usize>> = vec![Vec::new(); nprocs];
+    for (pi, proc) in program.procs.iter().enumerate() {
+        for &b in &proc.blocks {
+            for &c in &cfg.calls[b.index()] {
+                if !callees[pi].contains(&c.index()) {
+                    callees[pi].push(c.index());
+                }
+            }
+        }
+    }
+
+    // Iterative Tarjan SCC. Emits SCCs callees-first; we reverse at the
+    // end so callers come first, and reverse each SCC's pop order so
+    // members end up in discovery (ascending-ProcId-rooted) order.
+    let mut index = vec![usize::MAX; nprocs];
+    let mut low = vec![0usize; nprocs];
+    let mut on_stack = vec![false; nprocs];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+    let mut next_index = 0usize;
+    let mut call_stack: Vec<(usize, usize)> = Vec::new();
+
+    for root in 0..nprocs {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        call_stack.push((root, 0));
+        index[root] = next_index;
+        low[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+        while let Some(&mut (v, ref mut ci)) = call_stack.last_mut() {
+            if *ci < callees[v].len() {
+                let w = callees[v][*ci];
+                *ci += 1;
+                if index[w] == usize::MAX {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call_stack.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                call_stack.pop();
+                if let Some(&(parent, _)) = call_stack.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut scc = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("scc stack nonempty");
+                        on_stack[w] = false;
+                        scc.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    scc.sort_unstable();
+                    sccs.push(scc);
+                }
+            }
+        }
+    }
+
+    sccs.reverse();
+    sccs.into_iter()
+        .flatten()
+        .map(|i| ProcId(u32::try_from(i).expect("fits u32")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codelayout_ir::{Cond, Operand, ProcBuilder, ProgramBuilder, Reg};
+
+    /// main: entry -> loop head h; h body calls leaf; latch l branches
+    /// back to h or exits to x.
+    fn loop_with_call() -> Program {
+        let mut pb = ProgramBuilder::new("sp");
+        let main = pb.declare_proc("main");
+        let leaf = pb.declare_proc("leaf");
+        let mut f = ProcBuilder::new();
+        let e = f.entry();
+        let h = f.new_block();
+        let l = f.new_block();
+        let x = f.new_block();
+        f.select(e);
+        f.jump(h);
+        f.select(h);
+        f.call(leaf);
+        f.jump(l);
+        f.select(l);
+        f.branch(Cond::Lt, Reg(1), Operand::Imm(100), h, x);
+        f.select(x);
+        f.halt();
+        pb.define_proc(main, f).unwrap();
+        let mut g = ProcBuilder::new();
+        g.nop();
+        g.ret();
+        pb.define_proc(leaf, g).unwrap();
+        pb.finish(main).unwrap()
+    }
+
+    #[test]
+    fn loop_amplifies_and_flow_is_exact() {
+        let p = loop_with_call();
+        let prof = estimate_static_profile(&p);
+        let entry = prof.block_counts[0];
+        let head = prof.block_counts[1];
+        assert_eq!(entry, STATIC_ENTRY_COUNT);
+        assert!(
+            head > 3 * entry,
+            "loop head should be amplified well past one trip: {head} vs {entry}"
+        );
+        assert_eq!(
+            prof.flow_violations(&p, STATIC_ENTRY_COUNT),
+            vec![],
+            "static flow must conserve exactly"
+        );
+        // Outgoing mass equals the block count wherever there are succs.
+        let cfg = SourceCfg::of(&p);
+        for (bi, succs) in cfg.succs.iter().enumerate() {
+            if succs.is_empty() {
+                continue;
+            }
+            let out: u64 = succs
+                .iter()
+                .map(|s| prof.edge_count(BlockId(u32::try_from(bi).unwrap()), *s))
+                .sum();
+            assert_eq!(out, prof.block_counts[bi], "outflow at block {bi}");
+        }
+        // The leaf is called once per loop-head execution.
+        assert_eq!(prof.call_counts[&(1, 1)], head);
+        assert_eq!(prof.block_counts[4], head, "leaf body runs per call");
+    }
+
+    #[test]
+    fn back_edge_probability_dominates() {
+        let p = loop_with_call();
+        let sa = StaticAnalysis::of(&p);
+        let probs = branch_probabilities(&p, &sa);
+        // Latch (block 2): back edge to head combines the loop-branch
+        // and loop-exit heuristics.
+        let latch = &probs[2];
+        assert_eq!(latch.len(), 2);
+        let back = latch.iter().find(|(s, _)| *s == BlockId(1)).unwrap().1;
+        assert!(back > 900_000, "combined back-edge probability: {back}");
+        assert_eq!(latch.iter().map(|(_, p)| p).sum::<u64>(), PROB_SCALE);
+        // Unconditional jump is certain.
+        assert_eq!(probs[0], vec![(BlockId(1), PROB_SCALE)]);
+        // Halt block has no successors.
+        assert!(probs[3].is_empty());
+    }
+
+    #[test]
+    fn estimates_are_deterministic() {
+        let p = loop_with_call();
+        let a = estimate_static_profile(&p);
+        let b = estimate_static_profile(&p);
+        assert_eq!(a.block_counts, b.block_counts);
+        assert_eq!(a.edge_counts, b.edge_counts);
+        assert_eq!(a.call_counts, b.call_counts);
+    }
+
+    #[test]
+    fn recursion_is_capped_but_exact() {
+        // main calls self-recursive rec; rec's counts stay finite and
+        // flow stays exact because back-calls are dropped.
+        let mut pb = ProgramBuilder::new("rec");
+        let main = pb.declare_proc("main");
+        let rec = pb.declare_proc("rec");
+        let mut f = ProcBuilder::new();
+        f.call(rec);
+        f.halt();
+        pb.define_proc(main, f).unwrap();
+        let mut g = ProcBuilder::new();
+        let ge = g.entry();
+        let again = g.new_block();
+        let out = g.new_block();
+        g.select(ge);
+        g.branch(Cond::Gt, Reg(1), Operand::Imm(0), again, out);
+        g.select(again);
+        g.call(rec);
+        g.ret();
+        g.select(out);
+        g.ret();
+        pb.define_proc(rec, g).unwrap();
+        let p = pb.finish(main).unwrap();
+        let prof = estimate_static_profile(&p);
+        assert!(prof.block_counts[1] > 0, "rec entry got seeded");
+        assert_eq!(prof.flow_violations(&p, STATIC_ENTRY_COUNT), vec![]);
+        // The self-call from `again` is a dropped back-call.
+        assert!(!prof.call_counts.contains_key(&(2, 1)));
+    }
+
+    #[test]
+    fn jump_table_splits_by_multiplicity() {
+        let mut pb = ProgramBuilder::new("jt");
+        let main = pb.declare_proc("main");
+        let mut f = ProcBuilder::new();
+        let e = f.entry();
+        let a = f.new_block();
+        let b = f.new_block();
+        f.select(e);
+        // Raw targets: default=a, table=[b, a, a] -> a has 3/4, b 1/4.
+        f.jump_table(Reg(1), vec![b, a, a], a);
+        f.select(a);
+        f.halt();
+        f.select(b);
+        f.halt();
+        pb.define_proc(main, f).unwrap();
+        let p = pb.finish(main).unwrap();
+        let sa = StaticAnalysis::of(&p);
+        let probs = branch_probabilities(&p, &sa);
+        let get = |t: u32| probs[0].iter().find(|(s, _)| s.0 == t).unwrap().1;
+        assert_eq!(get(1), 750_000);
+        assert_eq!(get(2), 250_000);
+    }
+}

@@ -1,0 +1,141 @@
+//! Differential property tests for the static-analysis stack.
+//!
+//! Random programs from `codelayout_ir::testgen` check the dominator
+//! tree against a naive reachability oracle (dominance by definition:
+//! `d` dominates `w` iff deleting `d` disconnects `w` from the
+//! procedure entry), and the static Ball–Larus-style profile estimate
+//! against the profile crate's flow-conservation validator plus
+//! determinism across runs.
+//!
+//! The proptest shim is deterministically seeded, so these are fixed
+//! (if broad) regression suites rather than true random sampling.
+
+use codelayout_analysis::{estimate_static_profile, DomTree, SourceCfg, STATIC_ENTRY_COUNT};
+use codelayout_ir::testgen::{random_program, GenConfig};
+use codelayout_ir::{BlockId, Program};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Blocks of `proc_index`'s procedure reachable from its entry when the
+/// block `removed` (if any) is deleted from the graph — the textbook
+/// dominance oracle, intra-procedural edges only.
+fn reachable_without(
+    program: &Program,
+    cfg: &SourceCfg,
+    entry: BlockId,
+    removed: Option<BlockId>,
+) -> Vec<bool> {
+    let owner = program.owner_of_blocks();
+    let mut seen = vec![false; program.blocks.len()];
+    if removed == Some(entry) {
+        return seen;
+    }
+    let mut stack = vec![entry];
+    seen[entry.index()] = true;
+    while let Some(b) = stack.pop() {
+        for &s in &cfg.succs[b.index()] {
+            if owner[s.index()] == owner[b.index()] && removed != Some(s) && !seen[s.index()] {
+                seen[s.index()] = true;
+                stack.push(s);
+            }
+        }
+    }
+    seen
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `DomTree::dominates` agrees with the naive cut-vertex oracle on
+    /// every intra-procedural block pair of a random program, and
+    /// reachability agrees with plain BFS.
+    #[test]
+    fn dominators_match_reachability_oracle(seed in 0u64..10_000) {
+        let program = random_program(seed, &GenConfig::default());
+        let cfg = SourceCfg::of(&program);
+        let dom = DomTree::compute(&program, &cfg);
+        let owner = program.owner_of_blocks();
+        for proc in &program.procs {
+            let base = reachable_without(&program, &cfg, proc.entry, None);
+            for bi in 0..program.blocks.len() {
+                let b = BlockId(u32::try_from(bi).unwrap());
+                if owner[bi] != owner[proc.entry.index()] {
+                    continue;
+                }
+                prop_assert_eq!(
+                    dom.is_reachable(b), base[bi],
+                    "seed {}: reachability of {} diverged", seed, b
+                );
+            }
+            for di in 0..program.blocks.len() {
+                let d = BlockId(u32::try_from(di).unwrap());
+                if owner[di] != owner[proc.entry.index()] || !base[di] {
+                    continue;
+                }
+                let cut = reachable_without(&program, &cfg, proc.entry, Some(d));
+                for wi in 0..program.blocks.len() {
+                    let w = BlockId(u32::try_from(wi).unwrap());
+                    if owner[wi] != owner[proc.entry.index()] {
+                        continue;
+                    }
+                    // d dominates w iff w is reachable at all but not
+                    // once d is deleted (reflexivity falls out: deleting
+                    // d unreaches d itself).
+                    let want = base[wi] && !cut[wi];
+                    prop_assert_eq!(
+                        dom.dominates(d, w), want,
+                        "seed {}: dominates({}, {}) diverged from the oracle", seed, d, w
+                    );
+                }
+            }
+        }
+    }
+
+    /// The static profile estimate is exactly flow-conserving: every
+    /// block's count equals its incoming edge + call mass (with the
+    /// program entry's `STATIC_ENTRY_COUNT` slack), per the profile
+    /// crate's validator — the same check exact measured profiles pass.
+    /// Outgoing edge mass never exceeds the block's own count.
+    #[test]
+    fn static_estimates_conserve_flow(seed in 0u64..10_000) {
+        let program = random_program(seed, &GenConfig::default());
+        let profile = estimate_static_profile(&program);
+        let violations = profile.flow_violations(&program, STATIC_ENTRY_COUNT);
+        prop_assert!(violations.is_empty(), "seed {seed}: violations: {violations:?}");
+        let entry = program.procs[program.entry.index()].entry;
+        prop_assert!(
+            profile.block_count(entry) >= STATIC_ENTRY_COUNT,
+            "seed {seed}: program entry lost its seed mass"
+        );
+        let mut outflow: BTreeMap<u32, u64> = BTreeMap::new();
+        for (&(from, _), &w) in &profile.edge_counts {
+            *outflow.entry(from).or_insert(0) += w;
+        }
+        for (&from, &out) in &outflow {
+            let c = profile.block_counts[from as usize];
+            prop_assert!(
+                out <= c,
+                "seed {seed}: block {from} emits {out} > its count {c}"
+            );
+        }
+    }
+
+    /// Two independent estimates of the same program are identical —
+    /// the propagation is integer fixed-point with no iteration-order
+    /// dependence, so layouts built from it are reproducible.
+    #[test]
+    fn static_estimates_are_deterministic(seed in 0u64..10_000) {
+        let program = random_program(seed, &GenConfig::default());
+        let a = estimate_static_profile(&program);
+        let b = estimate_static_profile(&program);
+        prop_assert_eq!(&a.block_counts, &b.block_counts);
+        let edges = |p: &codelayout_profile::Profile| -> BTreeMap<(u32, u32), u64> {
+            p.edge_counts.iter().map(|(&k, &v)| (k, v)).collect()
+        };
+        let calls = |p: &codelayout_profile::Profile| -> BTreeMap<(u32, u32), u64> {
+            p.call_counts.iter().map(|(&k, &v)| (k, v)).collect()
+        };
+        prop_assert_eq!(edges(&a), edges(&b));
+        prop_assert_eq!(calls(&a), calls(&b));
+    }
+}

@@ -1,0 +1,8 @@
+//! Static-profile study: every lint-matrix layout series built from the
+//! measured profile and from the static Ball–Larus-style estimate, both
+//! measured on the identical workload (see
+//! [`codelayout_bench::figures::fig_static`]).
+
+fn main() {
+    codelayout_bench::figure_main("fig_static", codelayout_bench::figures::fig_static);
+}

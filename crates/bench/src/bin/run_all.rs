@@ -17,7 +17,7 @@ fn main() {
     eprintln!("[run_all] study ready in {:?}", study_span.finish());
 
     type FigFn = fn(&mut Harness) -> serde_json::Value;
-    let figs: [(&str, FigFn); 14] = [
+    let figs: [(&str, FigFn); 15] = [
         ("fig03", figures::fig03),
         ("fig04", figures::fig04),
         ("fig05", figures::fig05),
@@ -32,6 +32,7 @@ fn main() {
         ("fig14", figures::fig14),
         ("claims", figures::claims),
         ("compare", figures::compare),
+        ("fig_static", figures::fig_static),
     ];
     for (name, f) in figs {
         let fig_span = codelayout_obs::span(name);

@@ -345,11 +345,24 @@ impl Harness {
     /// The image for any layout-series label ([`LayoutSeries::parse`]):
     /// the paper's six, `hotcold`, `cfa` (with
     /// [`codelayout_core::CFA_RESERVED_BYTES`] reserved), `exttsp`, or
-    /// `stitcher`. Debug builds run translation validation on every
-    /// linked image.
+    /// `stitcher`. A `measured:` or `static:` prefix pins the profile
+    /// source explicitly (plain labels honor
+    /// `CODELAYOUT_PROFILE_SOURCE`); `fig_static` uses the prefixes to
+    /// compare both sources side by side in one process. Debug builds
+    /// run translation validation on every linked image.
     fn image_for(&self, name: &str) -> Arc<Image> {
-        let series = LayoutSeries::parse(name).unwrap_or_else(|| panic!("unknown layout {name}"));
-        self.study.image_series(series)
+        let (label, source) = if let Some(rest) = name.strip_prefix("measured:") {
+            (rest, Some(codelayout_obs::ProfileSource::Measured))
+        } else if let Some(rest) = name.strip_prefix("static:") {
+            (rest, Some(codelayout_obs::ProfileSource::Static))
+        } else {
+            (name, None)
+        };
+        let series = LayoutSeries::parse(label).unwrap_or_else(|| panic!("unknown layout {name}"));
+        match source {
+            Some(src) => self.study.image_series_with(series, src),
+            None => self.study.image_series(series),
+        }
     }
 
     /// Runs (or returns the cached) measurement for a layout. `base` and

@@ -1,0 +1,62 @@
+//! Golden-figure regression test: the static-vs-measured profile study
+//! (`fig_static`) on the fixed-seed `quick` scenario must match the
+//! checked-in snapshot bit-for-bit.
+//!
+//! Everything in the figure is deterministic — seeded workload,
+//! deterministic VM, thread-count- and engine-independent sweeps,
+//! integer fixed-point static frequency propagation, integer ext-TSP
+//! scores — so any diff is a real behavior change in the static
+//! estimator, a layout pass, or the simulator. The figure itself
+//! asserts the subsystem's headline claim (the static-profile `all`
+//! layout beats base), so this test also keeps that claim under CI.
+//!
+//! # Updating the snapshot
+//!
+//! When a change intentionally moves these numbers, regenerate with
+//!
+//! ```text
+//! CODELAYOUT_UPDATE_GOLDEN=1 cargo test -p codelayout-bench --test golden_static
+//! ```
+//!
+//! then review the diff of `tests/golden/static_quick.json` in the same
+//! commit and explain the shift in the commit message.
+
+use codelayout_bench::{figures, Harness};
+use codelayout_oltp::Scenario;
+use serde_json::Value;
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/static_quick.json"
+);
+const UPDATE_ENV: &str = codelayout_obs::env::UPDATE_GOLDEN_ENV;
+
+#[test]
+fn static_quick_matches_golden_snapshot() {
+    let mut h = Harness::with_label(&Scenario::quick(), "quick");
+    let got = figures::fig_static(&mut h);
+
+    if codelayout_bench::run_env().update_golden {
+        let mut text = serde_json::to_string_pretty(&got).expect("serialize snapshot");
+        text.push('\n');
+        std::fs::write(GOLDEN_PATH, text).expect("write golden snapshot");
+        eprintln!("updated {GOLDEN_PATH}");
+        return;
+    }
+
+    let raw = std::fs::read_to_string(GOLDEN_PATH).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {GOLDEN_PATH}: {e}\n\
+             regenerate with {UPDATE_ENV}=1 cargo test -p codelayout-bench --test golden_static"
+        )
+    });
+    let want: Value = serde_json::from_str(&raw).expect("parse golden snapshot");
+    assert_eq!(
+        got, want,
+        "static-profile quick-scenario snapshot diverged from \
+         tests/golden/static_quick.json.\n\
+         If this change is intentional, regenerate the snapshot with\n\
+         {UPDATE_ENV}=1 cargo test -p codelayout-bench --test golden_static\n\
+         and review the JSON diff in the same commit."
+    );
+}

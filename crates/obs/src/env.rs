@@ -17,6 +17,7 @@
 //! | `CODELAYOUT_SWEEP_ENGINE` | [`RunEnv::sweep_engine`] | `stack` (default) or `direct` grid-replay engine |
 //! | `CODELAYOUT_VM_ENGINE` | [`RunEnv::vm_engine`] | `block` (default) or `interp` VM execution tier |
 //! | `CODELAYOUT_LAYOUT_SERIES` | [`RunEnv::layout_series`] | comma-separated layout-series labels for the comparison table (default: the five-series comparison set) |
+//! | `CODELAYOUT_PROFILE_SOURCE` | [`RunEnv::profile_source`] | `measured` (default) or `static` profile feeding the layout passes |
 //! | `CODELAYOUT_TRACE_OUT` | [`RunEnv::trace_out`] | JSON-lines span event log file |
 //! | `CODELAYOUT_UPDATE_GOLDEN` | [`RunEnv::update_golden`] | `1` = rewrite golden snapshots instead of asserting |
 //!
@@ -37,6 +38,10 @@ pub const VM_ENGINE_ENV: &str = "CODELAYOUT_VM_ENGINE";
 /// table (comma-separated labels; this crate stores them as opaque
 /// strings — `codelayout-core`'s `LayoutSeries::parse` interprets them).
 pub const LAYOUT_SERIES_ENV: &str = "CODELAYOUT_LAYOUT_SERIES";
+/// Environment variable selecting the profile source feeding the layout
+/// passes: `measured` execution counts or the `static` Ball–Larus-style
+/// estimate (`codelayout-analysis` owns the estimator).
+pub const PROFILE_SOURCE_ENV: &str = "CODELAYOUT_PROFILE_SOURCE";
 /// Environment variable naming the JSON-lines span event log file.
 pub const TRACE_OUT_ENV: &str = "CODELAYOUT_TRACE_OUT";
 /// Environment variable switching golden tests into rewrite mode.
@@ -117,6 +122,32 @@ impl VmEngine {
     }
 }
 
+/// Profile source selected by `CODELAYOUT_PROFILE_SOURCE`.
+///
+/// `Measured` feeds the layout passes the execution profile collected by
+/// the instrumented profiling run (the paper's Pixie/DCPI path);
+/// `Static` feeds them the purely static Ball–Larus-style estimate, so
+/// every layout series runs without any profiling run at all.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ProfileSource {
+    /// Instrumented execution counts (default).
+    #[default]
+    Measured,
+    /// Static branch-heuristic frequency estimates.
+    Static,
+}
+
+impl ProfileSource {
+    /// Stable lowercase name (`"measured"` / `"static"`), as accepted by
+    /// `CODELAYOUT_PROFILE_SOURCE` and recorded in run manifests.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProfileSource::Measured => "measured",
+            ProfileSource::Static => "static",
+        }
+    }
+}
+
 /// Every `CODELAYOUT_*` knob, parsed once per process.
 #[derive(Debug, Clone)]
 pub struct RunEnv {
@@ -136,6 +167,9 @@ pub struct RunEnv {
     /// default five-series comparison set. Labels are kept as strings
     /// here — `codelayout-core` owns their interpretation.
     pub layout_series: Option<Vec<String>>,
+    /// Profile source feeding the layout passes
+    /// (`CODELAYOUT_PROFILE_SOURCE`), default [`ProfileSource::Measured`].
+    pub profile_source: ProfileSource,
     /// Span event-log file (`CODELAYOUT_TRACE_OUT`), if any.
     pub trace_out: Option<String>,
     /// True when golden tests should rewrite their snapshots
@@ -180,6 +214,16 @@ impl RunEnv {
         let layout_series = std::env::var(LAYOUT_SERIES_ENV)
             .ok()
             .and_then(|v| parse_series_list(&v));
+        let profile_source = match std::env::var(PROFILE_SOURCE_ENV).as_deref() {
+            Ok("static") => ProfileSource::Static,
+            Ok("measured") | Err(_) => ProfileSource::Measured,
+            Ok(other) => {
+                eprintln!(
+                    "warning: {PROFILE_SOURCE_ENV}={other} is not measured/static; using measured"
+                );
+                ProfileSource::Measured
+            }
+        };
         let trace_out = std::env::var(TRACE_OUT_ENV).ok().filter(|p| !p.is_empty());
         let update_golden = std::env::var(UPDATE_GOLDEN_ENV).as_deref() == Ok("1");
         RunEnv {
@@ -188,6 +232,7 @@ impl RunEnv {
             sweep_engine,
             vm_engine,
             layout_series,
+            profile_source,
             trace_out,
             update_golden,
         }
@@ -258,6 +303,9 @@ mod tests {
         assert_eq!(VmEngine::Interp.label(), "interp");
         assert_eq!(VmEngine::Block.label(), "block");
         assert_eq!(VmEngine::default(), VmEngine::Block);
+        assert_eq!(ProfileSource::Measured.label(), "measured");
+        assert_eq!(ProfileSource::Static.label(), "static");
+        assert_eq!(ProfileSource::default(), ProfileSource::Measured);
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub mod manifest;
 pub mod metrics;
 pub mod span;
 
-pub use env::{run_env, RunEnv, ScenarioSel, SweepEngine, VmEngine};
+pub use env::{run_env, ProfileSource, RunEnv, ScenarioSel, SweepEngine, VmEngine};
 pub use metrics::{Histogram, HistogramSnapshot, MetricsShard, MetricsSnapshot, Registry};
 pub use span::{PhaseNode, PhaseStat, Span, Tracer};
 

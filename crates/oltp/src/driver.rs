@@ -14,6 +14,7 @@ use crate::sga::{priv_words, words, Invariants, SgaLayout};
 use codelayout_core::{LayoutPipeline, LayoutSeries, OptimizationSet};
 use codelayout_ir::link::link;
 use codelayout_ir::{Image, Layout, Reg};
+use codelayout_obs::ProfileSource;
 use codelayout_profile::{PixieCollector, Profile};
 use codelayout_vm::{
     Machine, MachineConfig, NullSink, PairHook, RunReport, SyscallDef, TraceSink, VmEngine,
@@ -75,6 +76,11 @@ pub struct Study {
     pub profile: Profile,
     /// Kernel profile from the same run.
     pub kernel_profile: Profile,
+    /// Static (profile-free) application frequency estimate from the
+    /// Ball–Larus-style analyzer in `codelayout-analysis`.
+    pub static_profile: Profile,
+    /// Static kernel frequency estimate.
+    pub static_kernel_profile: Profile,
     /// Baseline (natural layout) application image.
     pub base_image: Arc<Image>,
     /// Baseline (natural layout) kernel image.
@@ -115,6 +121,11 @@ pub fn build_study(scenario: &Scenario) -> Study {
         .expect("baseline kernel links"),
     );
 
+    // Static frequency estimates need no execution at all; compute them
+    // while the generated programs are at hand.
+    let static_profile = codelayout_analysis::estimate_static_profile(&app.program);
+    let static_kernel_profile = codelayout_analysis::estimate_static_profile(&kernel.program);
+
     let mut study = Study {
         scenario: scenario.clone(),
         sga,
@@ -122,6 +133,8 @@ pub fn build_study(scenario: &Scenario) -> Study {
         kernel,
         profile: Profile::new(0),
         kernel_profile: Profile::new(0),
+        static_profile,
+        static_kernel_profile,
         base_image,
         base_kernel_image,
     };
@@ -257,10 +270,47 @@ impl Study {
         (m, sga)
     }
 
+    /// The application profile for an explicit source: the measured
+    /// Pixie profile or the static Ball–Larus-style estimate.
+    pub fn profile_for(&self, source: ProfileSource) -> &Profile {
+        match source {
+            ProfileSource::Measured => &self.profile,
+            ProfileSource::Static => &self.static_profile,
+        }
+    }
+
+    /// The kernel profile for an explicit source.
+    pub fn kernel_profile_for(&self, source: ProfileSource) -> &Profile {
+        match source {
+            ProfileSource::Measured => &self.kernel_profile,
+            ProfileSource::Static => &self.static_kernel_profile,
+        }
+    }
+
+    /// The profile source selected by `CODELAYOUT_PROFILE_SOURCE`
+    /// (default: measured).
+    pub fn profile_source(&self) -> ProfileSource {
+        codelayout_obs::run_env().profile_source
+    }
+
+    /// The application profile feeding the layout passes, honoring the
+    /// `CODELAYOUT_PROFILE_SOURCE` knob.
+    pub fn active_profile(&self) -> &Profile {
+        self.profile_for(self.profile_source())
+    }
+
+    /// The kernel profile feeding the layout passes, honoring the
+    /// `CODELAYOUT_PROFILE_SOURCE` knob.
+    pub fn active_kernel_profile(&self) -> &Profile {
+        self.kernel_profile_for(self.profile_source())
+    }
+
     /// Builds the application layout for an optimization set using the
-    /// study's profile (this is "running Spike" on the baseline binary).
+    /// study's active profile (measured by default — "running Spike" on
+    /// the baseline binary — or the static estimate under
+    /// `CODELAYOUT_PROFILE_SOURCE=static`).
     pub fn layout(&self, set: OptimizationSet) -> Layout {
-        LayoutPipeline::new(&self.app.program, &self.profile).build(set)
+        LayoutPipeline::new(&self.app.program, self.active_profile()).build(set)
     }
 
     /// Links the application image for an optimization set.
@@ -280,7 +330,8 @@ impl Study {
     /// Links a kernel image for an optimization set using the kernel
     /// profile (the paper's "optimize the operating system" experiment).
     pub fn kernel_image(&self, set: OptimizationSet) -> Arc<Image> {
-        let layout = LayoutPipeline::new(&self.kernel.program, &self.kernel_profile).build(set);
+        let layout =
+            LayoutPipeline::new(&self.kernel.program, self.active_kernel_profile()).build(set);
         let image = link(&self.kernel.program, &layout, KERNEL_TEXT_BASE)
             .expect("optimized kernel layouts are valid");
         #[cfg(debug_assertions)]
@@ -291,15 +342,28 @@ impl Study {
 
     /// Builds the application layout for any [`LayoutSeries`] — the
     /// paper's six sets via [`Study::layout`], plus hot/cold, CFA,
-    /// ext-TSP and Codestitcher behind the same surface.
+    /// ext-TSP and Codestitcher behind the same surface — with the
+    /// active profile source.
     pub fn layout_series(&self, series: LayoutSeries) -> Layout {
-        LayoutPipeline::new(&self.app.program, &self.profile).build_series(series)
+        self.layout_series_with(series, self.profile_source())
+    }
+
+    /// [`Study::layout_series`] with an explicit profile source, for
+    /// figures that compare measured-profile and static-profile layouts
+    /// side by side regardless of the environment knob.
+    pub fn layout_series_with(&self, series: LayoutSeries, source: ProfileSource) -> Layout {
+        LayoutPipeline::new(&self.app.program, self.profile_for(source)).build_series(series)
     }
 
     /// Links the application image for any [`LayoutSeries`], with the
     /// same debug-build translation validation as [`Study::image`].
     pub fn image_series(&self, series: LayoutSeries) -> Arc<Image> {
-        let layout = self.layout_series(series);
+        self.image_series_with(series, self.profile_source())
+    }
+
+    /// [`Study::image_series`] with an explicit profile source.
+    pub fn image_series_with(&self, series: LayoutSeries, source: ProfileSource) -> Arc<Image> {
+        let layout = self.layout_series_with(series, source);
         let image = link(&self.app.program, &layout, APP_TEXT_BASE)
             .expect("series layouts are valid permutations");
         #[cfg(debug_assertions)]
@@ -308,12 +372,12 @@ impl Study {
         Arc::new(image)
     }
 
-    /// Links a kernel image for any [`LayoutSeries`] using the kernel
-    /// profile, with the same debug-build translation validation as
-    /// [`Study::kernel_image`].
+    /// Links a kernel image for any [`LayoutSeries`] using the active
+    /// kernel profile, with the same debug-build translation validation
+    /// as [`Study::kernel_image`].
     pub fn kernel_image_series(&self, series: LayoutSeries) -> Arc<Image> {
-        let layout =
-            LayoutPipeline::new(&self.kernel.program, &self.kernel_profile).build_series(series);
+        let layout = LayoutPipeline::new(&self.kernel.program, self.active_kernel_profile())
+            .build_series(series);
         let image = link(&self.kernel.program, &layout, KERNEL_TEXT_BASE)
             .expect("series kernel layouts are valid");
         #[cfg(debug_assertions)]

@@ -40,10 +40,17 @@ pub fn estimate_edges_from_blocks(program: &Program, block_counts: &[u64]) -> Pr
             .collect();
         let total: u64 = weights.iter().sum();
         if total == 0 {
-            // No information: split evenly.
-            let share = c / succs.len() as u64;
-            for s in &succs {
-                *p.edge_counts.entry((from.0, s.0)).or_insert(0) += share;
+            // No information: split evenly, handing the remainder one
+            // token each to the first `c % len` successors so the
+            // outgoing estimates still sum exactly to the block count.
+            let len = succs.len() as u64;
+            let share = c / len;
+            let rem = (c % len) as usize;
+            for (i, s) in succs.iter().enumerate() {
+                let w = share + u64::from(i < rem);
+                if w > 0 {
+                    *p.edge_counts.entry((from.0, s.0)).or_insert(0) += w;
+                }
             }
             continue;
         }
@@ -132,6 +139,25 @@ mod tests {
         let prof = estimate_edges_from_blocks(&p, &counts);
         assert_eq!(prof.edge_counts[&(0, 1)], 50);
         assert_eq!(prof.edge_counts[&(0, 2)], 50);
+    }
+
+    #[test]
+    fn zero_information_split_distributes_the_remainder() {
+        let p = branchy_program();
+        // 101 across two successors must not drop the odd token: the
+        // first successor gets the extra one and the outgoing edges sum
+        // exactly to the block's count.
+        let counts = vec![101, 0, 0, 0, 0];
+        let prof = estimate_edges_from_blocks(&p, &counts);
+        assert_eq!(prof.edge_counts[&(0, 1)], 51);
+        assert_eq!(prof.edge_counts[&(0, 2)], 50);
+        let out: u64 = prof
+            .edge_counts
+            .iter()
+            .filter(|((f, _), _)| *f == 0)
+            .map(|(_, c)| *c)
+            .sum();
+        assert_eq!(out, 101);
     }
 
     #[test]

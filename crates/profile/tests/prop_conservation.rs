@@ -56,9 +56,9 @@ proptest! {
                 .filter(|((f, _), _)| *f == bi as u32)
                 .map(|(_, v)| *v)
                 .sum();
-            // Even splits floor-divide, so allow the rounding remainder.
-            prop_assert!(out <= c);
-            prop_assert!(out + nsucc as u64 > c, "block {} lost mass: {} of {}", bi, out, c);
+            // Both the proportional and the even split distribute their
+            // rounding remainder, so the sum is exact.
+            prop_assert_eq!(out, c, "block {} outgoing mass: {} of {}", bi, out, c);
         }
         // Estimated call counts equal exact call counts (calls are
         // unconditional per block execution).
