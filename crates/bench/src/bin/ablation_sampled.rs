@@ -7,7 +7,7 @@ use codelayout_core::{LayoutPipeline, OptimizationSet};
 use codelayout_ir::link::link;
 use codelayout_memsim::{CacheConfig, StreamFilter, SweepSink, SweepSpec};
 use codelayout_oltp::build_study;
-use codelayout_profile::{estimate_edges_from_blocks, SampledCollector};
+use codelayout_profile::{profile_from_block_samples, SampledCollector};
 use codelayout_vm::{NullSink, APP_TEXT_BASE};
 use std::sync::Arc;
 
@@ -39,14 +39,6 @@ fn main() {
         100.0 * (1.0 - exact as f64 / base as f64)
     );
 
-    let sizes: Vec<usize> = study
-        .app
-        .program
-        .blocks
-        .iter()
-        .map(|b| b.instrs.len() + 1)
-        .collect();
-
     for period in [64u64, 256, 1024, 4096] {
         // Re-run the profiling phase with a sampling collector.
         let (mut m, _) =
@@ -55,8 +47,7 @@ fn main() {
         while m.live_processes() > 0 {
             m.run_hooked(&mut NullSink, &mut sampler, 1_000_000);
         }
-        let counts = sampler.estimated_block_counts(&sizes);
-        let profile = estimate_edges_from_blocks(&study.app.program, &counts);
+        let profile = profile_from_block_samples(&study.app.program, &sampler);
         let layout = LayoutPipeline::new(&study.app.program, &profile).build(OptimizationSet::ALL);
         let image = Arc::new(link(&study.app.program, &layout, APP_TEXT_BASE).unwrap());
         let misses = run(&image);

@@ -77,19 +77,39 @@ fn main() {
     let v = figures::fig15(&mut h15);
     h15.save_json("fig15", &v);
     eprintln!("[run_all] fig15 in {:?}", fig15_span.finish());
+
+    // The serving loop on its own phase-shift stream (the study is
+    // sized to the full stream; see `ServeConfig::serve_scenario`).
+    let serve_span = codelayout_obs::span("fig_serve");
+    let base = codelayout_bench::scenario_from_env();
+    let serve_cfg = codelayout_serve::ServeConfig::from_env(&base);
+    let mut hs = Harness::with_label(&serve_cfg.serve_scenario(&base), h.scenario_label());
+    let v = figures::fig_serve(&mut hs, &serve_cfg);
+    hs.save_json("fig_serve", &v);
+    eprintln!("[run_all] fig_serve in {:?}", serve_span.finish());
+
     let total = root.finish();
     eprintln!("[run_all] total {total:?}");
 
     print_throughput_table();
 
-    // One manifest for the whole evaluation, covering both harnesses'
-    // outputs (fig15 ran on its own single-processor study).
+    // One manifest for the whole evaluation, covering all three
+    // harnesses' outputs (fig15 ran on its own single-processor study,
+    // the serving loop on its phase-shift stream).
     let mut b = codelayout_obs::manifest::ManifestBuilder::new("run_all", h.scenario_label());
     b.config(h.config_json());
     b.section("fig15_config", h15.config_json());
+    for (key, value) in hs.extra_sections() {
+        b.section(key, value.clone());
+    }
     b.phases(codelayout_obs::tracer(), "run_all");
     b.metrics(codelayout_obs::metrics());
-    for (name, digest) in h.output_digests().iter().chain(h15.output_digests()) {
+    for (name, digest) in h
+        .output_digests()
+        .iter()
+        .chain(h15.output_digests())
+        .chain(hs.output_digests())
+    {
         b.output(name, digest.clone());
     }
     match b.write(&h.manifest_dir()) {

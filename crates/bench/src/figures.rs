@@ -4,6 +4,7 @@
 use crate::{pct, print_table, run_env, Harness, LINES_B, SIZES_KB};
 use codelayout_core::{exttsp_score, LayoutSeries};
 use codelayout_memsim::SweepCell;
+use codelayout_serve::{run_serve, ServeConfig};
 use codelayout_timing::TimingModel;
 use serde_json::{json, Value};
 
@@ -921,4 +922,64 @@ pub fn claims(h: &mut Harness) -> Value {
             "app_reduction": "55-65%", "combined_reduction": "45-60%", "kernel_gain": "3.5%",
         },
     })
+}
+
+/// The serving loop, observed end to end: runs the continuous-profiling
+/// loop (`codelayout-serve`) on the phase-shift stream the harness was
+/// built for, prints the epoch ledger, registers the manifest's `serve`
+/// section, and returns the deterministic report as the figure JSON.
+///
+/// The harness must have been built on [`ServeConfig::serve_scenario`]
+/// for `cfg` — [`run_serve`] checks the capacity invariant and panics
+/// otherwise. Every re-layout the loop requests must pass translation
+/// validation; a validation miss is a correctness bug, so this figure
+/// asserts it rather than reporting it.
+pub fn fig_serve(h: &mut Harness, cfg: &ServeConfig) -> Value {
+    let report = run_serve(&h.study, cfg);
+    assert!(
+        report.all_swaps_validated(),
+        "a serving-loop re-layout failed translation validation"
+    );
+
+    let mut rows = Vec::new();
+    for e in &report.epochs {
+        rows.push(vec![
+            e.epoch.to_string(),
+            e.rotation.to_string(),
+            e.samples.to_string(),
+            e.drift_milli.to_string(),
+            if e.relayout { "yes" } else { "" }.to_string(),
+            if e.swapped { "yes" } else { "" }.to_string(),
+            e.misses.to_string(),
+            e.fetches.to_string(),
+        ]);
+    }
+    print_table(
+        "Serving loop: sampled drift detection and validated live re-layout",
+        &[
+            "epoch", "rot", "samples", "drift", "relayout", "swapped", "misses", "fetches",
+        ],
+        &rows,
+    );
+    let r = &report.recovery;
+    println!(
+        "recovery: stale {} vs serve {} vs oracle {} misses over {} fetches -> {} milli of the gap",
+        r.stale_misses, r.serve_misses, r.oracle_misses, r.window_fetches, r.recovery_milli
+    );
+    println!(
+        "swaps: {} of {} re-layout requests deployed ({} -> {})",
+        report.swaps, report.relayouts, report.base_image_digest, report.final_image_digest
+    );
+
+    // The manifest section carries the deterministic report plus the
+    // section's single wall-clock leaf (total swap latency, masked by
+    // `mask_volatile` in golden comparisons).
+    let mut section = report.deterministic_json();
+    if let Value::Object(map) = &mut section {
+        let total_swap_ns: u64 = report.epochs.iter().map(|e| e.swap_wall_ns).sum();
+        map.insert("swap_wall_ns".to_string(), json!(total_swap_ns));
+    }
+    h.section("serve", section);
+
+    report.deterministic_json()
 }

@@ -276,6 +276,7 @@ pub struct Harness {
     sweep_timing: Option<SweepTiming>,
     vm_timing: Option<VmTiming>,
     output_digests: Vec<(String, String)>,
+    extra_sections: Vec<(String, serde_json::Value)>,
     /// Largest fetch-event count seen so far; pre-sizes the next
     /// layout's trace buffer so growth reallocs don't land inside the
     /// timed measured run.
@@ -305,6 +306,7 @@ impl Harness {
             sweep_timing: None,
             vm_timing: None,
             output_digests: Vec::new(),
+            extra_sections: Vec::new(),
             expected_events: 0,
         }
     }
@@ -312,6 +314,18 @@ impl Harness {
     /// The scenario label used for the manifest directory.
     pub fn scenario_label(&self) -> &str {
         &self.scenario_label
+    }
+
+    /// Registers an extra top-level manifest section (e.g. the serving
+    /// loop's `serve` section) to include in [`Harness::write_manifest`].
+    pub fn section(&mut self, key: &str, value: serde_json::Value) {
+        self.extra_sections.push((key.to_string(), value));
+    }
+
+    /// Extra manifest sections registered with [`Harness::section`], in
+    /// registration order.
+    pub fn extra_sections(&self) -> &[(String, serde_json::Value)] {
+        &self.extra_sections
     }
 
     /// FNV-1a digests of every JSON result this harness has written, in
@@ -645,6 +659,9 @@ impl Harness {
         b.config(self.config_json());
         b.phases(codelayout_obs::tracer(), tool);
         b.metrics(codelayout_obs::metrics());
+        for (key, value) in &self.extra_sections {
+            b.section(key, value.clone());
+        }
         for (name, digest) in &self.output_digests {
             b.output(name, digest.clone());
         }
@@ -689,13 +706,18 @@ pub fn scenario_label_from_env() -> &'static str {
 }
 
 /// The [`Scenario`] selected by `CODELAYOUT_SCENARIO`
-/// (`quick` / `sim` / `hw`, default `sim`; see [`RunEnv`]).
+/// (`quick` / `sim` / `hw`, default `sim`; see [`RunEnv`]), with the
+/// workload seed replaced by `CODELAYOUT_SEED` when set.
 pub fn scenario_from_env() -> Scenario {
-    match run_env().scenario {
+    let mut sc = match run_env().scenario {
         ScenarioSel::Quick => Scenario::quick(),
         ScenarioSel::Hw => Scenario::paper_hw(),
         ScenarioSel::Sim => Scenario::paper_sim(),
+    };
+    if let Some(seed) = run_env().seed {
+        sc.seed = seed;
     }
+    sc
 }
 
 /// Prints a fixed-width table.

@@ -1,6 +1,7 @@
 //! Golden run-manifest schema test: a miniature instrumented run (study
-//! build + Figure 4 + result save) on the fixed-seed `quick` scenario
-//! must produce a manifest whose *shape* — section layout, phase-tree
+//! build + Figure 4 + a short serving-loop run + result save) on the
+//! fixed-seed `quick` scenario must produce a manifest whose *shape* —
+//! section layout (including the `serve` section), phase-tree
 //! structure, metric names, output file names — matches the checked-in
 //! snapshot exactly.
 //!
@@ -26,7 +27,8 @@
 
 use codelayout_bench::{figures, Harness};
 use codelayout_obs::manifest::{mask_volatile, validate_manifest};
-use codelayout_oltp::Scenario;
+use codelayout_oltp::{MixPhase, Scenario};
+use codelayout_serve::ServeConfig;
 use serde_json::Value;
 
 const GOLDEN_PATH: &str = concat!(
@@ -47,6 +49,19 @@ fn manifest_quick_schema_matches_golden_snapshot() {
     let mut h = Harness::with_label(&Scenario::quick(), "quick");
     let fig = figures::fig04(&mut h);
     h.save_json("fig04", &fig);
+
+    // A short serving-loop run (two phases, two epochs each) so the
+    // snapshot pins the manifest's `serve` section schema too.
+    let serve_span = codelayout_obs::span("fig_serve");
+    let base = Scenario::quick();
+    let mut serve_cfg = ServeConfig::drift_demo(&base);
+    serve_cfg.phases = vec![MixPhase::new(2, 0), MixPhase::new(2, 3)];
+    let mut hs = Harness::with_label(&serve_cfg.serve_scenario(&base), "quick");
+    figures::fig_serve(&mut hs, &serve_cfg);
+    for (key, value) in hs.extra_sections() {
+        h.section(key, value.clone());
+    }
+    serve_span.finish();
     root.finish();
 
     let path = h.write_manifest("golden_run").expect("write manifest");

@@ -20,6 +20,11 @@
 //! | `CODELAYOUT_PROFILE_SOURCE` | [`RunEnv::profile_source`] | `measured` (default) or `static` profile feeding the layout passes |
 //! | `CODELAYOUT_TRACE_OUT` | [`RunEnv::trace_out`] | JSON-lines span event log file |
 //! | `CODELAYOUT_UPDATE_GOLDEN` | [`RunEnv::update_golden`] | `1` = rewrite golden snapshots instead of asserting |
+//! | `CODELAYOUT_SEED` | [`RunEnv::seed`] | scenario master-seed override (decimal or `0x` hex) |
+//! | `CODELAYOUT_SERVE_EPOCH_TXNS` | [`RunEnv::serve_epoch_txns`] | serving-loop epoch length in transactions |
+//! | `CODELAYOUT_SERVE_SAMPLE_PERIOD` | [`RunEnv::serve_sample_period`] | serving-loop control-transfer sampling period |
+//! | `CODELAYOUT_SERVE_DRIFT_THRESHOLD` | [`RunEnv::serve_drift_threshold`] | re-layout drift threshold, milli-L1 units (0–2000) |
+//! | `CODELAYOUT_SERVE_SAMPLE_DUTY` | [`RunEnv::serve_sample_duty`] | serving-loop temporal duty cycle (sampler attached 1-in-N chunks) |
 //!
 //! The README's "Environment knobs" table is generated from this list;
 //! keep the two in sync.
@@ -46,6 +51,24 @@ pub const PROFILE_SOURCE_ENV: &str = "CODELAYOUT_PROFILE_SOURCE";
 pub const TRACE_OUT_ENV: &str = "CODELAYOUT_TRACE_OUT";
 /// Environment variable switching golden tests into rewrite mode.
 pub const UPDATE_GOLDEN_ENV: &str = "CODELAYOUT_UPDATE_GOLDEN";
+/// Environment variable overriding the scenario's master seed (decimal
+/// or `0x`-prefixed hex). One seed determines workload generation, the
+/// per-process RNG streams, and therefore every serving-loop epoch
+/// record.
+pub const SEED_ENV: &str = "CODELAYOUT_SEED";
+/// Environment variable overriding the serving-loop epoch length
+/// (transactions per epoch).
+pub const SERVE_EPOCH_TXNS_ENV: &str = "CODELAYOUT_SERVE_EPOCH_TXNS";
+/// Environment variable overriding the serving-loop sampling period
+/// (one sample every N control transfers).
+pub const SERVE_SAMPLE_PERIOD_ENV: &str = "CODELAYOUT_SERVE_SAMPLE_PERIOD";
+/// Environment variable overriding the serving-loop re-layout drift
+/// threshold, in milli-L1 units (0 = always re-layout, 2000 = never).
+pub const SERVE_DRIFT_THRESHOLD_ENV: &str = "CODELAYOUT_SERVE_DRIFT_THRESHOLD";
+/// Environment variable overriding the serving-loop temporal duty
+/// cycle (the sampler is attached for one of every N scheduling
+/// chunks).
+pub const SERVE_SAMPLE_DUTY_ENV: &str = "CODELAYOUT_SERVE_SAMPLE_DUTY";
 
 /// Workload scale selected by `CODELAYOUT_SCENARIO`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -175,6 +198,20 @@ pub struct RunEnv {
     /// True when golden tests should rewrite their snapshots
     /// (`CODELAYOUT_UPDATE_GOLDEN=1`).
     pub update_golden: bool,
+    /// Scenario master-seed override (`CODELAYOUT_SEED`), if any.
+    pub seed: Option<u64>,
+    /// Serving-loop epoch length override in transactions
+    /// (`CODELAYOUT_SERVE_EPOCH_TXNS`), if any.
+    pub serve_epoch_txns: Option<u64>,
+    /// Serving-loop sampling-period override
+    /// (`CODELAYOUT_SERVE_SAMPLE_PERIOD`), if any.
+    pub serve_sample_period: Option<u64>,
+    /// Serving-loop drift-threshold override in milli-L1 units
+    /// (`CODELAYOUT_SERVE_DRIFT_THRESHOLD`), if any.
+    pub serve_drift_threshold: Option<u64>,
+    /// Serving-loop temporal duty-cycle override
+    /// (`CODELAYOUT_SERVE_SAMPLE_DUTY`), if any.
+    pub serve_sample_duty: Option<u64>,
 }
 
 impl RunEnv {
@@ -226,6 +263,18 @@ impl RunEnv {
         };
         let trace_out = std::env::var(TRACE_OUT_ENV).ok().filter(|p| !p.is_empty());
         let update_golden = std::env::var(UPDATE_GOLDEN_ENV).as_deref() == Ok("1");
+        let seed = parse_u64_knob(SEED_ENV);
+        let serve_epoch_txns = parse_u64_knob(SERVE_EPOCH_TXNS_ENV).filter(|&n| n > 0);
+        let serve_sample_period = parse_u64_knob(SERVE_SAMPLE_PERIOD_ENV).filter(|&n| n > 0);
+        let serve_drift_threshold = parse_u64_knob(SERVE_DRIFT_THRESHOLD_ENV).map(|t| {
+            if t > 2000 {
+                eprintln!(
+                    "warning: {SERVE_DRIFT_THRESHOLD_ENV}={t} exceeds the L1 range; clamping to 2000"
+                );
+            }
+            t.min(2000)
+        });
+        let serve_sample_duty = parse_u64_knob(SERVE_SAMPLE_DUTY_ENV).filter(|&n| n > 0);
         RunEnv {
             scenario,
             threads,
@@ -235,6 +284,11 @@ impl RunEnv {
             profile_source,
             trace_out,
             update_golden,
+            seed,
+            serve_epoch_txns,
+            serve_sample_period,
+            serve_drift_threshold,
+            serve_sample_duty,
         }
     }
 
@@ -246,6 +300,23 @@ impl RunEnv {
                 .map(|n| n.get())
                 .unwrap_or(1)
         })
+    }
+}
+
+/// Parses a `u64` knob, accepting decimal or `0x`-prefixed hex; a
+/// malformed value warns on stderr and falls back to unset.
+fn parse_u64_knob(var: &str) -> Option<u64> {
+    let raw = std::env::var(var).ok()?;
+    let parsed = match raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => raw.parse::<u64>(),
+    };
+    match parsed {
+        Ok(v) => Some(v),
+        Err(_) => {
+            eprintln!("warning: {var}={raw} is not an unsigned integer; ignoring");
+            None
+        }
     }
 }
 
@@ -320,6 +391,21 @@ mod tests {
         );
         assert_eq!(parse_series_list(""), None);
         assert_eq!(parse_series_list(" , ,"), None);
+    }
+
+    #[test]
+    fn u64_knob_parsing() {
+        // A var name no other test (or caller) uses, so parallel tests
+        // cannot race on it.
+        let var = "CODELAYOUT_TEST_U64_KNOB_PARSING";
+        assert_eq!(parse_u64_knob(var), None);
+        std::env::set_var(var, "1234");
+        assert_eq!(parse_u64_knob(var), Some(1234));
+        std::env::set_var(var, "0xC0DE");
+        assert_eq!(parse_u64_knob(var), Some(0xC0DE));
+        std::env::set_var(var, "not-a-number");
+        assert_eq!(parse_u64_knob(var), None);
+        std::env::remove_var(var);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! ```text
 //! {
 //!   "tool": "run_all",            // binary that wrote the manifest
-//!   "schema_version": 1,
+//!   "schema_version": 2,
 //!   "scenario": "quick",
 //!   "git": "4668bbd",             // git describe --always --dirty
 //!   "created_unix_ms": 1754380800000,
@@ -25,7 +25,9 @@
 //!   "phases": [ {"name","wall_ns","pct","count","children"} ... ],
 //!   "metrics": { "counters": {...}, "gauges": {...}, "histograms": {...} },
 //!   "outputs": { "fig04.json": "fnv1a64:..." },
-//!   "lint": { ... }               // optional, merged by layout_lint
+//!   "lint": { ... },              // optional, merged by layout_lint
+//!   "serve": { ... }              // optional, the serving loop's epoch
+//!                                 // records (see `codelayout-serve`)
 //! }
 //! ```
 //!
@@ -38,8 +40,10 @@ use crate::span::Tracer;
 use serde_json::{json, Map, Value};
 use std::path::{Path, PathBuf};
 
-/// Current manifest schema version.
-pub const SCHEMA_VERSION: u64 = 1;
+/// Current manifest schema version. Version 2 added the optional
+/// `serve` section (the serving loop's epoch records), the `p95`
+/// histogram quantile, and the `swap_wall_ns` volatile key.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// 64-bit FNV-1a over a byte string.
 pub fn fnv1a64(bytes: &[u8]) -> u64 {
@@ -316,7 +320,10 @@ fn validate_phase(p: &Value) -> Result<(), String> {
 
 /// Keys whose values are wall-clock noise, environment-dependent, or
 /// content hashes — masked by [`mask_volatile`] wherever they appear.
-pub const VOLATILE_KEYS: [&str; 12] = [
+/// `swap_wall_ns` is the `serve` section's only wall-clock leaf: every
+/// other serve field (epoch records, drift scores, miss counts, the
+/// final image digest) is deterministic and stays pinned by goldens.
+pub const VOLATILE_KEYS: [&str; 13] = [
     "git",
     "created_unix_ms",
     "wall_ns",
@@ -329,6 +336,7 @@ pub const VOLATILE_KEYS: [&str; 12] = [
     "sweep_threads",
     "sweep_engine",
     "vm_engine",
+    "swap_wall_ns",
 ];
 
 /// Returns a copy of a manifest with volatile values masked: values of
@@ -421,6 +429,15 @@ mod tests {
         b.metrics(&registry);
         b.output("fig04.json", digest_hex(b"{}"));
         b.section("lint", json!({"deny": 0u64}));
+        b.section(
+            "serve",
+            json!({
+                "epoch_txns": 60u64,
+                "swaps": 1u64,
+                "swap_wall_ns": 123_456u64,
+                "epochs": [json!({"epoch": 0u64, "drift_milli": 412u64})],
+            }),
+        );
         b.build()
     }
 
@@ -463,6 +480,14 @@ mod tests {
             masked.get("outputs").get("fig04.json").as_str(),
             Some("<masked>")
         );
+        // The serve section: deterministic fields survive, the
+        // wall-clock leaf is masked.
+        let serve = masked.get("serve");
+        assert_eq!(serve.get("epoch_txns").as_u64(), Some(60));
+        assert_eq!(serve.get("swaps").as_u64(), Some(1));
+        assert_eq!(serve.get("swap_wall_ns").as_u64(), Some(0));
+        let epochs = serve.get("epochs").as_array().unwrap();
+        assert_eq!(epochs[0].get("drift_milli").as_u64(), Some(412));
     }
 
     #[test]

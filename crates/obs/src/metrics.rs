@@ -175,6 +175,7 @@ impl Histogram {
             max: self.max(),
             p50: self.quantile(0.50),
             p90: self.quantile(0.90),
+            p95: self.quantile(0.95),
             p99: self.quantile(0.99),
             buckets: self.nonzero_buckets(),
         }
@@ -196,6 +197,8 @@ pub struct HistogramSnapshot {
     pub p50: u64,
     /// Approximate 90th percentile.
     pub p90: u64,
+    /// Approximate 95th percentile.
+    pub p95: u64,
     /// Approximate 99th percentile.
     pub p99: u64,
     /// Non-empty `(upper_edge, count)` buckets, ascending.
@@ -212,6 +215,7 @@ impl HistogramSnapshot {
             "max": self.max,
             "p50": self.p50,
             "p90": self.p90,
+            "p95": self.p95,
             "p99": self.p99,
         })
     }
@@ -432,7 +436,9 @@ impl MetricsSnapshot {
     /// Prometheus text exposition (one `# TYPE` line per metric, names
     /// sanitized to `[a-z0-9_]` and prefixed `codelayout_`). Histograms
     /// render cumulative `_bucket{le="..."}` series plus `_sum` and
-    /// `_count`.
+    /// `_count`, followed by estimated `_p50` / `_p95` / `_p99` gauges
+    /// (bucket-upper-edge quantiles, clamped to the observed max) so
+    /// latency histograms are readable straight off the scrape output.
     pub fn to_prometheus(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
@@ -457,6 +463,10 @@ impl MetricsSnapshot {
             let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
             let _ = writeln!(out, "{n}_sum {}", h.sum);
             let _ = writeln!(out, "{n}_count {}", h.count);
+            for (suffix, q) in [("p50", h.p50), ("p95", h.p95), ("p99", h.p99)] {
+                let _ = writeln!(out, "# TYPE {n}_{suffix} gauge");
+                let _ = writeln!(out, "{n}_{suffix} {q}");
+            }
         }
         out
     }
@@ -614,6 +624,63 @@ mod tests {
             assert!(v >= last);
             last = v;
         }
+    }
+
+    #[test]
+    fn quantile_estimates_on_known_distributions() {
+        // Uniform 0..1024: p50 lands exactly on the [256,512) bucket
+        // boundary, p95/p99 in [512,1024) — the estimator returns the
+        // inclusive upper edge of the covering bucket.
+        let mut uniform = Histogram::new();
+        for v in 0..1024u64 {
+            uniform.record(v);
+        }
+        assert_eq!(uniform.quantile(0.50), 511);
+        assert_eq!(uniform.quantile(0.95), 1023);
+        assert_eq!(uniform.quantile(0.99), 1023);
+
+        // Heavily skewed: 99 fast samples of 1, one slow sample of
+        // 1_000_000. p50/p95 sit in the fast bucket; p99 does too (rank
+        // 99 of 100), while p100 reaches the outlier.
+        let mut skewed = Histogram::new();
+        for _ in 0..99 {
+            skewed.record(1);
+        }
+        skewed.record(1_000_000);
+        assert_eq!(skewed.quantile(0.50), 1);
+        assert_eq!(skewed.quantile(0.95), 1);
+        assert_eq!(skewed.quantile(0.99), 1);
+        assert_eq!(skewed.quantile(1.0), 1_000_000);
+
+        // A point mass never overshoots: estimates clamp to the max.
+        let mut point = Histogram::new();
+        for _ in 0..10 {
+            point.record(700);
+        }
+        for q in [0.5, 0.95, 0.99] {
+            assert_eq!(point.quantile(q), 700);
+        }
+        let snap = point.snapshot();
+        assert_eq!((snap.p50, snap.p95, snap.p99), (700, 700, 700));
+    }
+
+    #[test]
+    fn prometheus_exposition_renders_quantile_gauges() {
+        let r = Registry::new();
+        for _ in 0..99 {
+            r.observe("serve.swap_ns", 1);
+        }
+        r.observe("serve.swap_ns", 1_000_000);
+        let text = r.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE codelayout_serve_swap_ns_p50 gauge"));
+        assert!(text.contains("codelayout_serve_swap_ns_p50 1\n"));
+        assert!(text.contains("codelayout_serve_swap_ns_p95 1\n"));
+        assert!(text.contains("codelayout_serve_swap_ns_p99 1\n"));
+        // The quantile gauges come after the histogram series proper.
+        assert!(
+            text.find("codelayout_serve_swap_ns_count").unwrap()
+                < text.find("codelayout_serve_swap_ns_p50").unwrap()
+        );
     }
 
     #[test]

@@ -145,6 +145,38 @@ impl Tracer {
         }
     }
 
+    /// Writes one structured record event to the exporter: a JSON line
+    /// `{"ev":"O","path":name,"thread":...,"t_us":...,"data":payload}`
+    /// (`O` for object, mirroring the trace-event format's instant
+    /// events with arguments). The serving loop streams its epoch
+    /// records through this. Free when no exporter is installed; no
+    /// phase accounting.
+    pub fn event(&self, name: &str, payload: Value) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut guard = self.export.lock().expect("tracer export poisoned");
+        if let Some(w) = guard.as_mut() {
+            let thread = std::thread::current();
+            let tag = match thread.name() {
+                Some(n) => n.to_string(),
+                None => format!("{:?}", thread.id()),
+            };
+            let line = json!({
+                "ev": "O",
+                "path": name,
+                "thread": tag,
+                "t_us": now_ns() / 1_000,
+                "data": payload,
+            });
+            let _ = writeln!(
+                w,
+                "{}",
+                serde_json::to_string(&line).expect("span event json")
+            );
+        }
+    }
+
     fn export_event(&self, ev: &str, path: &str, t_ns: u64) {
         let mut guard = self.export.lock().expect("tracer export poisoned");
         if let Some(w) = guard.as_mut() {
@@ -516,10 +548,11 @@ mod tests {
         t.init_export(path.to_str().unwrap()).unwrap();
         t.span("phase").finish();
         t.instant("marker");
+        t.event("serve/epoch", json!({"epoch": 3, "drift_milli": 412}));
         t.flush();
         let text = std::fs::read_to_string(&path).unwrap();
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 3);
+        assert_eq!(lines.len(), 4);
         let begin = serde_json::from_str(lines[0]).unwrap();
         assert_eq!(begin.get("ev").as_str(), Some("B"));
         assert_eq!(begin.get("path").as_str(), Some("phase"));
@@ -529,6 +562,11 @@ mod tests {
         assert_eq!(end.get("ev").as_str(), Some("E"));
         let inst = serde_json::from_str(lines[2]).unwrap();
         assert_eq!(inst.get("ev").as_str(), Some("i"));
+        let rec = serde_json::from_str(lines[3]).unwrap();
+        assert_eq!(rec.get("ev").as_str(), Some("O"));
+        assert_eq!(rec.get("path").as_str(), Some("serve/epoch"));
+        assert_eq!(rec.get("data").get("epoch").as_u64(), Some(3));
+        assert_eq!(rec.get("data").get("drift_milli").as_u64(), Some(412));
         let _ = std::fs::remove_file(&path);
     }
 

@@ -47,7 +47,7 @@ mod sga;
 pub use app::{gen_app, AppSpec};
 pub use driver::{build_study, RunOutcome, Study};
 pub use kernel::{gen_kernel, KernelSpec, SYS_LOG_WRITE, SYS_RECEIVE, SYS_REPLY};
-pub use scenario::{CodeScale, Scenario};
+pub use scenario::{drift_schedule, CodeScale, MixPhase, Scenario};
 pub use sga::{
     btree_search_host, priv_words, words, Invariants, SgaLayout, ACCT_STRIDE, BRANCH_STRIDE,
     BTREE_FANOUT, BTREE_NODE_WORDS, BUF_STRIDE, HIST_STRIDE, LOG_STAGE_WORDS, ROWS_PER_PAGE,

@@ -146,6 +146,36 @@ impl Scenario {
     }
 }
 
+/// One phase of a drifting transaction mix: `epochs` serving-loop epochs
+/// executed with the statement-variant Zipf head rotated by `rotation`
+/// (see `SgaLayout::fill_variant_table_rotated`). A schedule is a list
+/// of phases; the rotation changing between phases is the drift event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MixPhase {
+    /// Number of serving-loop epochs this phase lasts.
+    pub epochs: u64,
+    /// Zipf-head rotation applied to the variant table.
+    pub rotation: usize,
+}
+
+impl MixPhase {
+    /// A phase of `epochs` epochs at variant rotation `rotation`.
+    pub fn new(epochs: u64, rotation: usize) -> Self {
+        MixPhase { epochs, rotation }
+    }
+}
+
+/// The bundled phase-shift schedule for a scenario: a stable prefix on
+/// the natural mix (rotation 0), then an abrupt shift that moves the hot
+/// Zipf head halfway around the variant set for the remainder. Three
+/// stable epochs give the loop time to converge before the shift; five
+/// drifted epochs give it room to detect the drift, re-layout, and show
+/// the recovery.
+pub fn drift_schedule(scenario: &Scenario) -> Vec<MixPhase> {
+    let half = (scenario.scale.stmt_variants / 2).max(1);
+    vec![MixPhase::new(3, 0), MixPhase::new(5, half)]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,5 +192,15 @@ mod tests {
         let h = Scenario::paper_hw();
         assert_eq!(h.num_cpus, 1);
         assert_eq!(h.scale, p.scale);
+    }
+
+    #[test]
+    fn drift_schedule_shifts_the_head() {
+        let q = Scenario::quick();
+        let phases = drift_schedule(&q);
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[0].rotation, 0);
+        assert_eq!(phases[1].rotation, 3); // 6 variants / 2
+        assert!(phases.iter().all(|p| p.epochs > 0));
     }
 }

@@ -221,6 +221,20 @@ impl SgaLayout {
     /// # Panics
     /// Panics if `variants` is 0 or exceeds the table size.
     pub fn fill_variant_table(m: &mut Machine, variants: usize) {
+        Self::fill_variant_table_rotated(m, variants, 0);
+    }
+
+    /// Like [`SgaLayout::fill_variant_table`], but rotates which variant
+    /// sits at the head of the Zipf distribution: slot weights stay
+    /// identical while the variant written into each slot becomes
+    /// `(v + rotation) % variants`. Rotating the head moves the hot
+    /// statement mass onto a different code path — the canonical
+    /// workload-drift event a serving loop must detect and re-layout
+    /// for.
+    ///
+    /// # Panics
+    /// Panics if `variants` is 0 or exceeds the table size.
+    pub fn fill_variant_table_rotated(m: &mut Machine, variants: usize, rotation: usize) {
         assert!(
             variants > 0 && variants <= words::VARIANT_TABLE_WORDS,
             "1..=256 variants supported"
@@ -252,8 +266,9 @@ impl SgaLayout {
         }
         let mut slot = 0usize;
         for (v, &n) in slots.iter().enumerate() {
+            let rotated = (v + rotation) % variants;
             for _ in 0..n {
-                m.set_shared_word(words::VARIANT_TABLE + slot, v as i64);
+                m.set_shared_word(words::VARIANT_TABLE + slot, rotated as i64);
                 slot += 1;
             }
         }
@@ -473,6 +488,35 @@ mod tests {
                 s.acct_row(last) as i64
             );
         }
+    }
+
+    #[test]
+    fn variant_table_rotation_permutes_without_reshaping() {
+        let variants = 6;
+        let mut m = dummy_machine(2048);
+        SgaLayout::fill_variant_table(&mut m, variants);
+        let base: Vec<i64> = (0..words::VARIANT_TABLE_WORDS)
+            .map(|i| m.shared_word(words::VARIANT_TABLE + i))
+            .collect();
+        SgaLayout::fill_variant_table_rotated(&mut m, variants, 3);
+        let rotated: Vec<i64> = (0..words::VARIANT_TABLE_WORDS)
+            .map(|i| m.shared_word(words::VARIANT_TABLE + i))
+            .collect();
+        // Slot-for-slot the rotated table is (v + 3) mod 6 of the base
+        // table: same slot distribution, different hot variant.
+        for (b, r) in base.iter().zip(&rotated) {
+            assert_eq!((b + 3) % variants as i64, *r);
+        }
+        // Rotation changed which variant dominates.
+        let head = |t: &[i64]| t.iter().filter(|&&v| v == t[0]).count();
+        assert_eq!(head(&base), head(&rotated));
+        assert_ne!(base[0], rotated[0]);
+        // Rotation by 0 is the identity.
+        SgaLayout::fill_variant_table_rotated(&mut m, variants, 0);
+        let zero: Vec<i64> = (0..words::VARIANT_TABLE_WORDS)
+            .map(|i| m.shared_word(words::VARIANT_TABLE + i))
+            .collect();
+        assert_eq!(base, zero);
     }
 
     #[test]

@@ -6,7 +6,7 @@ use codelayout_vm::ExecHook;
 
 /// Which instruction stream a collector observes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Stream {
+pub(crate) enum Stream {
     User,
     Kernel,
 }

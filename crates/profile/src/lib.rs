@@ -8,7 +8,11 @@
 //! * [`PixieCollector`] — exact block, flow-edge and call counts;
 //! * [`SampledCollector`] — periodic PC samples giving approximate block
 //!   counts, with flow edges estimated from block counts (as Spike does
-//!   when given sampled profiles).
+//!   when given sampled profiles);
+//! * [`EdgeSampler`] (module [`sampled`]) — a continuous control-transfer
+//!   sampler for the serving loop, with exponentially decayed
+//!   accumulation, drift scoring ([`edge_l1_milli`]) and profile
+//!   reconstruction ([`profile_from_edge_samples`]).
 //!
 //! The resulting [`Profile`] is the single input of every optimization in
 //! `codelayout-core`.
@@ -45,7 +49,12 @@
 mod collect;
 mod data;
 mod estimate;
+pub mod sampled;
 
 pub use collect::{PixieCollector, SampledCollector};
 pub use data::{Profile, ProfileError};
 pub use estimate::estimate_edges_from_blocks;
+pub use sampled::{
+    edge_l1_milli, profile_from_block_samples, profile_from_edge_samples, DecayedEdgeCounts,
+    EdgeSampler, SampleShard,
+};

@@ -1,0 +1,72 @@
+//! The `serve/epoch` JSONL stream: every epoch of a serving run is
+//! exported through the span tracer as one `{"ev":"O"}` line whose
+//! `data` payload parses back into the epoch-record schema, including
+//! the wall-clock leaf (`swap_wall_ns`) that the deterministic report
+//! omits.
+
+use codelayout_oltp::{build_study, MixPhase, Scenario};
+use codelayout_serve::{run_serve, ServeConfig};
+
+#[test]
+fn every_epoch_streams_a_parsable_record() {
+    let base = Scenario::quick();
+    let mut cfg = ServeConfig::drift_demo(&base);
+    cfg.phases = vec![MixPhase::new(2, 0), MixPhase::new(2, 3)];
+    let study = build_study(&cfg.serve_scenario(&base));
+
+    let path = std::env::temp_dir().join(format!("codelayout-epochs-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    codelayout_obs::tracer()
+        .init_export(path.to_str().expect("utf-8 temp path"))
+        .expect("install tracer export");
+
+    let report = run_serve(&study, &cfg);
+    codelayout_obs::tracer().flush();
+
+    let text = std::fs::read_to_string(&path).expect("read epoch stream");
+    let mut streamed = 0u64;
+    for line in text.lines() {
+        let v = serde_json::from_str(line).expect("every export line is JSON");
+        if v.get("ev").as_str() != Some("O") || v.get("path").as_str() != Some("serve/epoch") {
+            continue;
+        }
+        let data = v.get("data");
+        for key in [
+            "epoch",
+            "rotation",
+            "start_txn",
+            "end_txn",
+            "instructions",
+            "events",
+            "samples",
+            "drift_milli",
+            "misses",
+            "fetches",
+            "swap_wall_ns",
+        ] {
+            assert!(
+                data.get(key).as_u64().is_some(),
+                "epoch record missing integer `{key}`: {line}"
+            );
+        }
+        for key in ["relayout", "validated", "swapped"] {
+            assert!(
+                data.get(key).as_bool().is_some(),
+                "epoch record missing bool `{key}`: {line}"
+            );
+        }
+        assert_eq!(
+            data.get("epoch").as_u64(),
+            Some(streamed),
+            "epoch records out of order"
+        );
+        streamed += 1;
+    }
+    assert_eq!(
+        streamed,
+        cfg.total_epochs(),
+        "expected one streamed record per epoch"
+    );
+    assert_eq!(report.epochs.len() as u64, cfg.total_epochs());
+    let _ = std::fs::remove_file(&path);
+}

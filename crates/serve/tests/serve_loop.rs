@@ -1,0 +1,55 @@
+//! End-to-end serving-loop behavior on the bundled phase-shift demo:
+//! the loop must notice the mix shift, re-layout from the sampled
+//! profile, validate the swap, and recover most of the stale→oracle
+//! miss gap over the final window.
+
+use codelayout_oltp::{build_study, Scenario};
+use codelayout_serve::{run_serve, ServeConfig};
+
+#[test]
+fn drift_demo_detects_the_shift_and_recovers() {
+    let base = Scenario::quick();
+    let cfg = ServeConfig::drift_demo(&base);
+    let study = build_study(&cfg.serve_scenario(&base));
+    let report = run_serve(&study, &cfg);
+
+    for e in &report.epochs {
+        println!(
+            "epoch {:>2} rot {} drift {:>4} relayout {:>5} swapped {:>5} misses {:>6}/{:>8} samples {:>6}/{:>7}",
+            e.epoch,
+            e.rotation,
+            e.drift_milli,
+            e.relayout,
+            e.swapped,
+            e.misses,
+            e.fetches,
+            e.samples,
+            e.events
+        );
+    }
+    println!(
+        "recovery: stale {} serve {} oracle {} -> {} milli",
+        report.recovery.stale_misses,
+        report.recovery.serve_misses,
+        report.recovery.oracle_misses,
+        report.recovery.recovery_milli
+    );
+
+    assert_eq!(report.epochs.len() as u64, cfg.total_epochs());
+    // The stable prefix must not thrash: no re-layout before the shift.
+    assert!(
+        report.epochs.iter().take(2).all(|e| !e.relayout),
+        "re-layout during the stable prefix"
+    );
+    // The shift must be detected and at least one swap deployed.
+    assert!(report.swaps >= 1, "no validated swap after the mix shift");
+    assert!(report.all_swaps_validated());
+    // The loop must recover at least half of the stale→oracle gap.
+    assert!(
+        report.recovery.recovery_milli >= 500,
+        "recovered only {} milli of the staleness gap",
+        report.recovery.recovery_milli
+    );
+    // The deployed image actually changed.
+    assert_ne!(report.base_image_digest, report.final_image_digest);
+}

@@ -395,6 +395,28 @@ impl Machine {
         &self.procs[pid].emitted
     }
 
+    /// The full shared-memory image (layout-invariant architectural
+    /// state). A serving loop snapshots this at an epoch boundary and
+    /// restores it into a fresh machine via [`Machine::load_shared`].
+    pub fn shared_mem(&self) -> &[i64] {
+        &self.shared
+    }
+
+    /// Overwrites shared memory with a snapshot taken by
+    /// [`Machine::shared_mem`] on a machine of the same configuration.
+    ///
+    /// # Panics
+    /// Panics if `words` is not exactly this machine's shared size
+    /// (snapshots do not transfer between differently-sized machines).
+    pub fn load_shared(&mut self, words: &[i64]) {
+        assert_eq!(
+            words.len(),
+            self.shared.len(),
+            "shared snapshot size must match the machine's shared memory"
+        );
+        self.shared.copy_from_slice(words);
+    }
+
     /// Checksum of shared memory (layout-invariant architectural state).
     pub fn shared_checksum(&self) -> u64 {
         checksum_words(&self.shared)
