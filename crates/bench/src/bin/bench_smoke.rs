@@ -1,4 +1,4 @@
-//! `bench_smoke`: the CI engine benchmarks. Two parts, both on the
+//! `bench_smoke`: the CI engine benchmarks. Three parts, all on the
 //! quick scenario:
 //!
 //! 1. **Grid-replay engines** (`BENCH_pr5.json`): records each
@@ -13,6 +13,10 @@
 //!    outcomes, reports best-of-N execution throughput per tier, and
 //!    **exits nonzero if the block engine's execution speedup falls
 //!    below [`MIN_VM_SPEEDUP`]** (the regression floor).
+//! 3. **Layout autotuner** (`BENCH_pr10.json`): a small fixed-budget
+//!    parameter search ([`codelayout_tune::run_tune`]), recording the
+//!    tuned-vs-fixed per-cache-size window miss deltas, the winning
+//!    series and parameters, and search throughput.
 
 use codelayout_core::OptimizationSet;
 use codelayout_memsim::{ParallelSweep, StreamFilter, SweepEngine, SweepSpec, LINES_B, SIZES_KB};
@@ -150,6 +154,7 @@ fn main() {
     eprintln!("[bench_smoke] wrote BENCH_pr5.json (min speedup {min_speedup:.2}x)");
 
     vm_engine_bench(&study);
+    tune_bench(&study);
 }
 
 /// Part 2: the VM execution-tier benchmark (`BENCH_pr6.json`).
@@ -278,5 +283,85 @@ fn vm_engine_bench(study: &Study) {
     assert!(
         min_speedup >= MIN_VM_SPEEDUP,
         "block engine speedup {min_speedup:.2}x is below the {MIN_VM_SPEEDUP}x CI gate"
+    );
+}
+
+/// Candidate budget per family for the benchmark search: big enough to
+/// exercise descent and restarts, small enough to keep CI fast.
+const TUNE_CANDIDATES: u64 = 16;
+
+/// Part 3: the layout-autotuner benchmark (`BENCH_pr10.json`).
+fn tune_bench(study: &Study) {
+    use codelayout_core::ParamSpace;
+    use codelayout_tune::{params_json, run_tune, TuneConfig, TUNE_SIZES_KB};
+
+    let mut cfg = TuneConfig::for_scenario(&study.scenario);
+    cfg.candidates = TUNE_CANDIDATES;
+    let t = Instant::now();
+    let report = run_tune(study, &cfg);
+    let secs = t.elapsed().as_secs_f64();
+    let evaluated = report.trajectory.len() as u64;
+
+    let mut families = serde_json::Map::new();
+    for f in &report.families {
+        let fixed = report
+            .fixed
+            .iter()
+            .find(|fx| fx.series.label() == f.series.label())
+            .expect("every tuned family has a fixed counterpart in the comparison set");
+        // Positive delta = misses the tuned point saves over the fixed
+        // default at that cache size.
+        let delta: Vec<i64> = f
+            .best_cells
+            .iter()
+            .zip(&fixed.cells)
+            .map(|(t, fx)| *fx as i64 - *t as i64)
+            .collect();
+        let space = ParamSpace::for_series(f.series);
+        families.insert(
+            f.series.label().to_string(),
+            serde_json::json!({
+                "default_score": f.default_score,
+                "best_score": f.best_score,
+                "evaluated": f.evaluated,
+                "fixed_cells": &fixed.cells,
+                "tuned_cells": &f.best_cells,
+                "delta_misses": &delta,
+                "params": params_json(&space, &f.best_params),
+            }),
+        );
+    }
+    let winner = report.winner().expect("tune produced at least one family");
+
+    eprintln!(
+        "[bench_smoke] tune: {evaluated} candidates over {} families in {secs:.3}s \
+         ({:.0} cand/s, window {} events): winner {} ({} vs base {})",
+        report.families.len(),
+        evaluated as f64 / secs.max(1e-12),
+        report.window_events,
+        winner.series.label(),
+        winner.best_score,
+        report.base_score,
+    );
+    let out = serde_json::json!({
+        "benchmark": "tune_smoke",
+        "scenario": "quick",
+        "sizes_kb": &TUNE_SIZES_KB[..],
+        "candidates_per_family": TUNE_CANDIDATES,
+        "window_events": report.window_events,
+        "evaluated": evaluated,
+        "secs": secs,
+        "candidates_per_sec": evaluated as f64 / secs.max(1e-12),
+        "base_score": report.base_score,
+        "winner": winner.series.label(),
+        "winner_score": winner.best_score,
+        "families": families,
+    });
+    let mut text = serde_json::to_string_pretty(&out).expect("serialize benchmark");
+    text.push('\n');
+    std::fs::write("BENCH_pr10.json", text).expect("write BENCH_pr10.json");
+    eprintln!(
+        "[bench_smoke] wrote BENCH_pr10.json (winner {})",
+        winner.series.label()
     );
 }

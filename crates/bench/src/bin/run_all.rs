@@ -88,6 +88,15 @@ fn main() {
     hs.save_json("fig_serve", &v);
     eprintln!("[run_all] fig_serve in {:?}", serve_span.finish());
 
+    // The layout autotuner on the main study (shares its measurement
+    // cache with the figures above; the `tune` manifest section lands on
+    // `h`).
+    let tune_span = codelayout_obs::span("fig_tune");
+    let tune_cfg = codelayout_tune::TuneConfig::from_env(&h.study.scenario);
+    let v = figures::fig_tune(&mut h, &tune_cfg);
+    h.save_json("fig_tune", &v);
+    eprintln!("[run_all] fig_tune in {:?}", tune_span.finish());
+
     let total = root.finish();
     eprintln!("[run_all] total {total:?}");
 
@@ -99,7 +108,7 @@ fn main() {
     let mut b = codelayout_obs::manifest::ManifestBuilder::new("run_all", h.scenario_label());
     b.config(h.config_json());
     b.section("fig15_config", h15.config_json());
-    for (key, value) in hs.extra_sections() {
+    for (key, value) in h.extra_sections().iter().chain(hs.extra_sections()) {
         b.section(key, value.clone());
     }
     b.phases(codelayout_obs::tracer(), "run_all");

@@ -6,6 +6,7 @@ use codelayout_core::{exttsp_score, LayoutSeries};
 use codelayout_memsim::SweepCell;
 use codelayout_serve::{run_serve, ServeConfig};
 use codelayout_timing::TimingModel;
+use codelayout_tune::{run_tune, TuneConfig};
 use serde_json::{json, Value};
 
 /// Paper layout labels in presentation order.
@@ -586,8 +587,7 @@ pub fn compare_series() -> Vec<LayoutSeries> {
         Some(labels) => labels
             .iter()
             .map(|l| {
-                LayoutSeries::parse(l)
-                    .unwrap_or_else(|| panic!("CODELAYOUT_LAYOUT_SERIES: unknown series `{l}`"))
+                LayoutSeries::parse(l).unwrap_or_else(|e| panic!("CODELAYOUT_LAYOUT_SERIES: {e}"))
             })
             .collect(),
         None => LayoutSeries::comparison().to_vec(),
@@ -982,4 +982,159 @@ pub fn fig_serve(h: &mut Harness, cfg: &ServeConfig) -> Value {
     h.section("serve", section);
 
     report.deterministic_json()
+}
+
+/// Search-based layout autotuning: run the budgeted parameter search
+/// ([`run_tune`]), then re-measure each family's best point on the full
+/// workload (`tuned:<series>` harness runs) next to the fixed comparison
+/// series, and print the base vs fixed vs tuned table.
+///
+/// Two hard guarantees, asserted rather than reported:
+///
+/// * every candidate the search **accepted** passed translation
+///   validation (invalid candidates score `u64::MAX` and cannot win);
+/// * at least one tuned layout achieves **strictly fewer** misses than
+///   every fixed comparison series at some cache-size cell of the
+///   128 B / 4-way tuning grid ([`codelayout_tune::TUNE_SIZES_KB`]),
+///   with every series scored by the same deterministic window replay —
+///   otherwise the autotuner earned nothing and the figure must fail
+///   loudly.
+///
+/// The manifest gains a `tune` section: the deterministic report plus
+/// one wall-clock leaf (`wall_ms`, masked by `mask_volatile` in golden
+/// comparisons). The returned figure JSON is fully deterministic.
+pub fn fig_tune(h: &mut Harness, cfg: &TuneConfig) -> Value {
+    let report = run_tune(&h.study, cfg);
+    assert!(
+        report.trajectory.iter().all(|c| c.validated || !c.accepted),
+        "an accepted tune candidate failed translation validation"
+    );
+
+    // Full-workload measurements: the fixed comparison series, then each
+    // family's tuned best under its registered parameters.
+    let fixed: Vec<LayoutSeries> = LayoutSeries::comparison().to_vec();
+    let mut rows = Vec::new();
+    let mut entries = Vec::new();
+    for &series in &fixed {
+        let label = series.label();
+        let (misses, user_fetches) = {
+            let d = h.run(label);
+            (misses_by_size(&d.sizes_4w_user), d.user_fetches)
+        };
+        let layout = h.study.layout_series(series);
+        let score = exttsp_score(&h.study.app.program, h.study.active_profile(), &layout);
+        rows.push(vec![
+            label.to_string(),
+            "fixed".to_string(),
+            misses[1].1.to_string(),
+            misses[2].1.to_string(),
+            pct(misses[2].1, user_fetches),
+            score.to_string(),
+            String::new(),
+        ]);
+        entries.push(json!({
+            "series": label,
+            "kind": "fixed",
+            "misses": misses.iter().map(|(k, m)| json!({"size_kb": k, "misses": m})).collect::<Vec<_>>(),
+            "user_fetches": user_fetches,
+            "exttsp_score": score,
+        }));
+    }
+
+    for f in &report.families {
+        let label = f.series.label();
+        h.set_tuned(label, f.best_params);
+        let name = format!("tuned:{label}");
+        let (misses, user_fetches) = {
+            let d = h.run(&name);
+            (misses_by_size(&d.sizes_4w_user), d.user_fetches)
+        };
+        let layout = h.study.layout_series_params(f.series, &f.best_params);
+        let score = exttsp_score(&h.study.app.program, h.study.active_profile(), &layout);
+        let space = codelayout_core::ParamSpace::for_series(f.series);
+        rows.push(vec![
+            name.clone(),
+            "tuned".to_string(),
+            misses[1].1.to_string(),
+            misses[2].1.to_string(),
+            pct(misses[2].1, user_fetches),
+            score.to_string(),
+            f.evaluated.to_string(),
+        ]);
+        entries.push(json!({
+            "series": label,
+            "kind": "tuned",
+            "misses": misses.iter().map(|(k, m)| json!({"size_kb": k, "misses": m})).collect::<Vec<_>>(),
+            "user_fetches": user_fetches,
+            "exttsp_score": score,
+            "params": codelayout_tune::params_json(&space, &f.best_params),
+            "candidates": f.evaluated,
+        }));
+    }
+    print_table(
+        "Autotuned vs fixed layout series (128B/4-way user grid)",
+        &[
+            "series",
+            "kind",
+            "misses 64KB",
+            "misses 128KB",
+            "miss rate 128KB",
+            "ext-TSP score",
+            "candidates",
+        ],
+        &rows,
+    );
+    println!(
+        "tune: {} candidates over {} families in {} ms (window {} events{})",
+        report.trajectory.len(),
+        report.families.len(),
+        report.wall_ms,
+        report.window_events,
+        if report.budget_hit {
+            ", wall budget hit"
+        } else {
+            ""
+        }
+    );
+
+    // The headline claim: some tuned layout strictly beats every fixed
+    // series at some cache size, on the tuning grid where both sides are
+    // scored by the same deterministic window replay. (The full-workload
+    // table above reports the paper's 32–512 KB sizes, where a quick-
+    // scenario footprint sees only compulsory misses; the tuning grid
+    // extends down to where layout actually moves the miss count.)
+    let mut wins = Vec::new();
+    for f in &report.families {
+        for (i, &size_kb) in codelayout_tune::TUNE_SIZES_KB.iter().enumerate() {
+            let m = f.best_cells[i];
+            if report.fixed.iter().all(|fx| m < fx.cells[i]) {
+                wins.push(json!({
+                    "series": f.series.label(),
+                    "size_kb": size_kb,
+                    "misses": m,
+                    "best_fixed": report.fixed.iter().map(|fx| fx.cells[i]).min(),
+                }));
+            }
+        }
+    }
+    assert!(
+        !wins.is_empty(),
+        "no tuned layout beat every fixed series at any tuning-grid cache size: \
+         the search found nothing beyond the defaults"
+    );
+
+    let mut section = report.deterministic_json();
+    if let Value::Object(map) = &mut section {
+        map.insert("wall_ms".to_string(), json!(report.wall_ms));
+    }
+    h.section("tune", section);
+
+    json!({
+        "figure": "fig_tune",
+        "paper": "search-based autotuning over the parameterized layout passes; \
+                  some tuned series must strictly beat every fixed series at a cache size",
+        "tune": report.deterministic_json(),
+        "measured": entries,
+        "wins": wins,
+    })
 }

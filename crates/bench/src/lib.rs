@@ -38,7 +38,7 @@
 pub mod figures;
 pub mod lint;
 
-use codelayout_core::LayoutSeries;
+use codelayout_core::{LayoutParams, LayoutSeries};
 use codelayout_ir::Image;
 use codelayout_memsim::{
     CacheConfig, FootprintCounter, HierarchyStats, LocalityCache, LocalityStats, MemoryHierarchy,
@@ -277,6 +277,10 @@ pub struct Harness {
     vm_timing: Option<VmTiming>,
     output_digests: Vec<(String, String)>,
     extra_sections: Vec<(String, serde_json::Value)>,
+    /// Tuned layout parameters by series label, registered with
+    /// [`Harness::set_tuned`] and addressed by the `tuned:<series>` run
+    /// names.
+    tuned: HashMap<String, LayoutParams>,
     /// Largest fetch-event count seen so far; pre-sizes the next
     /// layout's trace buffer so growth reallocs don't land inside the
     /// timed measured run.
@@ -307,8 +311,17 @@ impl Harness {
             vm_timing: None,
             output_digests: Vec::new(),
             extra_sections: Vec::new(),
+            tuned: HashMap::new(),
             expected_events: 0,
         }
+    }
+
+    /// Registers tuned layout parameters for a series, making the
+    /// `tuned:<series>` run name valid for [`Harness::run`]. Re-registering
+    /// a label replaces its parameters (cached runs are keyed by name, so
+    /// register before the first `tuned:` run).
+    pub fn set_tuned(&mut self, series_label: &str, params: LayoutParams) {
+        self.tuned.insert(series_label.to_string(), params);
     }
 
     /// The scenario label used for the manifest directory.
@@ -362,9 +375,19 @@ impl Harness {
     /// `stitcher`. A `measured:` or `static:` prefix pins the profile
     /// source explicitly (plain labels honor
     /// `CODELAYOUT_PROFILE_SOURCE`); `fig_static` uses the prefixes to
-    /// compare both sources side by side in one process. Debug builds
-    /// run translation validation on every linked image.
+    /// compare both sources side by side in one process. A `tuned:`
+    /// prefix builds the series with the parameters registered via
+    /// [`Harness::set_tuned`] (as `fig_tune` does for the autotuner's
+    /// winners). Debug builds run translation validation on every linked
+    /// image.
     fn image_for(&self, name: &str) -> Arc<Image> {
+        if let Some(rest) = name.strip_prefix("tuned:") {
+            let series = LayoutSeries::parse(rest).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let params = self.tuned.get(rest).unwrap_or_else(|| {
+                panic!("no tuned parameters registered for `{rest}`; call Harness::set_tuned first")
+            });
+            return self.study.image_series_params(series, params);
+        }
         let (label, source) = if let Some(rest) = name.strip_prefix("measured:") {
             (rest, Some(codelayout_obs::ProfileSource::Measured))
         } else if let Some(rest) = name.strip_prefix("static:") {
@@ -372,7 +395,7 @@ impl Harness {
         } else {
             (name, None)
         };
-        let series = LayoutSeries::parse(label).unwrap_or_else(|| panic!("unknown layout {name}"));
+        let series = LayoutSeries::parse(label).unwrap_or_else(|e| panic!("{name}: {e}"));
         match source {
             Some(src) => self.study.image_series_with(series, src),
             None => self.study.image_series(series),

@@ -1,9 +1,9 @@
 //! Golden run-manifest schema test: a miniature instrumented run (study
-//! build + Figure 4 + a short serving-loop run + result save) on the
-//! fixed-seed `quick` scenario must produce a manifest whose *shape* —
-//! section layout (including the `serve` section), phase-tree
-//! structure, metric names, output file names — matches the checked-in
-//! snapshot exactly.
+//! build + Figure 4 + a short serving-loop run + a small-budget
+//! autotuner run + result save) on the fixed-seed `quick` scenario must
+//! produce a manifest whose *shape* — section layout (including the
+//! `serve` and `tune` sections), phase-tree structure, metric names,
+//! output file names — matches the checked-in snapshot exactly.
 //!
 //! Volatile values (wall times, git revision, host parallelism, metric
 //! values, output digests) are masked with
@@ -62,6 +62,14 @@ fn manifest_quick_schema_matches_golden_snapshot() {
         h.section(key, value.clone());
     }
     serve_span.finish();
+
+    // A small-budget autotuner run so the snapshot pins the manifest's
+    // `tune` section schema too (only `wall_ms` is volatile there).
+    let tune_span = codelayout_obs::span("fig_tune");
+    let mut tune_cfg = codelayout_tune::TuneConfig::for_scenario(&Scenario::quick());
+    tune_cfg.candidates = 12;
+    figures::fig_tune(&mut h, &tune_cfg);
+    tune_span.finish();
     root.finish();
 
     let path = h.write_manifest("golden_run").expect("write manifest");

@@ -12,6 +12,7 @@
 //! result (see the `cfa_ablation` experiment).
 
 use crate::graph::pettis_hansen_order;
+use crate::params::LayoutParams;
 use crate::pipeline::{segment_edges, LayoutPipeline};
 use codelayout_ir::{BlockId, Layout, Program, INSTR_BYTES};
 use codelayout_profile::Profile;
@@ -32,13 +33,28 @@ pub struct CfaReport {
 
 /// Builds a CFA layout: hottest segments (by execution weight) are packed
 /// into a reserved area of `reserved_bytes`; the remainder is Pettis–Hansen
-/// ordered after it.
+/// ordered after it. Chaining and splitting run with default parameters.
 pub fn cfa_layout(
     program: &Program,
     profile: &Profile,
     reserved_bytes: u64,
 ) -> (Layout, CfaReport) {
-    let pipe = LayoutPipeline::new(program, profile);
+    let params = LayoutParams {
+        cfa: crate::CfaParams { reserved_bytes },
+        ..LayoutParams::default()
+    };
+    cfa_layout_with(program, profile, &params)
+}
+
+/// Builds a CFA layout under a full parameter set: `chain`/`split` shape
+/// the segments, `cfa.reserved_bytes` sizes the conflict-free area.
+pub fn cfa_layout_with(
+    program: &Program,
+    profile: &Profile,
+    params: &LayoutParams,
+) -> (Layout, CfaReport) {
+    let reserved_bytes = params.cfa.reserved_bytes;
+    let pipe = LayoutPipeline::with_params(program, profile, *params);
     let segs = pipe.segments(true);
 
     // Approximate segment sizes: body instructions + one terminator slot

@@ -8,14 +8,29 @@
 //! count. The effect is that hot conditional branches become not-taken
 //! fall-throughs and hot unconditional branches disappear entirely.
 
+use crate::params::ChainParams;
 use codelayout_ir::{BlockId, ProcId, Program};
 use codelayout_profile::Profile;
 use std::collections::HashMap;
 
-/// Returns the chained block order for one procedure.
+/// Returns the chained block order for one procedure under the default
+/// [`ChainParams`].
 ///
 /// The result is a permutation of `program.proc(proc).blocks`.
 pub fn chain_proc(program: &Program, profile: &Profile, proc: ProcId) -> Vec<BlockId> {
+    chain_proc_with(program, profile, proc, &ChainParams::default())
+}
+
+/// Returns the chained block order for one procedure under explicit
+/// parameters.
+///
+/// The result is a permutation of `program.proc(proc).blocks`.
+pub fn chain_proc_with(
+    program: &Program,
+    profile: &Profile,
+    proc: ProcId,
+    params: &ChainParams,
+) -> Vec<BlockId> {
     let blocks = &program.proc(proc).blocks;
     let entry = program.proc(proc).entry;
     if blocks.len() <= 1 {
@@ -39,7 +54,11 @@ pub fn chain_proc(program: &Program, profile: &Profile, proc: ProcId) -> Vec<Blo
             }
             seen.push(s);
             if let Some(&j) = local.get(&s) {
-                edges.push((profile.edge_count(b, s), i as u32, j as u32));
+                let w = profile.edge_count(b, s);
+                if w < params.min_edge_weight {
+                    continue;
+                }
+                edges.push((w, i as u32, j as u32));
             }
         }
     }
@@ -114,8 +133,17 @@ pub fn chain_proc(program: &Program, profile: &Profile, proc: ProcId) -> Vec<Blo
 /// Chains every procedure; returns per-procedure block orders indexed by
 /// `ProcId`.
 pub fn chain_all(program: &Program, profile: &Profile) -> Vec<Vec<BlockId>> {
+    chain_all_with(program, profile, &ChainParams::default())
+}
+
+/// Chains every procedure under explicit parameters.
+pub fn chain_all_with(
+    program: &Program,
+    profile: &Profile,
+    params: &ChainParams,
+) -> Vec<Vec<BlockId>> {
     (0..program.procs.len())
-        .map(|p| chain_proc(program, profile, ProcId(p as u32)))
+        .map(|p| chain_proc_with(program, profile, ProcId(p as u32), params))
         .collect()
 }
 
@@ -221,6 +249,29 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
         assert_eq!(order[0], BlockId(0));
+    }
+
+    #[test]
+    fn min_edge_weight_suppresses_light_edges() {
+        let prog = fig1_program();
+        let prof = fig1_profile();
+        // A threshold above every edge weight leaves only singleton
+        // chains: entry first, the rest by decreasing block count.
+        let order = chain_proc_with(
+            &prog,
+            &prof,
+            ProcId(0),
+            &ChainParams {
+                min_edge_weight: 1000,
+            },
+        );
+        let ids: Vec<u32> = order.iter().map(|b| b.0).collect();
+        assert_eq!(ids, vec![0, 3, 1, 4, 2]);
+        // The zero threshold is the historical behavior.
+        assert_eq!(
+            chain_proc_with(&prog, &prof, ProcId(0), &ChainParams::default()),
+            chain_proc(&prog, &prof, ProcId(0))
+        );
     }
 
     #[test]

@@ -17,24 +17,21 @@
 //! it. All arithmetic is integer fixed-point (scale [`SCORE_SCALE`]) so
 //! scores are bit-identical across platforms and thread counts.
 
-use crate::chain::chain_proc;
+use crate::chain::chain_proc_with;
 use crate::graph::pettis_hansen_order;
+use crate::params::{ExtTspParams, LayoutParams};
 use codelayout_ir::{BlockId, Layout, ProcId, Program, Terminator, INSTR_BYTES};
 use codelayout_profile::Profile;
 use std::collections::{BTreeMap, HashMap};
 
 /// Fixed-point scale: a fall-through of weight `w` scores `w * SCORE_SCALE`.
 pub const SCORE_SCALE: u64 = 1_000;
-/// Short-jump weight, 0.1 of a fall-through in fixed point.
-const JUMP_SCALE: u64 = SCORE_SCALE / 10;
-/// Forward-jump scoring window in bytes (the paper's 1024).
+/// Forward-jump scoring window in bytes (the paper's 1024). This is the
+/// default of [`ExtTspParams::forward_window`].
 pub const FORWARD_WINDOW: u64 = 1024;
-/// Backward-jump scoring window in bytes (the paper's 640).
+/// Backward-jump scoring window in bytes (the paper's 640). This is the
+/// default of [`ExtTspParams::backward_window`].
 pub const BACKWARD_WINDOW: u64 = 640;
-/// Chains at most this long are considered for split-point merging;
-/// longer chains only merge by concatenation (cost control, as in BOLT's
-/// chain-split threshold).
-const SPLIT_CAP: usize = 32;
 
 /// Layout-independent byte-size estimate of a lowered block: its body
 /// instructions plus one slot for the terminator, two for a conditional
@@ -53,8 +50,9 @@ pub fn block_bytes(program: &Program, b: BlockId) -> u64 {
 }
 
 /// Score contribution of one edge of weight `w` whose source block ends at
-/// byte `src_end` and whose destination starts at byte `dst`.
-fn edge_score(w: u64, src_end: u64, dst: u64) -> u64 {
+/// byte `src_end` and whose destination starts at byte `dst`, under the
+/// objective's parameters.
+fn edge_score(ep: &ExtTspParams, w: u64, src_end: u64, dst: u64) -> u64 {
     if w == 0 {
         return 0;
     }
@@ -62,15 +60,15 @@ fn edge_score(w: u64, src_end: u64, dst: u64) -> u64 {
         w * SCORE_SCALE
     } else if dst > src_end {
         let d = dst - src_end;
-        if d < FORWARD_WINDOW {
-            w * JUMP_SCALE * (FORWARD_WINDOW - d) / FORWARD_WINDOW
+        if d < ep.forward_window {
+            w * ep.jump_weight * (ep.forward_window - d) / ep.forward_window
         } else {
             0
         }
     } else {
         let d = src_end - dst;
-        if d < BACKWARD_WINDOW {
-            w * JUMP_SCALE * (BACKWARD_WINDOW - d) / BACKWARD_WINDOW
+        if d < ep.backward_window {
+            w * ep.jump_weight * (ep.backward_window - d) / ep.backward_window
         } else {
             0
         }
@@ -79,7 +77,7 @@ fn edge_score(w: u64, src_end: u64, dst: u64) -> u64 {
 
 /// Sums the score of every profiled control-flow edge whose endpoints both
 /// have an address in `addr` (`u64::MAX` marks absent blocks).
-fn score_at(program: &Program, profile: &Profile, addr: &[u64]) -> u64 {
+fn score_at(program: &Program, profile: &Profile, ep: &ExtTspParams, addr: &[u64]) -> u64 {
     let mut total = 0u64;
     for (bi, blk) in program.blocks.iter().enumerate() {
         let src = addr[bi];
@@ -97,40 +95,64 @@ fn score_at(program: &Program, profile: &Profile, addr: &[u64]) -> u64 {
             if addr[t.index()] == u64::MAX {
                 continue;
             }
-            total += edge_score(profile.edge_count(b, t), src_end, addr[t.index()]);
+            total += edge_score(ep, profile.edge_count(b, t), src_end, addr[t.index()]);
         }
     }
     total
 }
 
-/// The ext-TSP objective of a whole layout under the fixed-point weights.
+/// The ext-TSP objective of a whole layout under the paper's fixed-point
+/// weights (the default [`ExtTspParams`]).
 ///
 /// This is the one scorer: the ext-TSP pass maximizes it, the comparison
-/// table reports it, and the property tests compare series with it.
+/// table reports it, and the property tests compare series with it. The
+/// reported score always uses the defaults, even when the pass was tuned,
+/// so scores stay comparable across parameterizations.
 pub fn exttsp_score(program: &Program, profile: &Profile, layout: &Layout) -> u64 {
+    exttsp_score_with(program, profile, &ExtTspParams::default(), layout)
+}
+
+/// The ext-TSP objective of a whole layout under explicit weights.
+pub fn exttsp_score_with(
+    program: &Program,
+    profile: &Profile,
+    ep: &ExtTspParams,
+    layout: &Layout,
+) -> u64 {
     let mut addr = vec![u64::MAX; program.blocks.len()];
     let mut cur = 0u64;
     for &b in &layout.order {
         addr[b.index()] = cur;
         cur += block_bytes(program, b);
     }
-    score_at(program, profile, &addr)
+    score_at(program, profile, ep, &addr)
 }
 
-/// The ext-TSP objective of one contiguous span placed in isolation.
+/// The ext-TSP objective of one contiguous span placed in isolation,
+/// under the default [`ExtTspParams`].
 ///
 /// Every control-flow edge is intra-procedural, so the whole-layout score
 /// of any procedure-contiguous layout is the sum of its per-procedure
 /// span scores — which is what lets the pass optimize procedures
 /// independently.
 pub fn span_score(program: &Program, profile: &Profile, order: &[BlockId]) -> u64 {
+    span_score_with(program, profile, &ExtTspParams::default(), order)
+}
+
+/// The ext-TSP objective of one contiguous span under explicit weights.
+pub fn span_score_with(
+    program: &Program,
+    profile: &Profile,
+    ep: &ExtTspParams,
+    order: &[BlockId],
+) -> u64 {
     let mut addr = vec![u64::MAX; program.blocks.len()];
     let mut cur = 0u64;
     for &b in order {
         addr[b.index()] = cur;
         cur += block_bytes(program, b);
     }
-    score_at(program, profile, &addr)
+    score_at(program, profile, ep, &addr)
 }
 
 /// One chain of local block indices during merging.
@@ -155,6 +177,19 @@ struct Merge {
 /// predecessor), so the pass never scores below the paper's chaining on
 /// the same profile.
 pub fn exttsp_proc_order(program: &Program, profile: &Profile, proc: ProcId) -> Vec<BlockId> {
+    exttsp_proc_order_with(program, profile, proc, &LayoutParams::default())
+}
+
+/// Computes the ext-TSP block order for one procedure under explicit
+/// parameters: the objective's weights from `params.exttsp`, the
+/// competing chain candidate from `params.chain`.
+pub fn exttsp_proc_order_with(
+    program: &Program,
+    profile: &Profile,
+    proc: ProcId,
+    params: &LayoutParams,
+) -> Vec<BlockId> {
+    let ep = &params.exttsp;
     let blocks = &program.proc(proc).blocks;
     let entry = program.proc(proc).entry;
     if blocks.len() <= 1 {
@@ -188,12 +223,12 @@ pub fn exttsp_proc_order(program: &Program, profile: &Profile, proc: ProcId) -> 
         }
     }
 
-    let merged = merge_chains(n, &sizes, &edges, entry_local, profile, blocks);
+    let merged = merge_chains(n, &sizes, &edges, entry_local, profile, blocks, ep);
 
     // Candidate selection under the shared scorer; the merged order wins
     // ties so the pass's own structure is preferred.
     let merged_blocks: Vec<BlockId> = merged.iter().map(|&i| blocks[i as usize]).collect();
-    let chain = chain_proc(program, profile, proc);
+    let chain = chain_proc_with(program, profile, proc, &params.chain);
     let chain_candidate = if chain[0] == entry {
         chain
     } else {
@@ -207,7 +242,8 @@ pub fn exttsp_proc_order(program: &Program, profile: &Profile, proc: ProcId) -> 
         rot.extend_from_slice(&chain[..at]);
         rot
     };
-    if span_score(program, profile, &chain_candidate) > span_score(program, profile, &merged_blocks)
+    if span_score_with(program, profile, ep, &chain_candidate)
+        > span_score_with(program, profile, ep, &merged_blocks)
     {
         chain_candidate
     } else {
@@ -217,6 +253,7 @@ pub fn exttsp_proc_order(program: &Program, profile: &Profile, proc: ProcId) -> 
 
 /// Greedy chain merging with score-driven merge-point selection. Returns
 /// a permutation of `0..n` (local indices) with `entry_local` first.
+#[allow(clippy::too_many_arguments)]
 fn merge_chains(
     n: usize,
     sizes: &[u64],
@@ -224,6 +261,7 @@ fn merge_chains(
     entry_local: u32,
     profile: &Profile,
     blocks: &[BlockId],
+    ep: &ExtTspParams,
 ) -> Vec<u32> {
     // One chain per block to start; `chain_of[b]` names the live chain
     // (indexed by its smallest-ever root) holding block `b`.
@@ -270,6 +308,7 @@ fn merge_chains(
             entry_root,
             entry_local,
             &mut pos_scratch,
+            ep,
         ) {
             best.insert((a, b), m);
         }
@@ -321,6 +360,7 @@ fn merge_chains(
                 entry_root,
                 entry_local,
                 &mut pos_scratch,
+                ep,
             ) {
                 Some(m) => {
                     best.insert(key, m);
@@ -373,6 +413,7 @@ fn best_merge(
     entry_root: u32,
     entry_local: u32,
     pos_scratch: &mut [u64],
+    ep: &ExtTspParams,
 ) -> Option<Merge> {
     let ca = chains[a as usize].as_ref()?;
     let cb = chains[b as usize].as_ref()?;
@@ -394,7 +435,7 @@ fn best_merge(
         }
         let mut total = 0u64;
         for &(f, t, w) in &pair_edges {
-            total += edge_score(w, pos[f as usize] + sizes[f as usize], pos[t as usize]);
+            total += edge_score(ep, w, pos[f as usize] + sizes[f as usize], pos[t as usize]);
         }
         total
     };
@@ -420,7 +461,7 @@ fn best_merge(
     consider(concat(&cb.blocks, &ca.blocks), pos_scratch);
     // Score-driven merge points: nest one chain inside a split of the
     // other, at every admissible seam.
-    if ca.blocks.len() <= SPLIT_CAP {
+    if ca.blocks.len() as u64 <= ep.split_cap {
         for k in 1..ca.blocks.len() {
             let mut v = Vec::with_capacity(ca.blocks.len() + cb.blocks.len());
             v.extend_from_slice(&ca.blocks[..k]);
@@ -429,7 +470,7 @@ fn best_merge(
             consider(v, pos_scratch);
         }
     }
-    if cb.blocks.len() <= SPLIT_CAP {
+    if cb.blocks.len() as u64 <= ep.split_cap {
         for k in 1..cb.blocks.len() {
             let mut v = Vec::with_capacity(ca.blocks.len() + cb.blocks.len());
             v.extend_from_slice(&cb.blocks[..k]);
@@ -453,9 +494,14 @@ fn best_merge(
 /// ordering (the same procedure placement the paper's `chain+porder`
 /// series uses, so series differ only in the intra-procedure objective).
 pub fn exttsp_layout(program: &Program, profile: &Profile) -> Layout {
+    exttsp_layout_with(program, profile, &LayoutParams::default())
+}
+
+/// Builds the whole-program ext-TSP layout under explicit parameters.
+pub fn exttsp_layout_with(program: &Program, profile: &Profile, params: &LayoutParams) -> Layout {
     let _span = codelayout_obs::span("exttsp");
     let orders: Vec<Vec<BlockId>> = (0..program.procs.len())
-        .map(|p| exttsp_proc_order(program, profile, ProcId(p as u32)))
+        .map(|p| exttsp_proc_order_with(program, profile, ProcId(p as u32), params))
         .collect();
     let w = profile.proc_call_weights(program);
     let proc_order = pettis_hansen_order(
@@ -472,6 +518,7 @@ pub fn exttsp_layout(program: &Program, profile: &Profile) -> Layout {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::chain::chain_proc;
     use codelayout_ir::{verify_layout, Cond, Operand, ProcBuilder, ProgramBuilder, Reg};
 
     /// The chaining fixture: entry(b0) -> hot(b1)/cold(b2); both join at
@@ -515,15 +562,35 @@ mod tests {
 
     #[test]
     fn fallthrough_outscores_short_jumps() {
-        assert_eq!(edge_score(10, 100, 100), 10 * SCORE_SCALE);
+        let ep = ExtTspParams::default();
+        assert_eq!(edge_score(&ep, 10, 100, 100), 10 * SCORE_SCALE);
         // Forward jump inside the window scores a fraction of 0.1 * w.
-        let fwd = edge_score(10, 100, 200);
-        assert!(fwd > 0 && fwd < 10 * JUMP_SCALE);
+        let fwd = edge_score(&ep, 10, 100, 200);
+        assert!(fwd > 0 && fwd < 10 * ep.jump_weight);
         // Backward jumps have the tighter window.
-        assert_eq!(edge_score(10, 100 + BACKWARD_WINDOW, 100), 0);
-        assert!(edge_score(10, 100 + BACKWARD_WINDOW - 4, 100) > 0);
+        assert_eq!(edge_score(&ep, 10, 100 + BACKWARD_WINDOW, 100), 0);
+        assert!(edge_score(&ep, 10, 100 + BACKWARD_WINDOW - 4, 100) > 0);
         // Outside both windows: nothing.
-        assert_eq!(edge_score(10, 100, 100 + FORWARD_WINDOW), 0);
+        assert_eq!(edge_score(&ep, 10, 100, 100 + FORWARD_WINDOW), 0);
+    }
+
+    #[test]
+    fn parameterized_windows_move_the_score() {
+        let ep = ExtTspParams {
+            forward_window: 64,
+            ..ExtTspParams::default()
+        };
+        // A 100-byte forward jump scores under the default window but not
+        // under the shrunk one.
+        assert!(edge_score(&ExtTspParams::default(), 10, 100, 200) > 0);
+        assert_eq!(edge_score(&ep, 10, 100, 200), 0);
+        // Defaults keep the legacy order bit-identical.
+        let prog = fig1_program();
+        let prof = fig1_profile();
+        assert_eq!(
+            exttsp_proc_order_with(&prog, &prof, ProcId(0), &LayoutParams::default()),
+            exttsp_proc_order(&prog, &prof, ProcId(0))
+        );
     }
 
     #[test]

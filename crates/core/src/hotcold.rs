@@ -9,21 +9,32 @@
 //! blocks), hot parts are Pettis–Hansen ordered, cold parts sink to the end
 //! of the image.
 
-use crate::chain::chain_all;
+use crate::chain::chain_all_with;
 use crate::graph::pettis_hansen_order;
+use crate::params::LayoutParams;
 use codelayout_ir::{BlockId, Layout, Program};
 use codelayout_profile::Profile;
 
-/// Builds a layout using chaining + hot/cold splitting + procedure ordering.
+/// Builds a layout using chaining + hot/cold splitting + procedure
+/// ordering, under the default [`LayoutParams`].
 pub fn hot_cold_layout(program: &Program, profile: &Profile) -> Layout {
-    let orders = chain_all(program, profile);
+    hot_cold_layout_with(program, profile, &LayoutParams::default())
+}
+
+/// Builds the hot/cold layout under explicit parameters: `chain` shapes
+/// the per-procedure orders, `hotcold.hot_threshold` sets the execution
+/// count above which a block counts as hot.
+pub fn hot_cold_layout_with(program: &Program, profile: &Profile, params: &LayoutParams) -> Layout {
+    let orders = chain_all_with(program, profile, &params.chain);
     let nprocs = program.procs.len();
+    let threshold = params.hotcold.hot_threshold;
 
     let mut hot: Vec<Vec<BlockId>> = Vec::with_capacity(nprocs);
     let mut cold: Vec<Vec<BlockId>> = Vec::with_capacity(nprocs);
     for order in &orders {
-        let (h, c): (Vec<BlockId>, Vec<BlockId>) =
-            order.iter().partition(|&&b| profile.block_count(b) > 0);
+        let (h, c): (Vec<BlockId>, Vec<BlockId>) = order
+            .iter()
+            .partition(|&&b| profile.block_count(b) > threshold);
         hot.push(h);
         cold.push(c);
     }
@@ -82,5 +93,49 @@ mod tests {
         let prof = Profile::new(3);
         let l = hot_cold_layout(&p, &prof);
         verify_layout(&p, &l).unwrap();
+    }
+
+    #[test]
+    fn raised_threshold_reclassifies_lukewarm_blocks() {
+        // main: b0 (hot) falls into b1 (lukewarm); leaf: b2 (hot).
+        let mut pb = ProgramBuilder::new("lk");
+        let main = pb.declare_proc("main");
+        let leaf = pb.declare_proc("leaf");
+        let mut f = ProcBuilder::new();
+        let e = f.entry();
+        let luke = f.new_block();
+        f.select(e);
+        f.call(leaf);
+        f.jump(luke);
+        f.select(luke);
+        f.halt();
+        pb.define_proc(main, f).unwrap();
+        let mut g = ProcBuilder::new();
+        g.nop();
+        g.ret();
+        pb.define_proc(leaf, g).unwrap();
+        let p = pb.finish(main).unwrap();
+
+        let mut prof = Profile::new(3);
+        prof.block_counts = vec![100, 5, 100];
+        prof.edge_counts.insert((0, 1), 5);
+        prof.call_counts.insert((0, 1), 100);
+
+        // Default threshold 0: the lukewarm b1 stays in main's hot part.
+        let base = hot_cold_layout(&p, &prof);
+        verify_layout(&p, &base).unwrap();
+        // Threshold 8: b1 is reclassified cold and sinks behind leaf.
+        let params = LayoutParams {
+            hotcold: crate::HotColdParams { hot_threshold: 8 },
+            ..LayoutParams::default()
+        };
+        let tuned = hot_cold_layout_with(&p, &prof, &params);
+        verify_layout(&p, &tuned).unwrap();
+        assert_eq!(*tuned.order.last().unwrap(), BlockId(1));
+        assert_ne!(base, tuned, "threshold 8 must move the lukewarm block");
+        assert_eq!(
+            hot_cold_layout_with(&p, &prof, &LayoutParams::default()),
+            base
+        );
     }
 }

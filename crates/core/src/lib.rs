@@ -42,20 +42,26 @@ mod chain;
 mod exttsp;
 mod graph;
 mod hotcold;
+mod params;
 mod pipeline;
 mod series;
 mod split;
 mod stitcher;
 
-pub use cfa::{cfa_layout, CfaReport};
-pub use chain::{chain_all, chain_proc};
+pub use cfa::{cfa_layout, cfa_layout_with, CfaReport};
+pub use chain::{chain_all, chain_all_with, chain_proc, chain_proc_with};
 pub use exttsp::{
-    block_bytes, exttsp_layout, exttsp_proc_order, exttsp_score, span_score, BACKWARD_WINDOW,
-    FORWARD_WINDOW, SCORE_SCALE,
+    block_bytes, exttsp_layout, exttsp_layout_with, exttsp_proc_order, exttsp_proc_order_with,
+    exttsp_score, exttsp_score_with, span_score, span_score_with, BACKWARD_WINDOW, FORWARD_WINDOW,
+    SCORE_SCALE,
 };
 pub use graph::pettis_hansen_order;
-pub use hotcold::hot_cold_layout;
+pub use hotcold::{hot_cold_layout, hot_cold_layout_with};
+pub use params::{
+    CfaParams, ChainParams, ExtTspParams, HotColdParams, LayoutParams, ParamKnob, ParamPoint,
+    ParamSpace, SplitParams,
+};
 pub use pipeline::{LayoutPipeline, OptimizationSet, CFA_RESERVED_BYTES};
-pub use series::LayoutSeries;
-pub use split::{split_all, split_order, Segment};
-pub use stitcher::{stitcher_layout, stitcher_layout_with, StitchLevels};
+pub use series::{LayoutSeries, ParseSeriesError};
+pub use split::{split_all, split_all_with, split_order, split_order_with, Segment};
+pub use stitcher::{stitcher_layout, stitcher_layout_params, stitcher_layout_with, StitchLevels};

@@ -1,8 +1,9 @@
 //! Composition of the layout optimizations into the paper's pipelines.
 
-use crate::chain::chain_all;
+use crate::chain::chain_all_with;
 use crate::graph::pettis_hansen_order;
-use crate::split::{split_all, Segment};
+use crate::params::LayoutParams;
+use crate::split::{split_all_with, Segment};
 use codelayout_ir::{BlockId, Layout, ProcId, Program};
 use codelayout_profile::Profile;
 use std::fmt;
@@ -109,19 +110,38 @@ impl fmt::Display for OptimizationSet {
 pub struct LayoutPipeline<'a> {
     program: &'a Program,
     profile: &'a Profile,
+    params: LayoutParams,
 }
 
 impl<'a> LayoutPipeline<'a> {
-    /// Creates a pipeline over a program and its profile.
+    /// Creates a pipeline over a program and its profile, with the default
+    /// [`LayoutParams`] (the historical hard-coded constants).
     pub fn new(program: &'a Program, profile: &'a Profile) -> Self {
-        LayoutPipeline { program, profile }
+        Self::with_params(program, profile, LayoutParams::default())
+    }
+
+    /// Creates a pipeline with explicit layout-construction parameters.
+    ///
+    /// `with_params(p, prof, LayoutParams::default())` is bit-identical to
+    /// [`LayoutPipeline::new`] for every series.
+    pub fn with_params(program: &'a Program, profile: &'a Profile, params: LayoutParams) -> Self {
+        LayoutPipeline {
+            program,
+            profile,
+            params,
+        }
+    }
+
+    /// The pipeline's layout-construction parameters.
+    pub fn params(&self) -> &LayoutParams {
+        &self.params
     }
 
     /// Per-procedure block orders after the (optional) chaining stage.
     pub fn block_orders(&self, chain: bool) -> Vec<Vec<BlockId>> {
         if chain {
             let _span = codelayout_obs::span("chain");
-            let orders = chain_all(self.program, self.profile);
+            let orders = chain_all_with(self.program, self.profile, &self.params.chain);
             codelayout_obs::metrics().add(
                 "layout.blocks_chained",
                 orders.iter().map(Vec::len).sum::<usize>() as u64,
@@ -141,7 +161,7 @@ impl<'a> LayoutPipeline<'a> {
     pub fn segments(&self, chain: bool) -> Vec<Segment> {
         let orders = self.block_orders(chain);
         let _span = codelayout_obs::span("split");
-        let segs = split_all(self.program, self.profile, &orders);
+        let segs = split_all_with(self.program, self.profile, &orders, &self.params.split);
         codelayout_obs::metrics().add("layout.segments", segs.len() as u64);
         segs
     }
@@ -174,8 +194,10 @@ impl<'a> LayoutPipeline<'a> {
     /// series' own placement conventions (see
     /// [`crate::LayoutSeries::placement_split`]).
     ///
-    /// The CFA series uses the evaluation's standard reserved-area size,
-    /// [`CFA_RESERVED_BYTES`].
+    /// The CFA series sizes its reserved area from the pipeline's
+    /// parameters (default [`CFA_RESERVED_BYTES`]); every other series
+    /// likewise consumes its sub-struct of the pipeline's
+    /// [`LayoutParams`].
     ///
     /// # Panics
     /// Panics if the constructed layout fails verification, as in
@@ -187,12 +209,16 @@ impl<'a> LayoutPipeline<'a> {
         }
         let layout = match series {
             LayoutSeries::Paper(_) => unreachable!("handled above"),
-            LayoutSeries::HotCold => crate::hot_cold_layout(self.program, self.profile),
-            LayoutSeries::Cfa => {
-                crate::cfa_layout(self.program, self.profile, CFA_RESERVED_BYTES).0
+            LayoutSeries::HotCold => {
+                crate::hot_cold_layout_with(self.program, self.profile, &self.params)
             }
-            LayoutSeries::ExtTsp => crate::exttsp_layout(self.program, self.profile),
-            LayoutSeries::Stitcher => crate::stitcher_layout(self.program, self.profile),
+            LayoutSeries::Cfa => crate::cfa_layout_with(self.program, self.profile, &self.params).0,
+            LayoutSeries::ExtTsp => {
+                crate::exttsp_layout_with(self.program, self.profile, &self.params)
+            }
+            LayoutSeries::Stitcher => {
+                crate::stitcher_layout_params(self.program, self.profile, &self.params)
+            }
         };
         let verify_span = codelayout_obs::span("verify");
         codelayout_ir::verify_layout(self.program, &layout)
@@ -409,6 +435,42 @@ mod tests {
         assert!(pos[0].abs_diff(pos[1]) <= 2, "order: {:?}", l.order);
         // Cold z still last.
         assert_eq!(*l.order.last().unwrap(), BlockId(5));
+    }
+
+    #[test]
+    fn default_params_reproduce_every_series() {
+        let p = program();
+        let prof = profile(&p);
+        let legacy = LayoutPipeline::new(&p, &prof);
+        let parameterized = LayoutPipeline::with_params(&p, &prof, LayoutParams::default());
+        for series in crate::LayoutSeries::all() {
+            assert_eq!(
+                legacy.build_series(series),
+                parameterized.build_series(series),
+                "{series} diverged under default params"
+            );
+        }
+    }
+
+    #[test]
+    fn non_default_params_reach_the_passes() {
+        let p = program();
+        let prof = profile(&p);
+        // A chain threshold above every edge weight suppresses all
+        // chaining, which must change the `all` layout for this profile.
+        let params = LayoutParams {
+            chain: crate::ChainParams {
+                min_edge_weight: 100_000,
+            },
+            ..LayoutParams::default()
+        };
+        let tuned = LayoutPipeline::with_params(&p, &prof, params);
+        let legacy = LayoutPipeline::new(&p, &prof);
+        assert_ne!(
+            tuned.build(OptimizationSet::CHAIN),
+            legacy.build(OptimizationSet::CHAIN)
+        );
+        verify_layout(&p, &tuned.build_series(crate::LayoutSeries::Stitcher)).unwrap();
     }
 
     #[test]

@@ -91,8 +91,17 @@ impl LayoutSeries {
     }
 
     /// Parses a label produced by [`LayoutSeries::label`].
-    pub fn parse(s: &str) -> Option<LayoutSeries> {
-        LayoutSeries::all().into_iter().find(|x| x.label() == s)
+    ///
+    /// The error names every accepted label, so misspelled env knobs and
+    /// harness run names fail with an actionable message instead of a
+    /// bare `None`.
+    pub fn parse(s: &str) -> Result<LayoutSeries, ParseSeriesError> {
+        LayoutSeries::all()
+            .into_iter()
+            .find(|x| x.label() == s)
+            .ok_or_else(|| ParseSeriesError {
+                input: s.to_string(),
+            })
     }
 
     /// The optimization claims `lint_layout` should judge this series
@@ -132,6 +141,39 @@ impl fmt::Display for LayoutSeries {
     }
 }
 
+/// Error returned by [`LayoutSeries::parse`] for an unknown label. Its
+/// display lists the full set of accepted labels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSeriesError {
+    input: String,
+}
+
+impl ParseSeriesError {
+    /// The rejected input.
+    pub fn input(&self) -> &str {
+        &self.input
+    }
+}
+
+impl fmt::Display for ParseSeriesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown layout series `{}`; accepted labels: ",
+            self.input
+        )?;
+        for (i, s) in LayoutSeries::all().into_iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            f.write_str(s.label())?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ParseSeriesError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,9 +181,14 @@ mod tests {
     #[test]
     fn labels_round_trip() {
         for s in LayoutSeries::all() {
-            assert_eq!(LayoutSeries::parse(s.label()), Some(s), "{s}");
+            assert_eq!(LayoutSeries::parse(s.label()), Ok(s), "{s}");
         }
-        assert_eq!(LayoutSeries::parse("nope"), None);
+        let err = LayoutSeries::parse("nope").unwrap_err();
+        assert_eq!(err.input(), "nope");
+        let msg = err.to_string();
+        for s in LayoutSeries::all() {
+            assert!(msg.contains(s.label()), "error omits `{s}`: {msg}");
+        }
     }
 
     #[test]

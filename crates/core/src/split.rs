@@ -11,6 +11,7 @@
 //! hot/cold splitting shipped in the Spike distribution (see
 //! [`crate::hot_cold_layout`]).
 
+use crate::params::SplitParams;
 use codelayout_ir::{BlockId, ProcId, Program};
 use codelayout_profile::Profile;
 
@@ -40,7 +41,8 @@ impl Segment {
     }
 }
 
-/// Splits one procedure's (typically chained) block order into segments.
+/// Splits one procedure's (typically chained) block order into segments,
+/// under the default [`SplitParams`].
 ///
 /// A cut happens after a block whose terminator never falls through *and*
 /// whose (single) target is not the next block in the order: a `Jump` to
@@ -53,6 +55,19 @@ pub fn split_order(
     proc: ProcId,
     order: &[BlockId],
 ) -> Vec<Segment> {
+    split_order_with(program, profile, proc, order, &SplitParams::default())
+}
+
+/// Splits one procedure's block order into segments under explicit
+/// parameters (see [`SplitParams::cut_fallthrough_jumps`] for the one
+/// deviation from [`split_order`]).
+pub fn split_order_with(
+    program: &Program,
+    profile: &Profile,
+    proc: ProcId,
+    order: &[BlockId],
+    params: &SplitParams,
+) -> Vec<Segment> {
     let entry = program.proc(proc).entry;
     let mut segments = Vec::new();
     let mut cur: Vec<BlockId> = Vec::new();
@@ -60,7 +75,9 @@ pub fn split_order(
         cur.push(b);
         let term = &program.block(b).term;
         let cuts = match term {
-            codelayout_ir::Terminator::Jump(t) => order.get(pos + 1) != Some(t),
+            codelayout_ir::Terminator::Jump(t) => {
+                params.cut_fallthrough_jumps || order.get(pos + 1) != Some(t)
+            }
             _ => term.is_unconditional(),
         };
         if cuts {
@@ -90,9 +107,25 @@ fn make_segment(profile: &Profile, proc: ProcId, entry: BlockId, blocks: Vec<Blo
 /// (for example from [`crate::chain_all`]). Returns all segments, in
 /// procedure order then segment order.
 pub fn split_all(program: &Program, profile: &Profile, orders: &[Vec<BlockId>]) -> Vec<Segment> {
+    split_all_with(program, profile, orders, &SplitParams::default())
+}
+
+/// Splits every procedure under explicit parameters.
+pub fn split_all_with(
+    program: &Program,
+    profile: &Profile,
+    orders: &[Vec<BlockId>],
+    params: &SplitParams,
+) -> Vec<Segment> {
     let mut out = Vec::new();
     for (pi, order) in orders.iter().enumerate() {
-        out.extend(split_order(program, profile, ProcId(pi as u32), order));
+        out.extend(split_order_with(
+            program,
+            profile,
+            ProcId(pi as u32),
+            order,
+            params,
+        ));
     }
     out
 }
@@ -162,6 +195,27 @@ mod tests {
         let order = vec![BlockId(1), BlockId(2), BlockId(3), BlockId(0)];
         let segs = split_order(&prog, &prof, ProcId(0), &order);
         assert_eq!(segs.last().unwrap().blocks, vec![BlockId(0)]);
+    }
+
+    #[test]
+    fn cut_fallthrough_jumps_frees_the_glued_pair() {
+        let prog = diamond();
+        let prof = Profile::new(4);
+        let order = vec![BlockId(0), BlockId(1), BlockId(2), BlockId(3)];
+        // Default: b2's jump to the adjacent b3 is a kept fall-through.
+        assert_eq!(split_order(&prog, &prof, ProcId(0), &order).len(), 2);
+        // With the knob on, every unconditional jump cuts.
+        let segs = split_order_with(
+            &prog,
+            &prof,
+            ProcId(0),
+            &order,
+            &SplitParams {
+                cut_fallthrough_jumps: true,
+            },
+        );
+        assert_eq!(segs.len(), 3);
+        assert_eq!(segs[1].blocks, vec![BlockId(2)]);
     }
 
     #[test]

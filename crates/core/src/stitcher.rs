@@ -19,8 +19,9 @@
 //! profiles already carry everything the hierarchy needs.
 
 use crate::exttsp::block_bytes;
+use crate::params::LayoutParams;
 use crate::pipeline::segment_edges;
-use crate::split::split_all;
+use crate::split::split_all_with;
 use codelayout_ir::{Layout, Program};
 use codelayout_profile::Profile;
 use std::collections::{BinaryHeap, HashMap};
@@ -50,19 +51,35 @@ impl Default for StitchLevels {
 
 /// Builds the Codestitcher layout with the default level budgets.
 pub fn stitcher_layout(program: &Program, profile: &Profile) -> Layout {
-    stitcher_layout_with(program, profile, StitchLevels::default())
+    stitcher_layout_params(program, profile, &LayoutParams::default())
 }
 
-/// Builds the Codestitcher layout with explicit level budgets.
+/// Builds the Codestitcher layout with explicit level budgets (chaining
+/// and splitting stay at their defaults).
+pub fn stitcher_layout_with(program: &Program, profile: &Profile, levels: StitchLevels) -> Layout {
+    let params = LayoutParams {
+        stitch: levels,
+        ..LayoutParams::default()
+    };
+    stitcher_layout_params(program, profile, &params)
+}
+
+/// Builds the Codestitcher layout under a full parameter set: `chain` and
+/// `split` shape the segments, `stitch` sets the level budgets.
 ///
 /// The result is a permutation of the chained-and-split segments, so it
 /// honors the same placement conventions as the paper's `all` series
 /// (segments never straddle, conditional tails stay unique per
 /// procedure).
-pub fn stitcher_layout_with(program: &Program, profile: &Profile, levels: StitchLevels) -> Layout {
+pub fn stitcher_layout_params(
+    program: &Program,
+    profile: &Profile,
+    params: &LayoutParams,
+) -> Layout {
     let _span = codelayout_obs::span("stitcher");
-    let orders = crate::chain::chain_all(program, profile);
-    let segs = split_all(program, profile, &orders);
+    let levels = params.stitch;
+    let orders = crate::chain::chain_all_with(program, profile, &params.chain);
+    let segs = split_all_with(program, profile, &orders, &params.split);
     let edges = segment_edges(program, profile, &segs);
     let sizes: Vec<u64> = segs
         .iter()
@@ -215,6 +232,7 @@ fn merge_levels(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::split::split_all;
     use codelayout_ir::{
         verify_layout, verify_layout_placement, Cond, Operand, ProcBuilder, ProgramBuilder, Reg,
     };

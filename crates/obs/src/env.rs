@@ -25,6 +25,9 @@
 //! | `CODELAYOUT_SERVE_SAMPLE_PERIOD` | [`RunEnv::serve_sample_period`] | serving-loop control-transfer sampling period |
 //! | `CODELAYOUT_SERVE_DRIFT_THRESHOLD` | [`RunEnv::serve_drift_threshold`] | re-layout drift threshold, milli-L1 units (0–2000) |
 //! | `CODELAYOUT_SERVE_SAMPLE_DUTY` | [`RunEnv::serve_sample_duty`] | serving-loop temporal duty cycle (sampler attached 1-in-N chunks) |
+//! | `CODELAYOUT_TUNE_BUDGET` | [`RunEnv::tune_budget_ms`] | autotuner wall-clock budget in ms (0 = unlimited; a triggered cut is non-deterministic) |
+//! | `CODELAYOUT_TUNE_CANDIDATES` | [`RunEnv::tune_candidates`] | autotuner candidate-evaluation budget per series family |
+//! | `CODELAYOUT_TUNE_WINDOW` | [`RunEnv::tune_window`] | autotuner trace-window length in fetch events |
 //!
 //! The README's "Environment knobs" table is generated from this list;
 //! keep the two in sync.
@@ -69,6 +72,18 @@ pub const SERVE_DRIFT_THRESHOLD_ENV: &str = "CODELAYOUT_SERVE_DRIFT_THRESHOLD";
 /// cycle (the sampler is attached for one of every N scheduling
 /// chunks).
 pub const SERVE_SAMPLE_DUTY_ENV: &str = "CODELAYOUT_SERVE_SAMPLE_DUTY";
+/// Environment variable overriding the layout autotuner's wall-clock
+/// budget in milliseconds (0 = unlimited — the deterministic default;
+/// a budget that actually fires truncates the search at a
+/// wall-clock-dependent point, so the trajectory is no longer
+/// reproducible).
+pub const TUNE_BUDGET_ENV: &str = "CODELAYOUT_TUNE_BUDGET";
+/// Environment variable overriding the layout autotuner's
+/// candidate-evaluation budget per series family.
+pub const TUNE_CANDIDATES_ENV: &str = "CODELAYOUT_TUNE_CANDIDATES";
+/// Environment variable overriding the layout autotuner's trace-window
+/// length (fetch events replayed per candidate).
+pub const TUNE_WINDOW_ENV: &str = "CODELAYOUT_TUNE_WINDOW";
 
 /// Workload scale selected by `CODELAYOUT_SCENARIO`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -212,6 +227,15 @@ pub struct RunEnv {
     /// Serving-loop temporal duty-cycle override
     /// (`CODELAYOUT_SERVE_SAMPLE_DUTY`), if any.
     pub serve_sample_duty: Option<u64>,
+    /// Autotuner wall-clock budget override in milliseconds
+    /// (`CODELAYOUT_TUNE_BUDGET`), if any. `Some(0)` means unlimited.
+    pub tune_budget_ms: Option<u64>,
+    /// Autotuner candidate-evaluation budget override
+    /// (`CODELAYOUT_TUNE_CANDIDATES`), if any.
+    pub tune_candidates: Option<u64>,
+    /// Autotuner trace-window length override in fetch events
+    /// (`CODELAYOUT_TUNE_WINDOW`), if any.
+    pub tune_window: Option<u64>,
 }
 
 impl RunEnv {
@@ -275,6 +299,9 @@ impl RunEnv {
             t.min(2000)
         });
         let serve_sample_duty = parse_u64_knob(SERVE_SAMPLE_DUTY_ENV).filter(|&n| n > 0);
+        let tune_budget_ms = parse_u64_knob(TUNE_BUDGET_ENV);
+        let tune_candidates = parse_u64_knob(TUNE_CANDIDATES_ENV).filter(|&n| n > 0);
+        let tune_window = parse_u64_knob(TUNE_WINDOW_ENV).filter(|&n| n > 0);
         RunEnv {
             scenario,
             threads,
@@ -289,6 +316,9 @@ impl RunEnv {
             serve_sample_period,
             serve_drift_threshold,
             serve_sample_duty,
+            tune_budget_ms,
+            tune_candidates,
+            tune_window,
         }
     }
 

@@ -320,10 +320,11 @@ fn validate_phase(p: &Value) -> Result<(), String> {
 
 /// Keys whose values are wall-clock noise, environment-dependent, or
 /// content hashes — masked by [`mask_volatile`] wherever they appear.
-/// `swap_wall_ns` is the `serve` section's only wall-clock leaf: every
-/// other serve field (epoch records, drift scores, miss counts, the
-/// final image digest) is deterministic and stays pinned by goldens.
-pub const VOLATILE_KEYS: [&str; 13] = [
+/// `swap_wall_ns` is the `serve` section's only wall-clock leaf, and
+/// `wall_ms` the `tune` section's: every other serve/tune field (epoch
+/// records, drift scores, search trajectories, miss counts, image
+/// digests) is deterministic and stays pinned by goldens.
+pub const VOLATILE_KEYS: [&str; 14] = [
     "git",
     "created_unix_ms",
     "wall_ns",
@@ -337,6 +338,7 @@ pub const VOLATILE_KEYS: [&str; 13] = [
     "sweep_engine",
     "vm_engine",
     "swap_wall_ns",
+    "wall_ms",
 ];
 
 /// Returns a copy of a manifest with volatile values masked: values of

@@ -11,7 +11,7 @@ use crate::app::{gen_app, AppSpec};
 use crate::kernel::{gen_kernel, KernelSpec, SYS_LOG_WRITE, SYS_RECEIVE, SYS_REPLY};
 use crate::scenario::Scenario;
 use crate::sga::{priv_words, words, Invariants, SgaLayout};
-use codelayout_core::{LayoutPipeline, LayoutSeries, OptimizationSet};
+use codelayout_core::{LayoutParams, LayoutPipeline, LayoutSeries, OptimizationSet};
 use codelayout_ir::link::link;
 use codelayout_ir::{Image, Layout, Reg};
 use codelayout_obs::ProfileSource;
@@ -369,6 +369,33 @@ impl Study {
         #[cfg(debug_assertions)]
         codelayout_analysis::validate_translation(&self.app.program, &layout, &image)
             .unwrap_or_else(|e| panic!("`{series}` app image failed translation validation: {e}"));
+        Arc::new(image)
+    }
+
+    /// Builds the application layout for any [`LayoutSeries`] with
+    /// explicit layout-construction parameters instead of the defaults,
+    /// using the active profile. This is the autotuner's entry point:
+    /// `codelayout-tune` materializes each candidate [`ParamPoint`] into
+    /// a [`LayoutParams`] and builds the series through here.
+    ///
+    /// [`ParamPoint`]: codelayout_core::ParamPoint
+    pub fn layout_series_params(&self, series: LayoutSeries, params: &LayoutParams) -> Layout {
+        LayoutPipeline::with_params(&self.app.program, self.active_profile(), *params)
+            .build_series(series)
+    }
+
+    /// Links the application image for any [`LayoutSeries`] built with
+    /// explicit layout-construction parameters, with the same
+    /// debug-build translation validation as [`Study::image_series`].
+    pub fn image_series_params(&self, series: LayoutSeries, params: &LayoutParams) -> Arc<Image> {
+        let layout = self.layout_series_params(series, params);
+        let image = link(&self.app.program, &layout, APP_TEXT_BASE)
+            .expect("parameterized series layouts are valid permutations");
+        #[cfg(debug_assertions)]
+        codelayout_analysis::validate_translation(&self.app.program, &layout, &image)
+            .unwrap_or_else(|e| {
+                panic!("tuned `{series}` app image failed translation validation: {e}")
+            });
         Arc::new(image)
     }
 

@@ -1,0 +1,730 @@
+//! Search-based layout autotuning: perturb the layout-construction
+//! parameters ([`codelayout_core::ParamSpace`]) and keep whatever the
+//! cache says is better.
+//!
+//! The paper's passes — and the two modern successors — all carry
+//! magic constants (split thresholds, ext-TSP distance windows,
+//! Codestitcher level budgets) inherited from their original papers'
+//! SPEC-style workloads. This crate asks whether those constants are
+//! right for *this* workload by direct search:
+//!
+//! 1. **Record once.** Run the measured transaction window on the
+//!    baseline image and keep the first [`TuneConfig::window`] user-mode
+//!    fetches as `(block, offset, cpu, pid)` tuples — a layout-independent
+//!    representation of the control-flow the workload executed.
+//! 2. **Remap + replay per candidate.** For each candidate parameter
+//!    point, build the layout ([`codelayout_core::LayoutPipeline`]),
+//!    link it, and run [`codelayout_analysis::validate_translation`]
+//!    **unconditionally** (an invalid candidate scores `u64::MAX` and can
+//!    never win). Then translate every recorded tuple into the candidate
+//!    image's addresses and replay the window through the parallel cache
+//!    sweep ([`codelayout_memsim::ParallelSweep`]); the fitness is the
+//!    summed miss count over the evaluation grid.
+//! 3. **Search.** Per series family: evaluate the defaults first (the
+//!    fixed series everyone ships), greedy coordinate descent from
+//!    there, then seeded random restarts, under a per-family candidate
+//!    budget. The RNG is `CODELAYOUT_SEED`-derived
+//!    ([`rand::rngs::StdRng`], one stream per family), duplicate points
+//!    hit a cache instead of consuming budget, and every fresh
+//!    evaluation is streamed as a `tune/candidate` tracer event.
+//!
+//! The remap clamps an offset that exceeds the candidate block's length
+//! (layouts erase or materialize unconditional jumps, so per-block
+//! instruction counts differ by the terminator); jump instructions a
+//! candidate adds are not replayed. The approximation is exact for
+//! every block body and off by at most the terminator fetch, uniformly
+//! across candidates.
+//!
+//! Everything in [`TuneReport::deterministic_json`] is bit-identical
+//! across sweep engines and thread counts, and contains no wall-clock.
+//! A wall budget ([`TuneConfig::budget_ms`]) that actually fires cuts
+//! the search at a time-dependent point — the default (0, unlimited)
+//! keeps the whole trajectory reproducible from the seed, and a
+//! triggered cut is recorded as `budget_hit`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use codelayout_core::{LayoutParams, LayoutSeries, OptimizationSet, ParamPoint, ParamSpace};
+use codelayout_ir::link::link;
+use codelayout_ir::Image;
+use codelayout_memsim::{ParallelSweep, StreamFilter, SweepSpec};
+use codelayout_obs::{run_env, SweepEngine};
+use codelayout_oltp::{Scenario, Study};
+use codelayout_vm::{FetchRecord, TraceBuffer, TraceSink, APP_TEXT_BASE};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde_json::{json, Value};
+use std::collections::BTreeMap;
+
+/// Cache sizes (KB) of the fitness-oracle grid. Deliberately extends
+/// the paper's 32–512 KB sweep *downward*: layout quality shows up as
+/// conflict and capacity misses, and a workload whose hot footprint
+/// fits the smallest paper cache (the CI `quick` scenario does) would
+/// otherwise present every candidate with identical compulsory-miss
+/// counts and give the search no gradient at all.
+pub const TUNE_SIZES_KB: [u64; 6] = [4, 8, 16, 32, 64, 128];
+/// Line size (bytes) of the fitness-oracle cache grid: the paper's
+/// 128-byte user sweep, the same geometry the comparison table reports.
+pub const EVAL_LINE_B: u32 = 128;
+/// Associativity of the fitness-oracle cache grid.
+pub const EVAL_WAYS: u32 = 4;
+/// Consecutive fruitless random restarts before a family's search stops
+/// early (every draw landed on an already-evaluated point — the space is
+/// effectively exhausted).
+const STALE_RESTART_LIMIT: u32 = 20;
+
+/// Configuration of one autotuning run.
+#[derive(Debug, Clone)]
+pub struct TuneConfig {
+    /// Master seed; each family searches under `seed ^ fnv1a(label)`.
+    pub seed: u64,
+    /// Fresh candidate evaluations allowed per series family (cache hits
+    /// are free).
+    pub candidates: u64,
+    /// Maximum user-mode fetch events kept from the recording run.
+    pub window: u64,
+    /// Wall-clock budget in milliseconds; 0 = unlimited (the
+    /// deterministic default — see the module docs on `budget_hit`).
+    pub budget_ms: u64,
+    /// The series families to tune, searched in order.
+    pub series: Vec<LayoutSeries>,
+    /// Cache-replay engine for the fitness oracle.
+    pub sweep_engine: SweepEngine,
+    /// Worker threads for the cache replay.
+    pub sweep_threads: usize,
+}
+
+impl TuneConfig {
+    /// Defaults for a scenario: the scenario's seed, 48 candidates per
+    /// family, a one-million-event window, no wall budget, and the four
+    /// tunable comparison families (`all`, `hotcold`, `exttsp`,
+    /// `stitcher` — `base` has no knobs).
+    pub fn for_scenario(scenario: &Scenario) -> Self {
+        TuneConfig {
+            seed: scenario.seed,
+            candidates: 48,
+            window: 1_000_000,
+            budget_ms: 0,
+            series: vec![
+                LayoutSeries::Paper(OptimizationSet::ALL),
+                LayoutSeries::HotCold,
+                LayoutSeries::ExtTsp,
+                LayoutSeries::Stitcher,
+            ],
+            sweep_engine: SweepEngine::default(),
+            sweep_threads: 1,
+        }
+    }
+
+    /// [`TuneConfig::for_scenario`] with the `CODELAYOUT_SEED`,
+    /// `CODELAYOUT_TUNE_{BUDGET,CANDIDATES,WINDOW}`,
+    /// `CODELAYOUT_SWEEP_ENGINE` and `CODELAYOUT_THREADS` environment
+    /// knobs applied.
+    pub fn from_env(scenario: &Scenario) -> Self {
+        let env = run_env();
+        let mut cfg = Self::for_scenario(scenario);
+        if let Some(s) = env.seed {
+            cfg.seed = s;
+        }
+        if let Some(b) = env.tune_budget_ms {
+            cfg.budget_ms = b;
+        }
+        if let Some(c) = env.tune_candidates {
+            cfg.candidates = c;
+        }
+        if let Some(w) = env.tune_window {
+            cfg.window = w;
+        }
+        cfg.sweep_engine = env.sweep_engine;
+        cfg.sweep_threads = env.sweep_threads();
+        cfg
+    }
+
+    /// Configuration echo for manifests and figure JSON. Deterministic:
+    /// engine and thread count are deliberately omitted (the report is
+    /// byte-diffed across both).
+    pub fn to_json(&self) -> Value {
+        json!({
+            "seed": self.seed,
+            "candidates": self.candidates,
+            "window": self.window,
+            "budget_ms": self.budget_ms,
+            "series": self.series.iter().map(|s| s.label()).collect::<Vec<_>>(),
+        })
+    }
+}
+
+/// Why a candidate was evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CandidateOrigin {
+    /// The family's default point (the shipped fixed series).
+    Default,
+    /// A ±1 neighbor probed by greedy coordinate descent.
+    Descent,
+    /// A seeded random restart point.
+    Restart,
+}
+
+impl CandidateOrigin {
+    /// Stable lowercase label for JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            CandidateOrigin::Default => "default",
+            CandidateOrigin::Descent => "descent",
+            CandidateOrigin::Restart => "restart",
+        }
+    }
+}
+
+/// One fresh candidate evaluation, in search order.
+#[derive(Debug, Clone)]
+pub struct CandidateRecord {
+    /// Global evaluation index across all families, starting at 0.
+    pub candidate: u64,
+    /// The series family the candidate belongs to.
+    pub series: LayoutSeries,
+    /// The evaluated point.
+    pub point: ParamPoint,
+    /// Window miss count (`u64::MAX` for a rejected candidate).
+    pub score: u64,
+    /// True when the candidate became its family's best so far.
+    pub accepted: bool,
+    /// True when the linked image passed translation validation.
+    pub validated: bool,
+    /// How the search arrived at this point.
+    pub origin: CandidateOrigin,
+}
+
+/// The outcome of one family's search.
+#[derive(Debug, Clone)]
+pub struct FamilyResult {
+    /// The tuned series.
+    pub series: LayoutSeries,
+    /// Best point found.
+    pub best_point: ParamPoint,
+    /// Best point, materialized.
+    pub best_params: LayoutParams,
+    /// Window miss count of the best point.
+    pub best_score: u64,
+    /// Per-cell window misses of the best point (size-major over the
+    /// evaluation grid).
+    pub best_cells: Vec<u64>,
+    /// Window miss count of the default point (the fixed series).
+    pub default_score: u64,
+    /// Fresh evaluations spent.
+    pub evaluated: u64,
+    /// Duplicate points served from the cache.
+    pub cache_hits: u64,
+    /// Candidates rejected by translation validation.
+    pub rejected: u64,
+}
+
+/// One fixed comparison series evaluated through the same window
+/// oracle the search uses (same remap, same grid): the yardstick the
+/// tuned layouts must beat.
+#[derive(Debug, Clone)]
+pub struct FixedResult {
+    /// The fixed series.
+    pub series: LayoutSeries,
+    /// Window miss count under default parameters.
+    pub score: u64,
+    /// Per-cell window misses (size-major over [`TUNE_SIZES_KB`]).
+    pub cells: Vec<u64>,
+}
+
+/// The full autotuning outcome.
+#[derive(Debug, Clone)]
+pub struct TuneReport {
+    /// The configuration searched under.
+    pub config: TuneConfig,
+    /// User-mode fetch events in the replay window.
+    pub window_events: u64,
+    /// Window miss count of the baseline (natural-layout) image.
+    pub base_score: u64,
+    /// Per-cell window misses of the baseline image.
+    pub base_cells: Vec<u64>,
+    /// Every fixed comparison series scored by the same oracle, in
+    /// [`LayoutSeries::comparison`] order.
+    pub fixed: Vec<FixedResult>,
+    /// Per-family results, in [`TuneConfig::series`] order.
+    pub families: Vec<FamilyResult>,
+    /// Every fresh evaluation, in search order.
+    pub trajectory: Vec<CandidateRecord>,
+    /// True when the wall budget truncated the search (the trajectory is
+    /// then wall-clock-dependent and not reproducible from the seed).
+    pub budget_hit: bool,
+    /// Wall time of the whole tune. **Not** part of
+    /// [`TuneReport::deterministic_json`].
+    pub wall_ms: u64,
+}
+
+/// Dotted-name → value object of the knobs a family's space controls,
+/// in coordinate order.
+pub fn params_json(space: &ParamSpace, params: &LayoutParams) -> Value {
+    let mut map = serde_json::Map::new();
+    for k in space.knobs() {
+        map.insert(k.name().to_string(), Value::from(k.get(params)));
+    }
+    Value::from(map)
+}
+
+impl TuneReport {
+    /// The family whose best point has the lowest window miss count
+    /// (ties break toward the earlier family — deterministic).
+    pub fn winner(&self) -> Option<&FamilyResult> {
+        self.families.iter().min_by_key(|f| f.best_score)
+    }
+
+    /// The report as JSON, bit-identical across sweep engines and thread
+    /// counts, with no wall-clock anywhere (the figure-grid CI byte-diffs
+    /// this across engines).
+    pub fn deterministic_json(&self) -> Value {
+        json!({
+            "config": self.config.to_json(),
+            "sizes_kb": &TUNE_SIZES_KB[..],
+            "window_events": self.window_events,
+            "base": { "score": self.base_score, "cells": &self.base_cells },
+            "fixed": self.fixed.iter().map(|f| json!({
+                "series": f.series.label(),
+                "score": f.score,
+                "cells": &f.cells,
+            })).collect::<Vec<_>>(),
+            "families": self.families.iter().map(|f| {
+                let space = ParamSpace::for_series(f.series);
+                json!({
+                    "series": f.series.label(),
+                    "best_point": f.best_point.indices(),
+                    "best_params": params_json(&space, &f.best_params),
+                    "best_score": f.best_score,
+                    "best_cells": &f.best_cells,
+                    "default_score": f.default_score,
+                    "evaluated": f.evaluated,
+                    "cache_hits": f.cache_hits,
+                    "rejected": f.rejected,
+                })
+            }).collect::<Vec<_>>(),
+            "trajectory": self.trajectory.iter().map(|c| json!({
+                "candidate": c.candidate,
+                "series": c.series.label(),
+                "point": c.point.indices(),
+                "score": c.score,
+                "accepted": c.accepted,
+                "validated": c.validated,
+                "origin": c.origin.label(),
+            })).collect::<Vec<_>>(),
+            "budget_hit": self.budget_hit,
+        })
+    }
+}
+
+/// One recorded user-mode fetch, in layout-independent coordinates.
+#[derive(Debug, Clone, Copy)]
+struct WindowEvent {
+    /// Block index in the program.
+    block: u32,
+    /// Instruction offset from the block's start in the recording image.
+    off: u32,
+    cpu: u8,
+    pid: u8,
+}
+
+/// A [`TraceSink`] keeping the first `cap` user-mode fetches as
+/// [`WindowEvent`]s, resolved against the recording image.
+struct WindowSink<'a> {
+    image: &'a Image,
+    cap: usize,
+    events: Vec<WindowEvent>,
+}
+
+impl TraceSink for WindowSink<'_> {
+    fn fetch(&mut self, rec: FetchRecord) {
+        if rec.kernel || self.events.len() >= self.cap {
+            return;
+        }
+        let Some(idx) = self.image.index_of(rec.addr) else {
+            return;
+        };
+        let b = self.image.block_of[idx as usize];
+        self.events.push(WindowEvent {
+            block: b.index() as u32,
+            off: idx - self.image.block_start[b.index()],
+            cpu: rec.cpu,
+            pid: rec.pid,
+        });
+    }
+}
+
+/// Per-block instruction counts of an image (lengths differ across
+/// layouts: erased fall-through jumps and materialized branches live in
+/// the terminator).
+fn block_lengths(image: &Image, nblocks: usize) -> Vec<u32> {
+    let mut len = vec![0u32; nblocks];
+    for &b in &image.block_of {
+        len[b.index()] += 1;
+    }
+    len
+}
+
+/// FNV-1a of a label, for per-family RNG stream separation.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+struct Oracle<'a> {
+    study: &'a Study,
+    sweeper: ParallelSweep,
+    spec: SweepSpec,
+    window: Vec<WindowEvent>,
+    nblocks: usize,
+    start: std::time::Instant,
+    budget_ms: u64,
+    budget_hit: bool,
+    candidate_no: u64,
+    trajectory: Vec<CandidateRecord>,
+}
+
+impl Oracle<'_> {
+    /// Replays the window remapped onto `image`; returns (total misses,
+    /// per-cell misses).
+    fn replay(&self, image: &Image) -> (u64, Vec<u64>) {
+        let len = block_lengths(image, self.nblocks);
+        let last = image.len() as u32 - 1;
+        let mut buf = TraceBuffer::fetch_only();
+        buf.reserve(self.window.len());
+        for ev in &self.window {
+            let b = ev.block as usize;
+            let off = ev.off.min(len[b].saturating_sub(1));
+            let idx = (image.block_start[b] + off).min(last);
+            buf.fetch(FetchRecord {
+                addr: image.addr(idx),
+                cpu: ev.cpu,
+                pid: ev.pid,
+                kernel: false,
+            });
+        }
+        let frozen = buf.freeze();
+        let cells = self.sweeper.run_one(&frozen, &self.spec);
+        let per_cell: Vec<u64> = cells.iter().map(|c| c.stats.misses).collect();
+        (per_cell.iter().sum(), per_cell)
+    }
+
+    /// True when the wall budget is exhausted (records `budget_hit`).
+    fn wall_exhausted(&mut self) -> bool {
+        if self.budget_ms > 0 && self.start.elapsed().as_millis() as u64 >= self.budget_ms {
+            self.budget_hit = true;
+        }
+        self.budget_hit
+    }
+}
+
+struct FamilySearch {
+    series: LayoutSeries,
+    space: ParamSpace,
+    budget: u64,
+    cache: BTreeMap<ParamPoint, u64>,
+    evaluated: u64,
+    cache_hits: u64,
+    rejected: u64,
+    best: Option<(ParamPoint, u64, Vec<u64>)>,
+    default_score: u64,
+}
+
+impl FamilySearch {
+    /// Evaluates one point: cache hit is free, a fresh evaluation spends
+    /// budget, builds + links + validates + replays, and appends to the
+    /// trajectory. Returns `None` when out of budget (candidate or wall).
+    fn eval(
+        &mut self,
+        oracle: &mut Oracle<'_>,
+        point: &ParamPoint,
+        origin: CandidateOrigin,
+    ) -> Option<u64> {
+        if let Some(&score) = self.cache.get(point) {
+            self.cache_hits += 1;
+            return Some(score);
+        }
+        if self.evaluated >= self.budget || oracle.wall_exhausted() {
+            return None;
+        }
+        let params = self.space.params(point);
+        let layout = oracle.study.layout_series_params(self.series, &params);
+        // Validation is unconditional for every candidate — a layout the
+        // validator rejects can never win, whatever the cache says.
+        let (score, cells, validated) =
+            match link(&oracle.study.app.program, &layout, APP_TEXT_BASE) {
+                Ok(image) => match codelayout_analysis::validate_translation(
+                    &oracle.study.app.program,
+                    &layout,
+                    &image,
+                ) {
+                    Ok(_) => {
+                        let (score, cells) = oracle.replay(&image);
+                        (score, cells, true)
+                    }
+                    Err(_) => (u64::MAX, Vec::new(), false),
+                },
+                Err(_) => (u64::MAX, Vec::new(), false),
+            };
+        self.evaluated += 1;
+        if !validated {
+            self.rejected += 1;
+        }
+        let accepted = validated && self.best.as_ref().is_none_or(|(_, s, _)| score < *s);
+        if accepted {
+            self.best = Some((point.clone(), score, cells));
+        }
+        let rec = CandidateRecord {
+            candidate: oracle.candidate_no,
+            series: self.series,
+            point: point.clone(),
+            score,
+            accepted,
+            validated,
+            origin,
+        };
+        codelayout_obs::tracer().event(
+            "tune/candidate",
+            json!({
+                "candidate": rec.candidate,
+                "series": rec.series.label(),
+                "point": rec.point.indices(),
+                "params": params_json(&self.space, &params),
+                "score": if validated { json!(score) } else { json!(null) },
+                "accepted": rec.accepted,
+                "validated": rec.validated,
+                "origin": rec.origin.label(),
+            }),
+        );
+        let m = codelayout_obs::metrics();
+        m.add("tune.candidates", 1);
+        if !validated {
+            m.add("tune.rejected", 1);
+        }
+        oracle.candidate_no += 1;
+        oracle.trajectory.push(rec);
+        self.cache.insert(point.clone(), score);
+        Some(score)
+    }
+
+    /// Greedy coordinate descent from `start`: probe each knob's ±1
+    /// neighbors in order, move on strict improvement, repeat until a
+    /// full pass makes no move (or the budget runs out).
+    fn descend(&mut self, oracle: &mut Oracle<'_>, start: ParamPoint) {
+        let Some(mut cur_score) = self.eval(oracle, &start, CandidateOrigin::Restart) else {
+            return;
+        };
+        let mut cur = start;
+        loop {
+            let mut improved = false;
+            for knob in 0..self.space.len() {
+                for delta in [-1i64, 1] {
+                    let Some(next) = cur.step(&self.space, knob, delta) else {
+                        continue;
+                    };
+                    let Some(s) = self.eval(oracle, &next, CandidateOrigin::Descent) else {
+                        return;
+                    };
+                    if s < cur_score {
+                        cur = next;
+                        cur_score = s;
+                        improved = true;
+                    }
+                }
+            }
+            if !improved {
+                return;
+            }
+        }
+    }
+
+    /// The full family search: default point, descent, random restarts.
+    fn run(&mut self, oracle: &mut Oracle<'_>, seed: u64) {
+        let default = self.space.default_point();
+        if self
+            .eval(oracle, &default, CandidateOrigin::Default)
+            .is_none()
+        {
+            return;
+        }
+        self.default_score = self.cache[&default];
+        self.descend(oracle, default);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut stale = 0u32;
+        while self.evaluated < self.budget
+            && !oracle.wall_exhausted()
+            && stale < STALE_RESTART_LIMIT
+        {
+            let idx: Vec<u32> = self
+                .space
+                .knobs()
+                .iter()
+                .map(|k| rng.gen_range(0..k.values().len()) as u32)
+                .collect();
+            let before = self.evaluated;
+            self.descend(oracle, ParamPoint::new(&self.space, idx));
+            if self.evaluated == before {
+                stale += 1;
+            } else {
+                stale = 0;
+            }
+        }
+    }
+}
+
+/// Runs the autotuner over a built study.
+///
+/// Records the replay window from a measured run on the baseline image,
+/// then searches each family in [`TuneConfig::series`] (families with no
+/// knobs, like `base`, are skipped).
+///
+/// # Panics
+/// Panics if the recording run produced no user-mode fetches.
+pub fn run_tune(study: &Study, cfg: &TuneConfig) -> TuneReport {
+    let _span = codelayout_obs::span("tune");
+    let start = std::time::Instant::now();
+
+    let record_span = codelayout_obs::span("tune_record");
+    let mut sink = WindowSink {
+        image: &study.base_image,
+        cap: cfg.window as usize,
+        events: Vec::new(),
+    };
+    study.run_measured(&study.base_image, &study.base_kernel_image, &mut sink);
+    record_span.finish();
+    assert!(
+        !sink.events.is_empty(),
+        "recording run produced no user-mode fetches"
+    );
+
+    let mut oracle = Oracle {
+        study,
+        sweeper: ParallelSweep::new(cfg.sweep_threads).with_engine(cfg.sweep_engine),
+        spec: SweepSpec::grid()
+            .sizes_kb(&TUNE_SIZES_KB)
+            .line_b(EVAL_LINE_B)
+            .ways(EVAL_WAYS)
+            .cpus(study.scenario.num_cpus)
+            .filter(StreamFilter::UserOnly),
+        window: sink.events,
+        nblocks: study.app.program.blocks.len(),
+        start,
+        budget_ms: cfg.budget_ms,
+        budget_hit: false,
+        candidate_no: 0,
+        trajectory: Vec::new(),
+    };
+    let window_events = oracle.window.len() as u64;
+    let (base_score, base_cells) = oracle.replay(&study.base_image);
+
+    // Score every fixed comparison series through the same oracle: the
+    // yardstick the tuned layouts must beat, on the same window and
+    // grid, so the comparison is apples-to-apples and deterministic.
+    let fixed_span = codelayout_obs::span("tune_fixed");
+    let mut fixed = Vec::new();
+    for series in LayoutSeries::comparison() {
+        let space = ParamSpace::for_series(series);
+        let params = space.params(&space.default_point());
+        let layout = study.layout_series_params(series, &params);
+        let image = link(&study.app.program, &layout, APP_TEXT_BASE)
+            .expect("fixed comparison series layouts are valid permutations");
+        codelayout_analysis::validate_translation(&study.app.program, &layout, &image)
+            .unwrap_or_else(|e| {
+                panic!("fixed `{series}` image failed translation validation: {e}")
+            });
+        let (score, cells) = oracle.replay(&image);
+        fixed.push(FixedResult {
+            series,
+            score,
+            cells,
+        });
+    }
+    fixed_span.finish();
+
+    let search_span = codelayout_obs::span("tune_search");
+    let mut families = Vec::new();
+    for &series in &cfg.series {
+        let space = ParamSpace::for_series(series);
+        if space.is_empty() {
+            continue;
+        }
+        let mut fam = FamilySearch {
+            series,
+            space,
+            budget: cfg.candidates,
+            cache: BTreeMap::new(),
+            evaluated: 0,
+            cache_hits: 0,
+            rejected: 0,
+            best: None,
+            default_score: u64::MAX,
+        };
+        fam.run(&mut oracle, cfg.seed ^ fnv1a(series.label()));
+        let Some((best_point, best_score, best_cells)) = fam.best.clone() else {
+            // Budget ran out before even the default evaluated.
+            break;
+        };
+        codelayout_obs::metrics().add("tune.families", 1);
+        families.push(FamilyResult {
+            series,
+            best_params: fam.space.params(&best_point),
+            best_point,
+            best_score,
+            best_cells,
+            default_score: fam.default_score,
+            evaluated: fam.evaluated,
+            cache_hits: fam.cache_hits,
+            rejected: fam.rejected,
+        });
+    }
+    search_span.finish();
+
+    TuneReport {
+        config: cfg.clone(),
+        window_events,
+        base_score,
+        base_cells,
+        fixed,
+        families,
+        trajectory: oracle.trajectory,
+        budget_hit: oracle.budget_hit,
+        wall_ms: start.elapsed().as_millis() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn origin_labels_are_stable() {
+        assert_eq!(CandidateOrigin::Default.label(), "default");
+        assert_eq!(CandidateOrigin::Descent.label(), "descent");
+        assert_eq!(CandidateOrigin::Restart.label(), "restart");
+    }
+
+    #[test]
+    fn fnv_separates_family_streams() {
+        let labels = ["all", "hotcold", "exttsp", "stitcher"];
+        for a in labels {
+            for b in labels {
+                assert_eq!(a == b, fnv1a(a) == fnv1a(b), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn config_json_has_no_engine_or_wall_fields() {
+        let cfg = TuneConfig::for_scenario(&Scenario::quick());
+        let v = cfg.to_json();
+        let obj = v.as_object().expect("config echo is an object");
+        assert!(obj.contains_key("seed"));
+        assert!(!obj.contains_key("sweep_engine"));
+        assert!(!obj.contains_key("sweep_threads"));
+    }
+}

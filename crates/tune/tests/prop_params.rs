@@ -1,0 +1,97 @@
+//! Property tests for the parameterized layout surface: **every** point
+//! the search could possibly draw from a family's [`ParamSpace`] must
+//! produce a layout that verifies as a permutation, links, and passes
+//! full translation validation — so the autotuner can never build an
+//! image that silently breaks the program, whatever the knobs say.
+
+use codelayout_core::{LayoutPipeline, LayoutSeries, ParamPoint, ParamSpace};
+use codelayout_ir::link::link;
+use codelayout_ir::testgen::{random_program, GenConfig};
+use codelayout_ir::verify_layout;
+use codelayout_profile::Profile;
+use codelayout_vm::APP_TEXT_BASE;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random (not necessarily flow-consistent) profile.
+fn random_profile(program: &codelayout_ir::Program, seed: u64) -> Profile {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut p = Profile::new(program.blocks.len());
+    for c in &mut p.block_counts {
+        *c = rng.gen_range(0..1000);
+    }
+    for (bi, b) in program.blocks.iter().enumerate() {
+        for s in b.term.successors() {
+            p.edge_counts
+                .insert((bi as u32, s.0), rng.gen_range(0..500));
+        }
+    }
+    p
+}
+
+/// A uniformly random point of `space`, from a seeded stream.
+fn random_point(space: &ParamSpace, rng: &mut StdRng) -> ParamPoint {
+    let idx: Vec<u32> = space
+        .knobs()
+        .iter()
+        .map(|k| rng.gen_range(0..k.values().len()) as u32)
+        .collect();
+    ParamPoint::new(space, idx)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any parameter point of any tunable family yields a verified,
+    /// linkable, translation-valid layout on arbitrary programs and
+    /// profiles.
+    #[test]
+    fn every_param_point_yields_a_valid_layout(
+        seed in 0u64..10_000,
+        pseed in 0u64..1_000,
+        kseed in 0u64..1_000,
+    ) {
+        let program = random_program(seed, &GenConfig::default());
+        let profile = random_profile(&program, pseed);
+        let mut rng = StdRng::seed_from_u64(kseed);
+        for series in LayoutSeries::all() {
+            let space = ParamSpace::for_series(series);
+            if space.is_empty() {
+                continue;
+            }
+            let point = random_point(&space, &mut rng);
+            let params = space.params(&point);
+            let layout =
+                LayoutPipeline::with_params(&program, &profile, params).build_series(series);
+            verify_layout(&program, &layout)
+                .unwrap_or_else(|e| panic!("{seed}/{pseed}/{kseed} {series} {point:?}: {e}"));
+            let image = link(&program, &layout, APP_TEXT_BASE)
+                .unwrap_or_else(|e| panic!("{seed}/{pseed}/{kseed} {series} {point:?}: {e}"));
+            codelayout_analysis::validate_translation(&program, &layout, &image)
+                .unwrap_or_else(|e| panic!("{seed}/{pseed}/{kseed} {series} {point:?}: {e}"));
+        }
+    }
+
+    /// The default point of every family reproduces the unparameterized
+    /// pipeline's layout byte for byte — the api_redesign contract that
+    /// pins all shipped series to their pre-refactor output.
+    #[test]
+    fn default_point_matches_legacy_pipeline(seed in 0u64..10_000, pseed in 0u64..1_000) {
+        let program = random_program(seed, &GenConfig::default());
+        let profile = random_profile(&program, pseed);
+        let legacy = LayoutPipeline::new(&program, &profile);
+        for series in LayoutSeries::all() {
+            let space = ParamSpace::for_series(series);
+            let params = space.params(&space.default_point());
+            let tuned =
+                LayoutPipeline::with_params(&program, &profile, params).build_series(series);
+            prop_assert_eq!(
+                &legacy.build_series(series),
+                &tuned,
+                "{} default params drifted from the legacy constants",
+                series
+            );
+        }
+    }
+}
